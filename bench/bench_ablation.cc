@@ -1,0 +1,143 @@
+// Ablation bench for DESIGN.md's design choices:
+//  * backend: MOLAP array vs plain ROLAP scan vs ROLAP with bitmap indexes
+//    (the ROLAP proponents' "encoding and compression" rebuttal, §6.6);
+//  * summarizability enforcement: what the §3.3.2 safety checks cost per
+//    roll-up;
+//  * weighted-average maintenance: the §5.1 sum/count bookkeeping vs naive
+//    unweighted cells.
+//
+// Counters: bytes (read per query), store_bytes.
+
+#include <benchmark/benchmark.h>
+
+#include "statcube/olap/backend.h"
+#include "statcube/olap/operators.h"
+#include "statcube/olap/sparse_cube.h"
+#include "statcube/workload/retail.h"
+
+namespace statcube {
+namespace {
+
+const RetailData& Data() {
+  static RetailData data = [] {
+    RetailOptions opt;
+    opt.num_products = 40;
+    opt.num_stores = 10;
+    opt.num_days = 60;
+    opt.num_rows = 25000;
+    return *MakeRetailWorkload(opt);
+  }();
+  return data;
+}
+
+void RunBackend(benchmark::State& state, CubeBackend* backend) {
+  int i = 0;
+  for (auto _ : state) {
+    backend->counter().Reset();
+    double v = *backend->Sum(
+        {{"product", Value("prod" + std::to_string(i % 40))}});
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+  state.counters["bytes"] = double(backend->counter().bytes_read());
+  state.counters["store_bytes"] = double(backend->ByteSize());
+}
+
+void BM_BackendMolap(benchmark::State& state) {
+  auto b = MakeMolapBackend(Data().object, "amount").ValueOrDie();
+  RunBackend(state, b.get());
+}
+BENCHMARK(BM_BackendMolap);
+
+void BM_BackendRolapScan(benchmark::State& state) {
+  auto b = MakeRolapBackend(Data().object, "amount").ValueOrDie();
+  RunBackend(state, b.get());
+}
+BENCHMARK(BM_BackendRolapScan);
+
+void BM_BackendRolapBitmap(benchmark::State& state) {
+  auto b = MakeRolapBackend(Data().object, "amount",
+                            {.build_bitmap_indexes = true})
+               .ValueOrDie();
+  RunBackend(state, b.get());
+}
+BENCHMARK(BM_BackendRolapBitmap);
+
+void BM_BackendSparseMolap(benchmark::State& state) {
+  // The header-compressed MOLAP flavor: pays a log factor per slab segment,
+  // stores only occupied runs.
+  auto cube = SparseMolapCube::Build(Data().object, "amount").ValueOrDie();
+  int i = 0;
+  for (auto _ : state) {
+    double v =
+        *cube.SumWhere({{"product", Value("prod" + std::to_string(i % 40))}});
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+  state.counters["store_bytes"] = double(cube.ByteSize());
+  state.counters["compression_x"] = cube.compression_ratio();
+}
+BENCHMARK(BM_BackendSparseMolap);
+
+void BM_RollupWithEnforcement(benchmark::State& state) {
+  const StatisticalObject& obj = Data().object;
+  for (auto _ : state) {
+    auto r = SAggregate(obj, "store", "by_city", 1,
+                        {.enforce_summarizability = true});
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_RollupWithEnforcement);
+
+void BM_RollupWithoutEnforcement(benchmark::State& state) {
+  const StatisticalObject& obj = Data().object;
+  for (auto _ : state) {
+    auto r = SAggregate(obj, "store", "by_city", 1,
+                        {.enforce_summarizability = false});
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_RollupWithoutEnforcement);
+
+void BM_ProjectWeightedAvg(benchmark::State& state) {
+  // Object with an avg measure + weight: the §5.1 bookkeeping.
+  StatisticalObject obj("w");
+  (void)obj.AddDimension(Dimension("a"));
+  (void)obj.AddDimension(Dimension("b"));
+  (void)obj.AddMeasure({"avg_v", "", MeasureType::kValuePerUnit, AggFn::kAvg,
+                        "n"});
+  (void)obj.AddMeasure({"n", "", MeasureType::kFlow, AggFn::kSum, ""});
+  for (int a = 0; a < 100; ++a)
+    for (int b = 0; b < 50; ++b)
+      (void)obj.AddCell({Value("a" + std::to_string(a)),
+                         Value("b" + std::to_string(b))},
+                        {Value(double(a + b)), Value(int64_t(1 + b))});
+  for (auto _ : state) {
+    auto r = SProject(obj, "b", {.enforce_summarizability = false});
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_ProjectWeightedAvg);
+
+void BM_ProjectUnweightedAvg(benchmark::State& state) {
+  StatisticalObject obj("u");
+  (void)obj.AddDimension(Dimension("a"));
+  (void)obj.AddDimension(Dimension("b"));
+  (void)obj.AddMeasure({"avg_v", "", MeasureType::kValuePerUnit, AggFn::kAvg,
+                        ""});
+  for (int a = 0; a < 100; ++a)
+    for (int b = 0; b < 50; ++b)
+      (void)obj.AddCell({Value("a" + std::to_string(a)),
+                         Value("b" + std::to_string(b))},
+                        {Value(double(a + b))});
+  for (auto _ : state) {
+    auto r = SProject(obj, "b", {.enforce_summarizability = false});
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_ProjectUnweightedAvg);
+
+}  // namespace
+}  // namespace statcube
+
+BENCHMARK_MAIN();

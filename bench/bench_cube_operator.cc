@@ -1,0 +1,81 @@
+// Experiment F15 (paper §5.4, Figure 15 — [GB+96] CUBE; §6.6 [ZDN97]
+// simultaneous aggregation).
+// Claims: the naive CUBE (2^n independent group-bys, one input scan each)
+// is beaten by the simultaneous build (one scan + lattice state merging),
+// and the array-based cube build beats both when the data is dense.
+//
+// Counters: groupings (2^n), input_scans.
+
+#include <benchmark/benchmark.h>
+
+#include "statcube/olap/cube_build.h"
+#include "statcube/olap/molap_cube.h"
+#include "statcube/relational/cube_operator.h"
+#include "statcube/workload/retail.h"
+
+namespace statcube {
+namespace {
+
+const RetailData& Data() {
+  static RetailData data = [] {
+    RetailOptions opt;
+    opt.num_products = 20;
+    opt.num_stores = 8;
+    opt.num_cities = 4;
+    opt.num_days = 30;
+    opt.num_rows = 20000;
+    return *MakeRetailWorkload(opt);
+  }();
+  return data;
+}
+
+std::vector<std::string> DimsFor(int n) {
+  std::vector<std::string> all = {"product", "store", "day", "city",
+                                  "category"};
+  return std::vector<std::string>(all.begin(), all.begin() + n);
+}
+
+void BM_CubeNaive(benchmark::State& state) {
+  int n = int(state.range(0));
+  auto dims = DimsFor(n);
+  (void)Data();  // construct the shared workload outside the timed region
+  for (auto _ : state) {
+    auto cube = CubeByNaive(Data().flat, dims, {{AggFn::kSum, "amount", "s"}});
+    benchmark::DoNotOptimize(cube->num_rows());
+  }
+  state.counters["groupings"] = double(1 << n);
+  state.counters["input_scans"] = double(1 << n);
+}
+BENCHMARK(BM_CubeNaive)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_CubeSimultaneous(benchmark::State& state) {
+  int n = int(state.range(0));
+  auto dims = DimsFor(n);
+  (void)Data();
+  for (auto _ : state) {
+    auto cube = CubeBy(Data().flat, dims, {{AggFn::kSum, "amount", "s"}});
+    benchmark::DoNotOptimize(cube->num_rows());
+  }
+  state.counters["groupings"] = double(1 << n);
+  state.counters["input_scans"] = 1;
+}
+BENCHMARK(BM_CubeSimultaneous)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_ArrayCube(benchmark::State& state) {
+  // The [ZDN97] array route: load once into a dense array, then collapse
+  // through the lattice with pure arithmetic.
+  auto cube = MolapCube::Build(Data().object, "amount");
+  for (auto _ : state) {
+    auto all = ArrayCubeAll(cube->array());
+    benchmark::DoNotOptimize(all->size());
+  }
+  state.counters["groupings"] = double(1 << cube->num_dims());
+  state.counters["cells_written"] =
+      double(ArrayCubeCells(cube->array().shape()));
+}
+BENCHMARK(BM_ArrayCube);
+
+}  // namespace
+}  // namespace statcube
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Experiment F21 (paper §6.2, Figure 21 — [EOA81] header compression).
+// Claims: nulls are compressed out entirely (space ~ density); the B+-tree
+// over the accumulated run-length header answers both the forward mapping
+// (position -> value) and range sums in O(log runs); the inverse mapping
+// works too.
+//
+// Counters: compression_x (dense bytes / compressed bytes), runs.
+
+#include <benchmark/benchmark.h>
+
+#include "statcube/common/rng.h"
+#include "statcube/molap/header_compressed.h"
+
+namespace statcube {
+namespace {
+
+// Clustered sparsity: alternating dense and empty stretches, like a
+// production cube where most counties produce nothing.
+std::vector<double> MakeClustered(size_t n, double density, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> cells(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t run = 1 + rng.Uniform(64);
+    bool occupied = rng.Bernoulli(density);
+    for (size_t k = 0; k < run && i < n; ++k, ++i)
+      if (occupied) cells[i] = double(1 + rng.Uniform(1000));
+  }
+  return cells;
+}
+
+void BM_HeaderCompressedGet(benchmark::State& state) {
+  double density = double(state.range(0)) / 100.0;
+  auto cells = MakeClustered(1 << 20, density, 3);
+  HeaderCompressedArray h(cells);
+  size_t pos = 0;
+  for (auto _ : state) {
+    double v = *h.Get(pos);
+    benchmark::DoNotOptimize(v);
+    pos = (pos + 104729) % cells.size();
+  }
+  state.counters["compression_x"] = h.CompressionRatio();
+  state.counters["runs"] = double(h.num_runs());
+  state.counters["stored"] = double(h.stored_count());
+}
+BENCHMARK(BM_HeaderCompressedGet)->Arg(1)->Arg(5)->Arg(20)->Arg(50);
+
+void BM_DenseGet(benchmark::State& state) {
+  auto cells = MakeClustered(1 << 20, 0.05, 3);
+  size_t pos = 0;
+  for (auto _ : state) {
+    double v = cells[pos];
+    benchmark::DoNotOptimize(v);
+    pos = (pos + 104729) % cells.size();
+  }
+  state.counters["bytes"] = double(cells.size() * sizeof(double));
+}
+BENCHMARK(BM_DenseGet);
+
+void BM_HeaderCompressedRangeSum(benchmark::State& state) {
+  auto cells = MakeClustered(1 << 20, 0.05, 3);
+  HeaderCompressedArray h(cells);
+  uint64_t lo = 0;
+  for (auto _ : state) {
+    double v = *h.SumPositions(lo, lo + 65536);
+    benchmark::DoNotOptimize(v);
+    lo = (lo + 104729) % (cells.size() - 65536);
+  }
+}
+BENCHMARK(BM_HeaderCompressedRangeSum);
+
+void BM_DenseRangeSum(benchmark::State& state) {
+  auto cells = MakeClustered(1 << 20, 0.05, 3);
+  uint64_t lo = 0;
+  for (auto _ : state) {
+    double v = 0;
+    for (uint64_t i = lo; i < lo + 65536; ++i) v += cells[i];
+    benchmark::DoNotOptimize(v);
+    lo = (lo + 104729) % (cells.size() - 65536);
+  }
+}
+BENCHMARK(BM_DenseRangeSum);
+
+void BM_InverseMapping(benchmark::State& state) {
+  auto cells = MakeClustered(1 << 20, 0.05, 3);
+  HeaderCompressedArray h(cells);
+  uint64_t s = 0;
+  for (auto _ : state) {
+    uint64_t pos = *h.LogicalPositionOf(s);
+    benchmark::DoNotOptimize(pos);
+    s = (s + 7919) % h.stored_count();
+  }
+}
+BENCHMARK(BM_InverseMapping);
+
+}  // namespace
+}  // namespace statcube
+
+BENCHMARK_MAIN();

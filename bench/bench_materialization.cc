@@ -1,0 +1,133 @@
+// Experiment F22 (paper §6.3, Figure 22 — [HUR96] view materialization).
+// Claims: with all 2^n summarization queries equally likely, greedy view
+// selection cuts total query cost sharply for little space, approaches the
+// exhaustive optimum, and the materialized store actually scans that many
+// fewer rows.
+//
+// Counters: benefit_pct (% of top-only cost eliminated), space_rows,
+// rows_scanned (per answered query).
+
+#include <benchmark/benchmark.h>
+
+#include "statcube/materialize/greedy.h"
+#include "statcube/materialize/lattice.h"
+#include "statcube/materialize/view_store.h"
+#include "statcube/workload/retail.h"
+
+namespace statcube {
+namespace {
+
+const RetailData& Data() {
+  static RetailData data = [] {
+    RetailOptions opt;
+    opt.num_products = 60;
+    opt.num_stores = 15;
+    opt.num_days = 90;
+    opt.num_rows = 40000;
+    return *MakeRetailWorkload(opt);
+  }();
+  return data;
+}
+
+const Lattice& RetailLattice() {
+  static Lattice l = *Lattice::FromTable(
+      Data().flat, {"product", "category", "store", "city", "day"});
+  return l;
+}
+
+void BM_GreedySelect(benchmark::State& state) {
+  size_t k = size_t(state.range(0));
+  const Lattice& l = RetailLattice();
+  ViewSelection sel;
+  for (auto _ : state) {
+    sel = GreedySelect(l, k);
+    benchmark::DoNotOptimize(sel.benefit);
+  }
+  state.counters["benefit_pct"] =
+      100.0 * double(sel.benefit) / double(l.TotalCost({}));
+  state.counters["space_rows"] = double(sel.space_rows);
+  state.counters["avg_query_rows"] =
+      double(sel.total_cost) / double(l.num_views());
+}
+BENCHMARK(BM_GreedySelect)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_GreedyVsOptimal(benchmark::State& state) {
+  // Small lattice where the exhaustive optimum is feasible.
+  auto small = Lattice::FromTable(Data().flat, {"category", "city", "month"});
+  size_t k = size_t(state.range(0));
+  uint64_t greedy_benefit = 0, optimal_benefit = 0;
+  for (auto _ : state) {
+    greedy_benefit = GreedySelect(*small, k).benefit;
+    optimal_benefit = OptimalSelect(*small, k)->benefit;
+    benchmark::DoNotOptimize(greedy_benefit);
+  }
+  state.counters["greedy_over_optimal"] =
+      optimal_benefit == 0
+          ? 1.0
+          : double(greedy_benefit) / double(optimal_benefit);
+}
+BENCHMARK(BM_GreedyVsOptimal)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_QueryWithoutViews(benchmark::State& state) {
+  auto store = MaterializedCubeStore::Create(
+      Data().flat, {"product", "store", "day"},
+      {{AggFn::kSum, "amount", "revenue"}});
+  for (auto _ : state) {
+    auto q = store->Query(0b001);  // by product
+    benchmark::DoNotOptimize(q->num_rows());
+  }
+  state.counters["rows_scanned"] = double(store->last_rows_scanned());
+}
+BENCHMARK(BM_QueryWithoutViews);
+
+void BM_IncrementalRefresh(benchmark::State& state) {
+  // §6.5 daily appends meet §6.3 views: fold a 500-row delta into two
+  // materialized views vs recomputing them from the 40k base.
+  auto store = MaterializedCubeStore::Create(
+                   Data().flat, {"product", "store", "day"},
+                   {{AggFn::kSum, "amount", "revenue"}})
+                   .ValueOrDie();
+  (void)store.Materialize(0b001);
+  (void)store.Materialize(0b011);
+  std::vector<Row> delta(Data().flat.rows().begin(),
+                         Data().flat.rows().begin() + 500);
+  for (auto _ : state) {
+    auto n = store.AppendAndRefresh(delta);
+    benchmark::DoNotOptimize(*n);
+  }
+  state.counters["rows_reaggregated"] = 1000;  // 2 views x 500 rows
+}
+BENCHMARK(BM_IncrementalRefresh);
+
+void BM_FullRecomputeRefresh(benchmark::State& state) {
+  Table base = Data().flat;
+  for (auto _ : state) {
+    // Recompute both views from scratch over the whole base.
+    auto v1 = GroupBy(base, {"product"}, {{AggFn::kSum, "amount", "revenue"}});
+    auto v2 = GroupBy(base, {"product", "store"},
+                      {{AggFn::kSum, "amount", "revenue"}});
+    benchmark::DoNotOptimize(v1->num_rows() + v2->num_rows());
+  }
+  state.counters["rows_reaggregated"] = double(2 * Data().flat.num_rows());
+}
+BENCHMARK(BM_FullRecomputeRefresh);
+
+void BM_QueryWithGreedyViews(benchmark::State& state) {
+  auto store = MaterializedCubeStore::Create(
+      Data().flat, {"product", "store", "day"},
+      {{AggFn::kSum, "amount", "revenue"}});
+  auto lattice = Lattice::FromTable(Data().flat, {"product", "store", "day"});
+  ViewSelection sel = GreedySelect(*lattice, 3);
+  for (uint32_t v : sel.views) (void)store->Materialize(v);
+  for (auto _ : state) {
+    auto q = store->Query(0b001);
+    benchmark::DoNotOptimize(q->num_rows());
+  }
+  state.counters["rows_scanned"] = double(store->last_rows_scanned());
+}
+BENCHMARK(BM_QueryWithGreedyViews);
+
+}  // namespace
+}  // namespace statcube
+
+BENCHMARK_MAIN();

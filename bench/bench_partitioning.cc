@@ -1,0 +1,132 @@
+// Experiment F23 (paper §6.4, Figure 23 — [SS94] subcube partitioning).
+// Claim: a dice (range) query on a chunked cube reads only the overlapping
+// subcubes, far fewer blocks than the row-major dense layout whose innermost
+// segments scatter across the file; symmetric chunks are the right default
+// without access-pattern knowledge.
+//
+// Counters: blocks (touched per query), chunks (overlapped).
+
+#include <benchmark/benchmark.h>
+
+#include "statcube/common/rng.h"
+#include "statcube/molap/chunked_array.h"
+#include "statcube/molap/dense_array.h"
+
+namespace statcube {
+namespace {
+
+constexpr size_t kSide = 64;
+
+void FillBoth(DenseArray* dense, ChunkedArray* chunked) {
+  Rng rng(5);
+  std::vector<size_t> c(3);
+  for (c[0] = 0; c[0] < kSide; ++c[0])
+    for (c[1] = 0; c[1] < kSide; ++c[1])
+      for (c[2] = 0; c[2] < kSide; ++c[2]) {
+        double v = double(rng.Uniform(100));
+        (void)dense->Set(c, v);
+        (void)chunked->Set(c, v);
+      }
+}
+
+// A small dice: an 8^3 cube out of 64^3 (0.2% of the volume).
+std::vector<DimRange> SmallDice(Rng* rng) {
+  std::vector<DimRange> r(3);
+  for (auto& d : r) {
+    size_t lo = rng->Uniform(kSide - 8);
+    d = {lo, lo + 8};
+  }
+  return r;
+}
+
+void BM_DenseDice(benchmark::State& state) {
+  DenseArray dense({kSide, kSide, kSide});
+  ChunkedArray chunked({kSide, kSide, kSide}, {8, 8, 8});
+  FillBoth(&dense, &chunked);
+  Rng rng(7);
+  for (auto _ : state) {
+    dense.counter().Reset();
+    auto dice = SmallDice(&rng);
+    double v = *dense.SumRange(dice);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["blocks"] = double(dense.counter().blocks_read());
+}
+BENCHMARK(BM_DenseDice);
+
+void BM_ChunkedDice(benchmark::State& state) {
+  DenseArray dense({kSide, kSide, kSide});
+  ChunkedArray chunked({kSide, kSide, kSide}, {8, 8, 8});
+  FillBoth(&dense, &chunked);
+  Rng rng(7);
+  uint64_t chunks = 0;
+  for (auto _ : state) {
+    chunked.counter().Reset();
+    auto dice = SmallDice(&rng);
+    chunks = *chunked.ChunksOverlapped(dice);
+    double v = *chunked.SumRange(dice);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["blocks"] = double(chunked.counter().blocks_read());
+  state.counters["chunks"] = double(chunks);
+}
+BENCHMARK(BM_ChunkedDice);
+
+void BM_AdvisedVsSymmetricChunks(benchmark::State& state) {
+  // §6.4's non-symmetric partitioning: queries are skewed 32x2x2 slabs;
+  // arg 0 selects symmetric 8^3 chunks, arg 1 the advisor's query-shaped
+  // chunks of the same volume.
+  bool advised = state.range(0) == 1;
+  std::vector<size_t> shape = {kSide, kSide, kSide};
+  std::vector<size_t> qshape = {32, 2, 2};
+  std::vector<size_t> cshape =
+      advised ? AdviseChunkShape(shape, qshape, 512)
+              : std::vector<size_t>{8, 8, 8};
+  ChunkedArray chunked(shape, cshape);
+  Rng fill(5);
+  std::vector<size_t> c(3);
+  for (c[0] = 0; c[0] < kSide; ++c[0])
+    for (c[1] = 0; c[1] < kSide; ++c[1])
+      for (c[2] = 0; c[2] < kSide; ++c[2])
+        (void)chunked.Set(c, double(fill.Uniform(100)));
+  Rng rng(7);
+  for (auto _ : state) {
+    chunked.counter().Reset();
+    std::vector<DimRange> q(3);
+    for (size_t i = 0; i < 3; ++i) {
+      size_t lo = rng.Uniform(kSide - qshape[i]);
+      q[i] = {lo, lo + qshape[i]};
+    }
+    double v = *chunked.SumRange(q);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["blocks"] = double(chunked.counter().blocks_read());
+}
+BENCHMARK(BM_AdvisedVsSymmetricChunks)->Arg(0)->Arg(1);
+
+void BM_ChunkSizeSweep(benchmark::State& state) {
+  // The one parameter of symmetric partitioning: the subcube side. Too
+  // small -> many chunks touched; too large -> too much read per chunk.
+  size_t side = size_t(state.range(0));
+  ChunkedArray chunked({kSide, kSide, kSide}, {side, side, side});
+  Rng fill(5);
+  std::vector<size_t> c(3);
+  for (c[0] = 0; c[0] < kSide; ++c[0])
+    for (c[1] = 0; c[1] < kSide; ++c[1])
+      for (c[2] = 0; c[2] < kSide; ++c[2])
+        (void)chunked.Set(c, double(fill.Uniform(100)));
+  Rng rng(7);
+  for (auto _ : state) {
+    chunked.counter().Reset();
+    auto dice = SmallDice(&rng);
+    double v = *chunked.SumRange(dice);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["blocks"] = double(chunked.counter().blocks_read());
+}
+BENCHMARK(BM_ChunkSizeSweep)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace statcube
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// Experiment C2 (paper §7 — privacy). Claims: the tracker [DS80]
+// compromises a size-restricted database in a handful of legal queries;
+// each defense trades something — output noise buys privacy at accuracy
+// cost (error grows with noise), overlap control eventually refuses
+// everything, suppression removes cells.
+//
+// Counters: queries_per_secret, attack_error, refusal_rate, suppressed.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "statcube/privacy/protected_db.h"
+#include "statcube/privacy/suppression.h"
+#include "statcube/privacy/tracker.h"
+#include "statcube/relational/aggregate.h"
+#include "statcube/workload/hmo.h"
+
+namespace statcube {
+namespace {
+
+Table MakeMicro() {
+  HmoOptions opt;
+  opt.num_visits = 3000;
+  Table t = *MakeHmoMicroData(opt);
+  // Plant a unique individual.
+  t.mutable_rows()[0][0] = Value("unique_patient");
+  t.mutable_rows()[0][4] = Value(424242);
+  return t;
+}
+
+void BM_TrackerAttack(benchmark::State& state) {
+  Table micro = MakeMicro();
+  auto target =
+      expr::ColumnEq(micro.schema(), "patient", Value("unique_patient"));
+  double recovered = 0;
+  uint64_t queries = 0;
+  for (auto _ : state) {
+    ProtectedDatabase db(micro, {.min_query_set_size = 10});
+    auto male = expr::ColumnEq(micro.schema(), "hospital", Value("hosp0"));
+    GeneralTracker t{*male, expr::Not(*male), "hospital = hosp0"};
+    TrackerAttack attack(&db, t);
+    recovered = *attack.Sum("cost", *target);
+    queries = attack.queries_used();
+    benchmark::DoNotOptimize(recovered);
+  }
+  state.counters["queries_per_secret"] = double(queries);
+  state.counters["attack_error"] = std::abs(recovered - 424242.0);
+}
+BENCHMARK(BM_TrackerAttack);
+
+void BM_TrackerUnderNoise(benchmark::State& state) {
+  double noise = double(state.range(0));
+  Table micro = MakeMicro();
+  auto target =
+      expr::ColumnEq(micro.schema(), "patient", Value("unique_patient"));
+  double err_sum = 0;
+  int trials = 0;
+  for (auto _ : state) {
+    ProtectedDatabase db(micro, {.min_query_set_size = 10,
+                                 .output_noise_stddev = noise,
+                                 .seed = uint64_t(trials) + 1});
+    auto male = expr::ColumnEq(micro.schema(), "hospital", Value("hosp0"));
+    GeneralTracker t{*male, expr::Not(*male), "hospital = hosp0"};
+    TrackerAttack attack(&db, t);
+    double v = *attack.Sum("cost", *target);
+    err_sum += std::abs(v - 424242.0);
+    ++trials;
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["attack_error"] = err_sum / double(trials);
+}
+BENCHMARK(BM_TrackerUnderNoise)->Arg(0)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_OverlapControlDegradation(benchmark::State& state) {
+  // How quickly does overlap control exhaust the database? Issue random
+  // hospital/disease queries until refused.
+  Table micro = MakeMicro();
+  uint64_t answered = 0, refused = 0;
+  for (auto _ : state) {
+    ProtectedDatabase db(micro,
+                         {.min_query_set_size = 10,
+                          .max_overlap = size_t(state.range(0))});
+    for (int h = 0; h < 6; ++h) {
+      for (int m = 0; m < 6; ++m) {
+        auto pred = expr::And(
+            {*expr::ColumnEq(micro.schema(), "hospital",
+                             Value("hosp" + std::to_string(h))),
+             *expr::ColumnEq(micro.schema(), "month",
+                             Value("1996-" + std::to_string(1 + m)))});
+        (void)db.Query(AggFn::kAvg, "cost", pred);
+      }
+    }
+    // And the big overlapping queries that a tracker would need:
+    for (int h = 0; h < 6; ++h) {
+      auto pred = expr::ColumnEq(micro.schema(), "hospital",
+                                 Value("hosp" + std::to_string(h)));
+      (void)db.Query(AggFn::kAvg, "cost", *pred);
+    }
+    answered = db.queries_answered();
+    refused = db.queries_refused();
+  }
+  state.counters["refusal_rate"] =
+      double(refused) / double(answered + refused);
+}
+BENCHMARK(BM_OverlapControlDegradation)->Arg(5)->Arg(50)->Arg(500);
+
+void BM_CellSuppression(benchmark::State& state) {
+  // Suppression volume as the threshold rises.
+  HmoOptions opt;
+  opt.num_visits = 3000;
+  auto obj = MakeHmoWorkload(opt);
+  const Table& macro = obj->data();
+  size_t primary = 0, secondary = 0;
+  for (auto _ : state) {
+    auto r = SuppressCells(macro, {"disease", "hospital", "month"}, "visits",
+                           {"cost", "visits"},
+                           {.count_threshold = state.range(0)});
+    primary = r->primary.size();
+    secondary = r->secondary.size();
+    benchmark::DoNotOptimize(r->published.num_rows());
+  }
+  state.counters["suppressed_primary"] = double(primary);
+  state.counters["suppressed_secondary"] = double(secondary);
+  state.counters["cells"] = double(macro.num_rows());
+}
+BENCHMARK(BM_CellSuppression)->Arg(2)->Arg(5)->Arg(10);
+
+}  // namespace
+}  // namespace statcube
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Experiment C1 (paper §6.6 — the ROLAP vs MOLAP debate, substantiated by
+// [ZDN97]) and F10 (the §4.3 observation that the relational layout stores
+// the entire cross product redundantly).
+// Claims: MOLAP wins aggregation when the cube is dense (arithmetic
+// addressing, sequential slabs); ROLAP's storage does not blow up when the
+// cube is sparse, while the dense array pays for every empty cell. The
+// density sweep shows the crossover.
+//
+// Counters: molap_bytes, rolap_bytes, density.
+
+#include <benchmark/benchmark.h>
+
+#include "statcube/olap/molap_cube.h"
+#include "statcube/workload/retail.h"
+
+namespace statcube {
+namespace {
+
+// Density is controlled by the ratio of fact rows to cross-product cells.
+RetailData MakeWithDensity(int rows) {
+  RetailOptions opt;
+  opt.num_products = 50;
+  opt.num_stores = 10;
+  opt.num_days = 60;  // 30k cells
+  opt.num_rows = rows;
+  opt.seed = 11;
+  return *MakeRetailWorkload(opt);
+}
+
+void BM_MolapAggregate(benchmark::State& state) {
+  RetailData data = MakeWithDensity(int(state.range(0)));
+  auto cube = MolapCube::Build(data.object, "amount");
+  int i = 0;
+  for (auto _ : state) {
+    double v = *cube->SumWhere(
+        {{"product", Value("prod" + std::to_string(i % 50))}});
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+  state.counters["density"] = cube->density();
+  state.counters["molap_bytes"] = double(cube->ByteSize());
+  state.counters["rolap_bytes"] = double(data.star.ByteSize());
+}
+BENCHMARK(BM_MolapAggregate)->Arg(1000)->Arg(10000)->Arg(60000);
+
+void BM_RolapAggregate(benchmark::State& state) {
+  RetailData data = MakeWithDensity(int(state.range(0)));
+  int i = 0;
+  for (auto _ : state) {
+    auto g = data.star.Aggregate({"product"},
+                                 {{AggFn::kSum, "amount", "revenue"}},
+                                 {});
+    benchmark::DoNotOptimize(g->num_rows());
+    ++i;
+  }
+  state.counters["rolap_bytes"] = double(data.star.ByteSize());
+}
+BENCHMARK(BM_RolapAggregate)->Arg(1000)->Arg(10000)->Arg(60000);
+
+void BM_MolapGroupByCity(benchmark::State& state) {
+  // A hierarchy-level aggregate: MOLAP answers per-store slabs then folds
+  // stores into cities via the (small) dimension metadata.
+  RetailData data = MakeWithDensity(20000);
+  auto cube = MolapCube::Build(data.object, "amount");
+  const Dimension* store_dim = *data.object.DimensionNamed("store");
+  const auto& geo = store_dim->hierarchies()[0];
+  for (auto _ : state) {
+    double total = 0;
+    for (const Value& city : geo.ValuesAt(1)) {
+      double city_sum = 0;
+      for (const Value& store : geo.Children(1, city))
+        city_sum += *cube->SumWhere({{"store", store}});
+      total += city_sum;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_MolapGroupByCity);
+
+void BM_RolapGroupByCity(benchmark::State& state) {
+  // The ROLAP route: join fact to the store dimension table, group by city.
+  RetailData data = MakeWithDensity(20000);
+  for (auto _ : state) {
+    auto g =
+        data.star.Aggregate({"city"}, {{AggFn::kSum, "amount", "revenue"}});
+    benchmark::DoNotOptimize(g->num_rows());
+  }
+}
+BENCHMARK(BM_RolapGroupByCity);
+
+void BM_CrossProductWaste(benchmark::State& state) {
+  // F10: the flat relational table repeats category values per row; the
+  // star schema normalizes them; MOLAP stores them once.
+  RetailData data = MakeWithDensity(int(state.range(0)));
+  auto cube = MolapCube::Build(data.object, "amount");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data.flat.ByteSize());
+  }
+  state.counters["flat_bytes"] = double(data.flat.ByteSize());
+  state.counters["star_bytes"] = double(data.star.ByteSize());
+  state.counters["molap_bytes"] = double(cube->ByteSize());
+}
+BENCHMARK(BM_CrossProductWaste)->Arg(10000)->Arg(60000);
+
+}  // namespace
+}  // namespace statcube
+
+BENCHMARK_MAIN();

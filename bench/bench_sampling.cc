@@ -1,0 +1,75 @@
+// Experiment C3 (paper §5.6 — [OR95] sampling). Claim: "it is very
+// inefficient to extract large collections of data from the database system,
+// only to sample the collection outside the system" — in-engine sampling
+// touches O(sample) or one streaming pass; extract-then-sample materializes
+// everything first. Rank-based B+-tree sampling doesn't even scan.
+//
+// Counters: rows_materialized.
+
+#include <benchmark/benchmark.h>
+
+#include "statcube/sampling/sampling.h"
+#include "statcube/workload/census.h"
+
+namespace statcube {
+namespace {
+
+const Table& Micro() {
+  static Table t = *MakeCensusMicroData(200000, {});
+  return t;
+}
+
+void BM_ExtractThenSample(benchmark::State& state) {
+  // The statistical-package route: copy the whole relation out of the
+  // "engine", then sample the extract.
+  const Table& t = Micro();
+  for (auto _ : state) {
+    Table extracted(t.name(), t.schema());
+    for (const Row& r : t.rows()) extracted.AppendRowUnchecked(r);
+    Table sample = ReservoirSample(extracted, 1000, 3);
+    benchmark::DoNotOptimize(sample.num_rows());
+  }
+  state.counters["rows_materialized"] = double(Micro().num_rows() + 1000);
+}
+BENCHMARK(BM_ExtractThenSample);
+
+void BM_InEngineReservoir(benchmark::State& state) {
+  // One streaming pass, only the reservoir materialized.
+  const Table& t = Micro();
+  for (auto _ : state) {
+    Table sample = ReservoirSample(t, 1000, 3);
+    benchmark::DoNotOptimize(sample.num_rows());
+  }
+  state.counters["rows_materialized"] = 1000.0;
+}
+BENCHMARK(BM_InEngineReservoir);
+
+void BM_InEngineBernoulli(benchmark::State& state) {
+  const Table& t = Micro();
+  for (auto _ : state) {
+    auto sample = BernoulliSample(t, 0.005, 3);
+    benchmark::DoNotOptimize(sample->num_rows());
+  }
+}
+BENCHMARK(BM_InEngineBernoulli);
+
+void BM_BTreeRankSample(benchmark::State& state) {
+  // Index-assisted: O(k log n) rank selections, no scan at all.
+  static BPlusTree<uint64_t, uint64_t>* tree = [] {
+    auto* t = new BPlusTree<uint64_t, uint64_t>();
+    for (uint64_t i = 0; i < 200000; ++i) t->Insert(i * 2654435761u, i);
+    return t;
+  }();
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto sample = BTreeSample(*tree, 1000, seed++);
+    benchmark::DoNotOptimize(sample.size());
+  }
+  state.counters["rows_materialized"] = 1000.0;
+}
+BENCHMARK(BM_BTreeRankSample);
+
+}  // namespace
+}  // namespace statcube
+
+BENCHMARK_MAIN();

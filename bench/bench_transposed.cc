@@ -1,0 +1,83 @@
+// Experiment F18 (paper §6.1, Figure 18 — [THC79] transposed files).
+// Claim: summary queries over a few columns read far fewer blocks from a
+// transposed (column) file than from a row file; the penalty is whole-row
+// retrieval, which touches every column file.
+//
+// Counters: blocks = logical blocks touched per op (the paper's currency).
+
+#include <benchmark/benchmark.h>
+
+#include "statcube/storage/stores.h"
+#include "statcube/workload/census.h"
+
+namespace statcube {
+namespace {
+
+Table MakeMicro(int rows) {
+  auto t = MakeCensusMicroData(rows, {});
+  return *std::move(t);
+}
+
+void BM_RowFileSummaryScan(benchmark::State& state) {
+  Table t = MakeMicro(int(state.range(0)));
+  RowFileStore store(t);
+  std::vector<EqFilter> filters = {{"sex", Value("F")}};
+  double sum = 0;
+  for (auto _ : state) {
+    store.counter().Reset();
+    sum = *store.SumWhere(filters, "income");
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["blocks"] = double(store.counter().blocks_read());
+  state.counters["bytes"] = double(store.counter().bytes_read());
+}
+BENCHMARK(BM_RowFileSummaryScan)->Arg(10000)->Arg(100000);
+
+void BM_TransposedSummaryScan(benchmark::State& state) {
+  Table t = MakeMicro(int(state.range(0)));
+  TransposedStore store(t);
+  std::vector<EqFilter> filters = {{"sex", Value("F")}};
+  double sum = 0;
+  for (auto _ : state) {
+    store.counter().Reset();
+    sum = *store.SumWhere(filters, "income");
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["blocks"] = double(store.counter().blocks_read());
+  state.counters["bytes"] = double(store.counter().bytes_read());
+}
+BENCHMARK(BM_TransposedSummaryScan)->Arg(10000)->Arg(100000);
+
+void BM_RowFileRowFetch(benchmark::State& state) {
+  Table t = MakeMicro(100000);
+  RowFileStore store(t);
+  size_t i = 0;
+  for (auto _ : state) {
+    store.counter().Reset();
+    auto row = store.GetRow(i);
+    benchmark::DoNotOptimize(row);
+    i = (i + 7919) % 100000;
+  }
+  state.counters["blocks_per_row"] = double(store.counter().blocks_read());
+}
+BENCHMARK(BM_RowFileRowFetch);
+
+void BM_TransposedRowFetch(benchmark::State& state) {
+  Table t = MakeMicro(100000);
+  TransposedStore store(t);
+  size_t i = 0;
+  for (auto _ : state) {
+    store.counter().Reset();
+    auto row = store.GetRow(i);
+    benchmark::DoNotOptimize(row);
+    i = (i + 7919) % 100000;
+  }
+  // The transposed-file penalty: one block per column file.
+  state.counters["blocks_per_row"] = double(store.counter().blocks_read());
+}
+BENCHMARK(BM_TransposedRowFetch);
+
+}  // namespace
+}  // namespace statcube
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Interactive query console driving the concise query language of §5.1.
+// With no arguments it queries the built-in retail statistical object; pass
+// a path to a file written by ExportObject (statcube/io/csv.h) to query your
+// own data. Reads queries from stdin; with no piped input it runs a
+// scripted demo. Commands: \d describes the object, \e exports it, \q quits.
+//
+// Run: ./build/examples/olap_cli [object-file]
+//      echo "SELECT sum(amount) BY city" | ./build/examples/olap_cli
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "statcube/io/csv.h"
+#include "statcube/query/parser.h"
+#include "statcube/workload/retail.h"
+
+using namespace statcube;
+
+namespace {
+
+void Execute(const StatisticalObject& obj, const std::string& text) {
+  auto result = Query(obj, text);
+  if (!result.ok()) {
+    printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  printf("%s\n", result->ToString(25).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StatisticalObject obj;
+  if (argc > 1) {
+    std::ifstream f(argv[1]);
+    if (!f) {
+      fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << f.rdbuf();
+    auto imported = ImportObject(buf.str());
+    if (!imported.ok()) {
+      fprintf(stderr, "%s\n", imported.status().ToString().c_str());
+      return 1;
+    }
+    obj = std::move(imported).value();
+  } else {
+    RetailOptions opt;
+    opt.num_products = 12;
+    opt.num_stores = 6;
+    opt.num_cities = 3;
+    opt.num_days = 20;
+    opt.num_rows = 4000;
+    auto data = MakeRetailWorkload(opt);
+    if (!data.ok()) {
+      fprintf(stderr, "%s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    obj = std::move(data->object);
+  }
+  printf("%s\n", obj.DescribeStructure().c_str());
+  printf("Query language: SELECT fn(measure)[, ...] [BY dims | BY CUBE(dims)]"
+         " [WHERE attr = literal [AND ...]]\n"
+         "Hierarchy levels (category, price_range, city, month, year) roll"
+         " up automatically.\n\n");
+
+  std::string line;
+  bool interactive = false;
+  if (std::getline(std::cin, line)) {
+    interactive = true;
+    do {
+      if (line == "\\q") break;
+      if (line == "\\d") {
+        printf("%s\n", obj.DescribeStructure().c_str());
+        continue;
+      }
+      if (line == "\\e") {
+        printf("%s", ExportObject(obj).c_str());
+        continue;
+      }
+      if (line.empty()) continue;
+      Execute(obj, line);
+    } while (std::getline(std::cin, line));
+  }
+
+  if (!interactive) {
+    const char* demo[] = {
+        "SELECT sum(amount) BY city",
+        "SELECT sum(qty), avg(amount) BY category",
+        "SELECT sum(amount) BY month WHERE city = 'city1'",
+        "SELECT sum(amount) BY CUBE(city, month)",
+        "SELECT count() WHERE price_range = 'premium'",
+    };
+    for (const char* q : demo) {
+      printf("statcube> %s\n", q);
+      Execute(obj, q);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Quickstart: build a statistical object (the paper's Figure 1 dataset),
+// inspect its structure, render it as a 2-D statistical table, and run the
+// S-operators / OLAP operators on it — ending with the automatic-aggregation
+// query of Figure 13.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "statcube/core/statistical_object.h"
+#include "statcube/core/table_render.h"
+#include "statcube/olap/auto_aggregate.h"
+#include "statcube/olap/operators.h"
+
+using namespace statcube;
+
+int main() {
+  // --- 1. Declare the statistical object ---------------------------------
+  // Summary measure: employment; dimensions: sex, year, profession;
+  // classification hierarchy: professional class --> profession.
+  StatisticalObject obj("employment_in_california");
+  (void)obj.AddDimension(Dimension("sex"));
+  (void)obj.AddDimension(Dimension("year", DimensionKind::kTemporal));
+
+  Dimension prof("profession");
+  ClassificationHierarchy h("by_class", {"profession", "professional_class"});
+  (void)h.Link(0, Value("chemical engineer"), Value("engineer"));
+  (void)h.Link(0, Value("civil engineer"), Value("engineer"));
+  (void)h.Link(0, Value("junior secretary"), Value("secretary"));
+  (void)h.Link(0, Value("executive secretary"), Value("secretary"));
+  (void)h.Link(0, Value("elementary teacher"), Value("teacher"));
+  (void)h.Link(0, Value("high school teacher"), Value("teacher"));
+  h.DeclareComplete(0, "employment");  // professions exhaust each class
+  prof.AddHierarchy(h);
+  (void)obj.AddDimension(prof);
+
+  (void)obj.AddMeasure(
+      {"employment", "", MeasureType::kStock, AggFn::kSum, ""});
+
+  // --- 2. Load cells (the numbers of Figure 1, abbreviated) --------------
+  struct CellSpec {
+    const char* sex;
+    int year;
+    const char* prof;
+    int employment;
+  };
+  const CellSpec cells[] = {
+      {"M", 1991, "chemical engineer", 197700},
+      {"M", 1991, "civil engineer", 241100},
+      {"M", 1991, "junior secretary", 534300},
+      {"M", 1991, "executive secretary", 154100},
+      {"M", 1991, "elementary teacher", 212943},
+      {"M", 1991, "high school teacher", 123740},
+      {"M", 1992, "chemical engineer", 209900},
+      {"M", 1992, "civil engineer", 278000},
+      {"M", 1992, "junior secretary", 542100},
+      {"M", 1992, "executive secretary", 169800},
+      {"M", 1992, "elementary teacher", 213521},
+      {"M", 1992, "high school teacher", 145766},
+      {"F", 1991, "chemical engineer", 25800},
+      {"F", 1991, "civil engineer", 112000},
+      {"F", 1991, "junior secretary", 667300},
+      {"F", 1991, "executive secretary", 162300},
+      {"F", 1991, "elementary teacher", 216071},
+      {"F", 1991, "high school teacher", 275123},
+      {"F", 1992, "chemical engineer", 28900},
+      {"F", 1992, "civil engineer", 127600},
+      {"F", 1992, "junior secretary", 692500},
+      {"F", 1992, "executive secretary", 174400},
+      {"F", 1992, "elementary teacher", 217520},
+      {"F", 1992, "high school teacher", 299344},
+  };
+  for (const auto& c : cells)
+    (void)obj.AddCell({Value(c.sex), Value(c.year), Value(c.prof)},
+                      {Value(c.employment)});
+
+  // --- 3. Inspect --------------------------------------------------------
+  printf("%s\n", obj.DescribeStructure().c_str());
+
+  Render2DOptions opt;
+  opt.row_dims = {"sex", "year"};
+  opt.col_dims = {"profession"};
+  opt.measure = "employment";
+  opt.nest_hierarchy = "by_class";
+  opt.marginals = true;
+  auto table = Render2D(obj, opt);
+  printf("%s\n", table.ok() ? table->c_str() : table.status().ToString().c_str());
+
+  // --- 4. Operate ---------------------------------------------------------
+  // Roll up to professional class (S-aggregation / OLAP roll-up).
+  auto by_class = SAggregate(obj, "profession", "by_class", 1);
+  if (by_class.ok()) {
+    printf("After roll-up to professional class:\n%s\n",
+           by_class->data().ToString(10).c_str());
+  }
+
+  // Dice: keep only the engineers of 1992.
+  auto diced = Dice(obj, {{"year", {Value(1992)}},
+                          {"profession",
+                           {Value("chemical engineer"), Value("civil engineer")}}});
+  if (diced.ok()) {
+    printf("Dice (1992 engineers): %zu cells\n\n", diced->data().num_rows());
+  }
+
+  // Slice (S-project) over sex — refused? No: employment is a stock but sex
+  // is not temporal, so summing is fine.
+  auto no_sex = SProject(obj, "sex");
+  if (no_sex.ok()) {
+    printf("After summarizing over sex: %zu cells\n\n",
+           no_sex->data().num_rows());
+  }
+
+  // ... but summing the headcount over *years* is refused:
+  auto over_years = SProject(obj, "year");
+  printf("S-project over year -> %s\n\n",
+         over_years.status().ToString().c_str());
+
+  // --- 5. Automatic aggregation (Figure 13) ------------------------------
+  AutoQuery q;
+  q.selections = {{"year", Value(1992)},
+                  {"professional_class", Value("engineer")}};
+  q.measure = "employment";
+  auto r = AutoAggregate(obj, q);
+  if (r.ok()) {
+    printf("Query: employment of engineers in 1992\n");
+    for (const auto& step : r->inferred_steps)
+      printf("  inferred: %s\n", step.c_str());
+    printf("  answer: %s\n", r->value.ToString().c_str());
+  }
+  return 0;
+}

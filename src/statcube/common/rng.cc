@@ -1,0 +1,40 @@
+#include "statcube/common/rng.h"
+
+#include <cmath>
+
+namespace statcube {
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Box–Muller; draw two uniforms per call.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  if (n == 0) return 0;
+  if (theta <= 0.0) return Uniform(n);
+  // Gray et al. approximation: invert the continuous Zipf CDF.
+  double alpha = 1.0 / (1.0 - theta);
+  double zetan = 0.0;
+  // For small n compute zeta exactly; for large n approximate with the
+  // integral, which is accurate enough for workload skew purposes.
+  if (n <= 10000) {
+    for (uint64_t i = 1; i <= n; ++i) zetan += 1.0 / std::pow(double(i), theta);
+  } else {
+    zetan = (std::pow(double(n), 1.0 - theta) - 1.0) / (1.0 - theta) + 0.5772;
+  }
+  double eta = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+               (1.0 - (1.0 / std::pow(2.0, theta) + 0.5 / std::pow(2.0, theta)) / zetan);
+  double u = NextDouble();
+  double uz = u * zetan;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  uint64_t r = static_cast<uint64_t>(
+      double(n) * std::pow(eta * u - eta + 1.0, alpha));
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace statcube

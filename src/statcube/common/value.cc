@@ -1,0 +1,123 @@
+#include "statcube/common/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace statcube {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kAll:
+      return "ALL";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kAll:
+      return "ALL";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(repr_));
+    case ValueType::kDouble: {
+      char buf[64];
+      double d = std::get<double>(repr_);
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        snprintf(buf, sizeof(buf), "%.1f", d);
+      } else {
+        snprintf(buf, sizeof(buf), "%.6g", d);
+      }
+      return buf;
+    }
+    case ValueType::kString:
+      return std::get<std::string>(repr_);
+  }
+  return "?";
+}
+
+namespace {
+
+// Rank in the cross-type total order: NULL < numeric < string < ALL.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 1;
+    case ValueType::kString:
+      return 2;
+    case ValueType::kAll:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& a, const Value& b) {
+  int ra = TypeRank(a.type()), rb = TypeRank(b.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:  // both NULL
+    case 3:  // both ALL
+      return 0;
+    case 1: {  // numeric: compare exactly when both int64, else as double
+      if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+        int64_t x = a.AsInt64(), y = b.AsInt64();
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      double x = a.AsDouble(), y = b.AsDouble();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    default: {  // string
+      const std::string& x = a.AsString();
+      const std::string& y = b.AsString();
+      int c = x.compare(y);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kAll:
+      return 0xa0761d6478bd642fULL;
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      // Hash int64 and integral doubles identically so that equal values
+      // hash equally across representations.
+      double d = AsDouble();
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        int64_t i = static_cast<int64_t>(d);
+        uint64_t x = static_cast<uint64_t>(i) * 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        return static_cast<size_t>(x);
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(d));
+      bits *= 0xc4ceb9fe1a85ec53ULL;
+      bits ^= bits >> 33;
+      return static_cast<size_t>(bits);
+    }
+    case ValueType::kString: {
+      return std::hash<std::string>{}(AsString());
+    }
+  }
+  return 0;
+}
+
+}  // namespace statcube

@@ -1,0 +1,114 @@
+#include "statcube/core/catalog.h"
+
+#include <set>
+
+namespace statcube {
+
+Status Catalog::RegisterMicroData(const std::string& name, Table table) {
+  if (Contains(name)) return Status::AlreadyExists("dataset '" + name + "'");
+  micro_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::RegisterObject(const std::string& name,
+                               StatisticalObject object) {
+  if (Contains(name)) return Status::AlreadyExists("dataset '" + name + "'");
+  objects_.emplace(name, std::move(object));
+  return Status::OK();
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return micro_.count(name) > 0 || objects_.count(name) > 0;
+}
+
+Status Catalog::RecordDerivation(Derivation derivation) {
+  if (!Contains(derivation.target))
+    return Status::NotFound("target '" + derivation.target +
+                            "' is not registered");
+  if (derivation.sources.empty())
+    return Status::InvalidArgument("derivation needs at least one source");
+  for (const auto& s : derivation.sources) {
+    if (!Contains(s))
+      return Status::NotFound("source '" + s + "' is not registered");
+    if (s == derivation.target)
+      return Status::InvalidArgument("dataset cannot derive from itself");
+  }
+  if (derivation.method.empty())
+    return Status::InvalidArgument(
+        "derivation must name its method — undocumented analyst "
+        "calculations are the §5.7 failure mode");
+  derivations_.push_back(std::move(derivation));
+  return Status::OK();
+}
+
+Result<const Table*> Catalog::MicroData(const std::string& name) const {
+  auto it = micro_.find(name);
+  if (it == micro_.end())
+    return Status::NotFound("no micro-data named '" + name + "'");
+  return &it->second;
+}
+
+Result<const StatisticalObject*> Catalog::Object(
+    const std::string& name) const {
+  auto it = objects_.find(name);
+  if (it == objects_.end())
+    return Status::NotFound("no statistical object named '" + name + "'");
+  return &it->second;
+}
+
+std::vector<Derivation> Catalog::DerivationsOf(const std::string& name) const {
+  std::vector<Derivation> out;
+  for (const auto& d : derivations_)
+    if (d.target == name) out.push_back(d);
+  return out;
+}
+
+Result<std::vector<Derivation>> Catalog::Lineage(
+    const std::string& name) const {
+  if (!Contains(name))
+    return Status::NotFound("no dataset named '" + name + "'");
+  std::vector<Derivation> out;
+  std::set<std::string> visited;
+  std::vector<std::string> stack = {name};
+  while (!stack.empty()) {
+    std::string cur = stack.back();
+    stack.pop_back();
+    if (!visited.insert(cur).second) continue;
+    for (const auto& d : derivations_) {
+      if (d.target != cur) continue;
+      out.push_back(d);
+      for (const auto& s : d.sources) stack.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Catalog::Dependents(const std::string& name) const {
+  std::set<std::string> out;
+  std::vector<std::string> stack = {name};
+  while (!stack.empty()) {
+    std::string cur = stack.back();
+    stack.pop_back();
+    for (const auto& d : derivations_) {
+      for (const auto& s : d.sources) {
+        if (s == cur && out.insert(d.target).second)
+          stack.push_back(d.target);
+      }
+    }
+  }
+  return std::vector<std::string>(out.begin(), out.end());
+}
+
+std::vector<std::string> Catalog::ListMicro() const {
+  std::vector<std::string> out;
+  for (const auto& [n, t] : micro_) out.push_back(n);
+  return out;
+}
+
+std::vector<std::string> Catalog::ListObjects() const {
+  std::vector<std::string> out;
+  for (const auto& [n, o] : objects_) out.push_back(n);
+  return out;
+}
+
+}  // namespace statcube

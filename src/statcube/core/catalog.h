@@ -1,0 +1,76 @@
+// Catalog of micro-data, macro-data, and metadata (paper §3.3.3).
+//
+// The paper distinguishes the micro-data (original individual records), the
+// macro-data (summarized statistical objects derived from them), and the
+// metadata (the classification structures, "often managed by specialized
+// systems"). §5.7 adds that when summaries are integrated across sources,
+// "the 'metadata' of the methods used to perform integrated summaries need
+// to be maintained as part of the database" — analysts' undocumented
+// interpolations are exactly what goes wrong.
+//
+// The Catalog keeps all three: registered micro tables, registered
+// statistical objects, derivation edges (what was summarized/rolled
+// up/merged from what, by which method), and named method descriptions.
+
+#ifndef STATCUBE_CORE_CATALOG_H_
+#define STATCUBE_CORE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/core/statistical_object.h"
+
+namespace statcube {
+
+/// How one dataset was derived from others.
+struct Derivation {
+  std::string target;                ///< derived dataset name
+  std::vector<std::string> sources;  ///< source dataset names
+  std::string method;  ///< e.g. "group-by sum", "uniform interpolation
+                       ///< over age boundaries", "roll-up geo to state"
+};
+
+/// Registry of datasets and their provenance.
+class Catalog {
+ public:
+  /// Registers micro-data under a unique name.
+  Status RegisterMicroData(const std::string& name, Table table);
+
+  /// Registers a statistical object (macro-data) under a unique name.
+  Status RegisterObject(const std::string& name, StatisticalObject object);
+
+  /// Records how `target` was derived. Every source and the target must be
+  /// registered (micro or macro).
+  Status RecordDerivation(Derivation derivation);
+
+  /// Looks up registered datasets.
+  Result<const Table*> MicroData(const std::string& name) const;
+  Result<const StatisticalObject*> Object(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  /// Immediate provenance of a dataset (empty for base data).
+  std::vector<Derivation> DerivationsOf(const std::string& name) const;
+
+  /// Full lineage: every (transitively) contributing dataset name, with the
+  /// methods along the way, in dependency order.
+  Result<std::vector<Derivation>> Lineage(const std::string& name) const;
+
+  /// Datasets (transitively) derived from `name` — what must be refreshed
+  /// when a source changes.
+  std::vector<std::string> Dependents(const std::string& name) const;
+
+  /// All registered names, micro then macro, each sorted.
+  std::vector<std::string> ListMicro() const;
+  std::vector<std::string> ListObjects() const;
+
+ private:
+  std::map<std::string, Table> micro_;
+  std::map<std::string, StatisticalObject> objects_;
+  std::vector<Derivation> derivations_;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_CORE_CATALOG_H_

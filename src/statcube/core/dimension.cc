@@ -1,0 +1,17 @@
+#include "statcube/core/dimension.h"
+
+namespace statcube {
+
+const char* DimensionKindName(DimensionKind k) {
+  switch (k) {
+    case DimensionKind::kCategorical:
+      return "categorical";
+    case DimensionKind::kTemporal:
+      return "temporal";
+    case DimensionKind::kSpatial:
+      return "spatial";
+  }
+  return "?";
+}
+
+}  // namespace statcube

@@ -1,0 +1,110 @@
+// Dimensions (category attributes) of a statistical object.
+//
+// A dimension owns its leaf category values and zero or more classification
+// hierarchies over them. §3.2 notes "multiple classifications over the same
+// dimension" (products by type OR by price range; stocks by industry OR by
+// rating) — hence a vector of hierarchies, each rooted at this dimension's
+// leaf values.
+
+#ifndef STATCUBE_CORE_DIMENSION_H_
+#define STATCUBE_CORE_DIMENSION_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/common/value.h"
+#include "statcube/core/classification.h"
+
+namespace statcube {
+
+/// Kind of dimension — drives the measure-type compatibility check (time)
+/// and is descriptive for spatial/geographic dimensions, which the paper
+/// singles out as the SDB emphasis (§3.1).
+enum class DimensionKind { kCategorical, kTemporal, kSpatial };
+
+/// Name of a dimension kind.
+const char* DimensionKindName(DimensionKind k);
+
+/// One dimension of the multidimensional space.
+class Dimension {
+ public:
+  Dimension() = default;
+  Dimension(std::string name, DimensionKind kind = DimensionKind::kCategorical)
+      : name_(std::move(name)), kind_(kind) {}
+
+  const std::string& name() const { return name_; }
+  DimensionKind kind() const { return kind_; }
+  bool is_temporal() const { return kind_ == DimensionKind::kTemporal; }
+
+  /// Registers a leaf category value (idempotent, keeps insertion order).
+  void AddValue(const Value& v) {
+    for (const Value& e : values_)
+      if (e == v) return;
+    values_.push_back(v);
+  }
+
+  const std::vector<Value>& values() const { return values_; }
+  size_t cardinality() const { return values_.size(); }
+
+  /// Drops the registered leaf values (used when an operator re-derives a
+  /// dimension whose value set changed, e.g. S-select or roll-up).
+  void ClearValues() { values_.clear(); }
+
+  /// Attaches a classification hierarchy whose leaf level classifies this
+  /// dimension's values. Multiple hierarchies = multiple classifications
+  /// over the same dimension.
+  void AddHierarchy(ClassificationHierarchy h) {
+    hierarchies_.push_back(std::move(h));
+  }
+
+  const std::vector<ClassificationHierarchy>& hierarchies() const {
+    return hierarchies_;
+  }
+  std::vector<ClassificationHierarchy>& mutable_hierarchies() {
+    return hierarchies_;
+  }
+
+  /// Finds a hierarchy by name.
+  Result<const ClassificationHierarchy*> HierarchyNamed(
+      const std::string& name) const {
+    for (const auto& h : hierarchies_)
+      if (h.name() == name) return &h;
+    return Status::NotFound("dimension '" + name_ + "' has no hierarchy '" +
+                            name + "'");
+  }
+
+  /// Finds the hierarchy (and level index) owning a category attribute
+  /// named `level_name`; errors if none or ambiguous across hierarchies.
+  Result<std::pair<const ClassificationHierarchy*, size_t>> LevelNamed(
+      const std::string& level_name) const {
+    const ClassificationHierarchy* found = nullptr;
+    size_t level = 0;
+    for (const auto& h : hierarchies_) {
+      auto idx = h.LevelIndex(level_name);
+      if (idx.ok()) {
+        if (found) {
+          return Status::InvalidArgument("category attribute '" + level_name +
+                                         "' is ambiguous on dimension '" +
+                                         name_ + "'");
+        }
+        found = &h;
+        level = *idx;
+      }
+    }
+    if (!found)
+      return Status::NotFound("no category attribute '" + level_name +
+                              "' on dimension '" + name_ + "'");
+    return std::make_pair(found, level);
+  }
+
+ private:
+  std::string name_;
+  DimensionKind kind_ = DimensionKind::kCategorical;
+  std::vector<Value> values_;
+  std::vector<ClassificationHierarchy> hierarchies_;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_CORE_DIMENSION_H_

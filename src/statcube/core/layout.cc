@@ -1,0 +1,150 @@
+#include "statcube/core/layout.h"
+
+#include <algorithm>
+
+namespace statcube {
+
+Result<Layout2D> Layout2D::Create(const StatisticalObject& obj,
+                                  std::vector<std::string> row_dims,
+                                  std::vector<std::string> col_dims) {
+  if (row_dims.empty() || col_dims.empty())
+    return Status::InvalidArgument("both rows and columns need a dimension");
+  std::vector<std::string> all = row_dims;
+  all.insert(all.end(), col_dims.begin(), col_dims.end());
+  if (all.size() != obj.dimensions().size())
+    return Status::InvalidArgument(
+        "layout must mention every dimension exactly once");
+  for (const auto& d : obj.dimensions()) {
+    if (std::count(all.begin(), all.end(), d.name()) != 1)
+      return Status::InvalidArgument("dimension '" + d.name() +
+                                     "' must appear exactly once");
+  }
+  return Layout2D(std::move(row_dims), std::move(col_dims));
+}
+
+Status Layout2D::MoveToRows(const std::string& dim) {
+  auto it = std::find(cols_.begin(), cols_.end(), dim);
+  if (it == cols_.end())
+    return Status::NotFound("'" + dim + "' is not a column attribute");
+  if (cols_.size() == 1)
+    return Status::InvalidArgument("cannot empty the columns");
+  cols_.erase(it);
+  rows_.push_back(dim);
+  return Status::OK();
+}
+
+Status Layout2D::MoveToColumns(const std::string& dim) {
+  auto it = std::find(rows_.begin(), rows_.end(), dim);
+  if (it == rows_.end())
+    return Status::NotFound("'" + dim + "' is not a row attribute");
+  if (rows_.size() == 1)
+    return Status::InvalidArgument("cannot empty the rows");
+  rows_.erase(it);
+  cols_.push_back(dim);
+  return Status::OK();
+}
+
+void Layout2D::Transpose() { std::swap(rows_, cols_); }
+
+Status Layout2D::CheckPermutation(const std::vector<std::string>& current,
+                                  const std::vector<std::string>& order) {
+  if (order.size() != current.size())
+    return Status::InvalidArgument("reorder must keep the same attributes");
+  for (const auto& a : current)
+    if (std::count(order.begin(), order.end(), a) != 1)
+      return Status::InvalidArgument("reorder must be a permutation ('" + a +
+                                     "' mismatched)");
+  return Status::OK();
+}
+
+Status Layout2D::ReorderRows(std::vector<std::string> order) {
+  STATCUBE_RETURN_NOT_OK(CheckPermutation(rows_, order));
+  rows_ = std::move(order);
+  return Status::OK();
+}
+
+Status Layout2D::ReorderColumns(std::vector<std::string> order) {
+  STATCUBE_RETURN_NOT_OK(CheckPermutation(cols_, order));
+  cols_ = std::move(order);
+  return Status::OK();
+}
+
+Result<std::string> Layout2D::Render(const StatisticalObject& obj,
+                                     const std::string& measure,
+                                     bool marginals) const {
+  Render2DOptions opt;
+  opt.row_dims = rows_;
+  opt.col_dims = cols_;
+  opt.measure = measure;
+  opt.marginals = marginals;
+  return Render2D(obj, opt);
+}
+
+Result<std::map<Value, StatisticalObject>> SplitByValue(
+    const StatisticalObject& obj, const std::string& dim) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t didx, obj.DimensionIndex(dim));
+  size_t nd = obj.dimensions().size();
+  if (nd < 2)
+    return Status::InvalidArgument("cannot split a 1-dimensional object");
+
+  std::map<Value, StatisticalObject> pages;
+  for (const Row& r : obj.data().rows()) {
+    const Value& key = r[didx];
+    auto it = pages.find(key);
+    if (it == pages.end()) {
+      StatisticalObject page(obj.name() + "[" + dim + "=" + key.ToString() +
+                             "]");
+      for (size_t i = 0; i < nd; ++i) {
+        if (i == didx) continue;
+        Dimension d = obj.dimensions()[i];
+        d.ClearValues();
+        STATCUBE_RETURN_NOT_OK(page.AddDimension(std::move(d)));
+      }
+      for (const auto& m : obj.measures())
+        STATCUBE_RETURN_NOT_OK(page.AddMeasure(m));
+      it = pages.emplace(key, std::move(page)).first;
+    }
+    Row coord, mv;
+    for (size_t i = 0; i < nd; ++i)
+      if (i != didx) coord.push_back(r[i]);
+    for (size_t i = nd; i < r.size(); ++i) mv.push_back(r[i]);
+    STATCUBE_RETURN_NOT_OK(it->second.AddCell(coord, mv));
+  }
+  return pages;
+}
+
+Result<StatisticalObject> MergeByValue(
+    const std::map<Value, StatisticalObject>& pages, const std::string& dim) {
+  if (pages.empty()) return Status::InvalidArgument("no pages to merge");
+  const StatisticalObject& first = pages.begin()->second;
+
+  StatisticalObject out("merged_by_" + dim);
+  STATCUBE_RETURN_NOT_OK(out.AddDimension(Dimension(dim)));
+  for (const auto& d : first.dimensions()) {
+    Dimension copy = d;
+    copy.ClearValues();
+    STATCUBE_RETURN_NOT_OK(out.AddDimension(std::move(copy)));
+  }
+  for (const auto& m : first.measures())
+    STATCUBE_RETURN_NOT_OK(out.AddMeasure(m));
+
+  for (const auto& [key, page] : pages) {
+    // Structural compatibility.
+    if (page.dimensions().size() != first.dimensions().size() ||
+        page.measures().size() != first.measures().size())
+      return Status::InvalidArgument("pages differ in structure");
+    for (size_t i = 0; i < page.dimensions().size(); ++i)
+      if (page.dimensions()[i].name() != first.dimensions()[i].name())
+        return Status::InvalidArgument("pages differ in dimension order");
+    size_t nd = page.dimensions().size();
+    for (const Row& r : page.data().rows()) {
+      Row coord = {key};
+      for (size_t i = 0; i < nd; ++i) coord.push_back(r[i]);
+      Row mv(r.begin() + long(nd), r.end());
+      STATCUBE_RETURN_NOT_OK(out.AddCell(coord, mv));
+    }
+  }
+  return out;
+}
+
+}  // namespace statcube

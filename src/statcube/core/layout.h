@@ -1,0 +1,82 @@
+// Summary-table layout operators in the spirit of [OOM85] (paper §5.2):
+// operators over the *presentation* of a statistical object as a 2-D table —
+// "attribute split and attribute merge, which permit users to specify how
+// the category attributes are organized on rows and columns, or in multiple
+// tables".
+//
+// Layout2D is the layout state (which attributes label the rows, which the
+// columns, in what nesting order); the operators rearrange it; Render()
+// materializes it via the Figure 1/9 renderer. SplitByValue / MergeByValue
+// are the multi-table operators: one "page" per category value (the
+// "Employment in California" page of Figure 1) and its inverse.
+
+#ifndef STATCUBE_CORE_LAYOUT_H_
+#define STATCUBE_CORE_LAYOUT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/core/statistical_object.h"
+#include "statcube/core/table_render.h"
+
+namespace statcube {
+
+/// The row/column assignment of a statistical object's dimensions.
+class Layout2D {
+ public:
+  /// Initial layout: `row_dims` then `col_dims`, which together must be
+  /// exactly the object's dimensions.
+  static Result<Layout2D> Create(const StatisticalObject& obj,
+                                 std::vector<std::string> row_dims,
+                                 std::vector<std::string> col_dims);
+
+  const std::vector<std::string>& row_dims() const { return rows_; }
+  const std::vector<std::string>& col_dims() const { return cols_; }
+
+  /// Attribute split: moves `dim` from the columns to the rows (appended as
+  /// the innermost row attribute).
+  Status MoveToRows(const std::string& dim);
+
+  /// Attribute merge: moves `dim` from the rows to the columns.
+  Status MoveToColumns(const std::string& dim);
+
+  /// Transposes the whole layout (rows <-> columns).
+  void Transpose();
+
+  /// Reorders the row nesting (must be a permutation of the current rows).
+  Status ReorderRows(std::vector<std::string> order);
+
+  /// Reorders the column nesting.
+  Status ReorderColumns(std::vector<std::string> order);
+
+  /// Renders the object under this layout.
+  Result<std::string> Render(const StatisticalObject& obj,
+                             const std::string& measure,
+                             bool marginals = false) const;
+
+ private:
+  Layout2D(std::vector<std::string> rows, std::vector<std::string> cols)
+      : rows_(std::move(rows)), cols_(std::move(cols)) {}
+
+  static Status CheckPermutation(const std::vector<std::string>& current,
+                                 const std::vector<std::string>& order);
+
+  std::vector<std::string> rows_;
+  std::vector<std::string> cols_;
+};
+
+/// Table split: one statistical object per value of `dim` (each with `dim`
+/// removed) — the per-state "pages" the paper reads off Figure 1(iii).
+Result<std::map<Value, StatisticalObject>> SplitByValue(
+    const StatisticalObject& obj, const std::string& dim);
+
+/// Table merge: reassembles the pages into one object with a new `dim`
+/// whose value per page is the map key. All pages must share structure.
+Result<StatisticalObject> MergeByValue(
+    const std::map<Value, StatisticalObject>& pages, const std::string& dim);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_CORE_LAYOUT_H_

@@ -1,0 +1,43 @@
+#include "statcube/core/measure.h"
+
+namespace statcube {
+
+const char* MeasureTypeName(MeasureType t) {
+  switch (t) {
+    case MeasureType::kFlow:
+      return "flow";
+    case MeasureType::kStock:
+      return "stock";
+    case MeasureType::kValuePerUnit:
+      return "value-per-unit";
+  }
+  return "?";
+}
+
+bool FunctionCompatible(MeasureType type, AggFn fn, bool temporal_dimension) {
+  switch (fn) {
+    case AggFn::kCount:
+    case AggFn::kCountAll:
+    case AggFn::kMin:
+    case AggFn::kMax:
+    case AggFn::kAvg:
+    case AggFn::kVariance:
+    case AggFn::kStdDev:
+      // Order statistics, counts and means are meaningful for every measure
+      // type along every dimension.
+      return true;
+    case AggFn::kSum:
+      switch (type) {
+        case MeasureType::kFlow:
+          return true;
+        case MeasureType::kStock:
+          // "it is meaningless to add populations over time" (§3.3.2)
+          return !temporal_dimension;
+        case MeasureType::kValuePerUnit:
+          return false;
+      }
+  }
+  return false;
+}
+
+}  // namespace statcube

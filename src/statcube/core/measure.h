@@ -1,0 +1,56 @@
+// Summary measures and their summarizability-relevant typing.
+//
+// The paper's §3.3.2 observes that whether a summary can be further summed
+// depends on the *kind* of measure: accident counts add over months,
+// populations do not. [LS97] formalizes this as the measure-type/dimension
+// compatibility condition; we adopt its three-way typing:
+//
+//  * flow   (events per period: sales, accidents, births)
+//           — additive over every dimension, including time;
+//  * stock  (level at a point in time: population, inventory, water level)
+//           — additive over non-temporal dimensions, NOT over time
+//             (avg/min/max over time are fine);
+//  * value-per-unit (rates: average income, unit price, exchange rate)
+//           — never additive; only avg/min/max/count are meaningful.
+
+#ifndef STATCUBE_CORE_MEASURE_H_
+#define STATCUBE_CORE_MEASURE_H_
+
+#include <string>
+
+#include "statcube/relational/aggregate.h"
+
+namespace statcube {
+
+/// [LS97] measure typing.
+enum class MeasureType { kFlow, kStock, kValuePerUnit };
+
+/// Name of a measure type ("flow", "stock", "value-per-unit").
+const char* MeasureTypeName(MeasureType t);
+
+/// A summary attribute of a statistical object: name, unit (the paper notes
+/// "quantity sold" carries dollars while "number employed" is unitless
+/// because it came from a count), measure type, and the summary function the
+/// object was built with.
+struct SummaryMeasure {
+  std::string name;
+  std::string unit;  ///< "" for unitless counts
+  MeasureType type = MeasureType::kFlow;
+  AggFn default_fn = AggFn::kSum;
+  /// For kAvg measures: the name of a sibling measure holding each cell's
+  /// count, so that further summarization can form the weighted mean — the
+  /// paper's §5.1 note that "to perform 'average' it is assumed that the
+  /// 'sum' and 'count' of each cell are maintained". Empty = aggregate cells
+  /// unweighted.
+  std::string weight_measure;
+};
+
+/// Whether applying `fn` along a dimension is type-compatible per [LS97]:
+/// `temporal_dimension` is true when the dimension being collapsed is time.
+/// (Disjointness/completeness are checked separately by the
+/// summarizability module; this is only the measure-type condition.)
+bool FunctionCompatible(MeasureType type, AggFn fn, bool temporal_dimension);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_CORE_MEASURE_H_

@@ -1,0 +1,273 @@
+#include "statcube/core/schema_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "statcube/common/str_util.h"
+
+namespace statcube {
+
+namespace {
+
+// Appends a dimension's C chain under `parent`: coarsest hierarchy level
+// first, dimension leaf last. Uses the first hierarchy (the graph model
+// draws one classification; alternates are still on the Dimension).
+void AddDimensionChain(SchemaGraph* g, std::vector<SchemaGraphNode>* nodes,
+                       int parent, const Dimension& dim) {
+  (void)g;
+  auto add = [nodes](GraphNodeKind kind, std::string label) {
+    nodes->push_back({kind, std::move(label), {}});
+    return static_cast<int>(nodes->size()) - 1;
+  };
+  if (dim.hierarchies().empty()) {
+    int c = add(GraphNodeKind::kCategory, dim.name());
+    (*nodes)[static_cast<size_t>(parent)].children.push_back(c);
+    return;
+  }
+  const ClassificationHierarchy& h = dim.hierarchies().front();
+  // levels() are finest first; draw coarsest first.
+  int attach = parent;
+  for (size_t i = h.num_levels(); i-- > 0;) {
+    int c = add(GraphNodeKind::kCategory, h.levels()[i]);
+    (*nodes)[static_cast<size_t>(attach)].children.push_back(c);
+    attach = c;
+  }
+}
+
+}  // namespace
+
+SchemaGraph SchemaGraph::FromObject(const StatisticalObject& obj) {
+  SchemaGraph g;
+  std::vector<std::string> mnames;
+  for (const auto& m : obj.measures()) mnames.push_back(m.name);
+  g.root_ = g.AddNode(GraphNodeKind::kSummary, Join(mnames, ", "));
+  int x = g.AddNode(GraphNodeKind::kCross, "X");
+  g.nodes_[static_cast<size_t>(g.root_)].children.push_back(x);
+  for (const auto& d : obj.dimensions())
+    AddDimensionChain(&g, &g.nodes_, x, d);
+  return g;
+}
+
+Result<SchemaGraph> SchemaGraph::With2DLayout(
+    const StatisticalObject& obj, const std::vector<std::string>& row_dims,
+    const std::vector<std::string>& col_dims) {
+  SchemaGraph g;
+  std::vector<std::string> mnames;
+  for (const auto& m : obj.measures()) mnames.push_back(m.name);
+  g.root_ = g.AddNode(GraphNodeKind::kSummary, Join(mnames, ", "));
+  int x = g.AddNode(GraphNodeKind::kCross, "X");
+  g.nodes_[static_cast<size_t>(g.root_)].children.push_back(x);
+  int rows = g.AddNode(GraphNodeKind::kCross, "rows");
+  int cols = g.AddNode(GraphNodeKind::kCross, "columns");
+  g.nodes_[static_cast<size_t>(x)].children = {cols, rows};
+  for (const auto& dn : row_dims) {
+    STATCUBE_ASSIGN_OR_RETURN(const Dimension* d, obj.DimensionNamed(dn));
+    AddDimensionChain(&g, &g.nodes_, rows, *d);
+  }
+  for (const auto& dn : col_dims) {
+    STATCUBE_ASSIGN_OR_RETURN(const Dimension* d, obj.DimensionNamed(dn));
+    AddDimensionChain(&g, &g.nodes_, cols, *d);
+  }
+  return g;
+}
+
+Result<SchemaGraph> SchemaGraph::FromObjectWithValues(
+    const StatisticalObject& obj, size_t max_values_per_level) {
+  SchemaGraph g;
+  std::vector<std::string> mnames;
+  for (const auto& m : obj.measures()) mnames.push_back(m.name);
+  g.root_ = g.AddNode(GraphNodeKind::kSummary, Join(mnames, ", "));
+  int x = g.AddNode(GraphNodeKind::kCross, "X");
+  g.nodes_[static_cast<size_t>(g.root_)].children.push_back(x);
+
+  for (const auto& d : obj.dimensions()) {
+    if (d.hierarchies().empty()) {
+      if (d.values().size() > max_values_per_level)
+        return Status::InvalidArgument(
+            "dimension '" + d.name() + "' has " +
+            std::to_string(d.values().size()) +
+            " values; the Figure 3 instance graph cannot display it (the "
+            "paper's screen-size complaint)");
+      int c = g.AddNode(GraphNodeKind::kCategory, d.name());
+      g.nodes_[static_cast<size_t>(x)].children.push_back(c);
+      for (const Value& v : d.values()) {
+        int vn = g.AddNode(GraphNodeKind::kCategory, v.ToString());
+        g.nodes_[static_cast<size_t>(c)].children.push_back(vn);
+      }
+      continue;
+    }
+    const ClassificationHierarchy& h = d.hierarchies().front();
+    for (size_t l = 0; l < h.num_levels(); ++l) {
+      if (h.ValuesAt(l).size() > max_values_per_level)
+        return Status::InvalidArgument(
+            "level '" + h.levels()[l] + "' has " +
+            std::to_string(h.ValuesAt(l).size()) +
+            " values; the Figure 3 instance graph cannot display it");
+    }
+    // Attribute node for the coarsest level, then value nodes downward —
+    // each intermediate value node playing the dual role the paper
+    // criticizes.
+    size_t top = h.num_levels() - 1;
+    int attr = g.AddNode(GraphNodeKind::kCategory, h.levels()[top]);
+    g.nodes_[static_cast<size_t>(x)].children.push_back(attr);
+    // Recursive lambda: adds the value node for `v` at `level` and its
+    // children one level down.
+    std::function<int(size_t, const Value&)> add_value =
+        [&](size_t level, const Value& v) -> int {
+      int vn = g.AddNode(GraphNodeKind::kCategory, v.ToString());
+      if (level > 0) {
+        for (const Value& child : h.Children(level, v)) {
+          int cn = add_value(level - 1, child);
+          g.nodes_[static_cast<size_t>(vn)].children.push_back(cn);
+        }
+      }
+      return vn;
+    };
+    for (const Value& v : h.ValuesAt(top)) {
+      int vn = add_value(top, v);
+      g.nodes_[static_cast<size_t>(attr)].children.push_back(vn);
+    }
+  }
+  return g;
+}
+
+Status SchemaGraph::GroupDimensions(const std::string& group_label,
+                                    const std::vector<std::string>& dim_labels) {
+  // A dimension is addressed either by the label of the C node hanging off
+  // the X-node (the coarsest classification level) or by the finest label of
+  // that node's chain (the dimension itself).
+  auto finest_label = [this](int node) {
+    int cur = node;
+    while (!nodes_[static_cast<size_t>(cur)].children.empty())
+      cur = nodes_[static_cast<size_t>(cur)].children.front();
+    return nodes_[static_cast<size_t>(cur)].label;
+  };
+  // Find, for each label, an X-node that has a matching child C chain.
+  std::vector<std::pair<int, int>> found;  // (x node, child index)
+  for (const auto& label : dim_labels) {
+    bool ok = false;
+    for (size_t n = 0; n < nodes_.size() && !ok; ++n) {
+      if (nodes_[n].kind != GraphNodeKind::kCross) continue;
+      for (size_t ci = 0; ci < nodes_[n].children.size(); ++ci) {
+        int child = nodes_[n].children[ci];
+        if (nodes_[static_cast<size_t>(child)].kind == GraphNodeKind::kCategory &&
+            (nodes_[static_cast<size_t>(child)].label == label ||
+             finest_label(child) == label)) {
+          found.emplace_back(static_cast<int>(n), static_cast<int>(ci));
+          ok = true;
+          break;
+        }
+      }
+    }
+    if (!ok)
+      return Status::NotFound("no dimension '" + label +
+                              "' directly under an X-node");
+  }
+  // Create the group X-node under the first dimension's parent X.
+  int parent_x = found.front().first;
+  int group = AddNode(GraphNodeKind::kCross, group_label);
+  // Move children (collect node ids first; indexes shift as we erase).
+  std::vector<int> moved;
+  for (const auto& [x, ci] : found)
+    moved.push_back(nodes_[static_cast<size_t>(x)].children[static_cast<size_t>(ci)]);
+  for (int m : moved) {
+    for (auto& node : nodes_) {
+      auto& ch = node.children;
+      ch.erase(std::remove(ch.begin(), ch.end(), m), ch.end());
+    }
+    nodes_[static_cast<size_t>(group)].children.push_back(m);
+  }
+  nodes_[static_cast<size_t>(parent_x)].children.push_back(group);
+  return Status::OK();
+}
+
+void SchemaGraph::Flatten() {
+  // Repeatedly splice any X-node child of an X-node into its parent.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      if (nodes_[n].kind != GraphNodeKind::kCross) continue;
+      for (size_t ci = 0; ci < nodes_[n].children.size(); ++ci) {
+        int child = nodes_[n].children[ci];
+        if (nodes_[static_cast<size_t>(child)].kind == GraphNodeKind::kCross) {
+          auto grandchildren = nodes_[static_cast<size_t>(child)].children;
+          auto& ch = nodes_[n].children;
+          ch.erase(ch.begin() + static_cast<long>(ci));
+          ch.insert(ch.end(), grandchildren.begin(), grandchildren.end());
+          nodes_[static_cast<size_t>(child)].children.clear();
+          changed = true;
+          break;
+        }
+      }
+      if (changed) break;
+    }
+  }
+}
+
+void SchemaGraph::CollectDimensionLabels(int node, bool under_cross,
+                                         std::vector<std::string>* out) const {
+  const SchemaGraphNode& n = nodes_[static_cast<size_t>(node)];
+  if (n.kind == GraphNodeKind::kCategory) {
+    if (under_cross) {
+      // The dimension of the cross product is the *finest* level of this C
+      // chain: walk to the chain's deepest C node.
+      int cur = node;
+      while (!nodes_[static_cast<size_t>(cur)].children.empty())
+        cur = nodes_[static_cast<size_t>(cur)].children.front();
+      out->push_back(nodes_[static_cast<size_t>(cur)].label);
+    }
+    return;
+  }
+  for (int c : n.children)
+    CollectDimensionLabels(c, n.kind == GraphNodeKind::kCross, out);
+}
+
+std::vector<std::string> SchemaGraph::DimensionLabels() const {
+  std::vector<std::string> out;
+  if (root_ >= 0) CollectDimensionLabels(root_, false, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t SchemaGraph::CrossNodeCount() const {
+  size_t n = 0;
+  // Count only X-nodes still reachable from the root (Flatten orphans some).
+  std::vector<int> stack = {root_};
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    if (cur < 0 || seen[static_cast<size_t>(cur)]) continue;
+    seen[static_cast<size_t>(cur)] = true;
+    if (nodes_[static_cast<size_t>(cur)].kind == GraphNodeKind::kCross) ++n;
+    for (int c : nodes_[static_cast<size_t>(cur)].children) stack.push_back(c);
+  }
+  return n;
+}
+
+std::string SchemaGraph::ToDot() const {
+  std::string out = "digraph schema {\n";
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    if (cur < 0 || seen[static_cast<size_t>(cur)]) continue;
+    seen[static_cast<size_t>(cur)] = true;
+    const SchemaGraphNode& n = nodes_[static_cast<size_t>(cur)];
+    const char* shape = n.kind == GraphNodeKind::kSummary  ? "box"
+                        : n.kind == GraphNodeKind::kCross ? "diamond"
+                                                          : "ellipse";
+    out += "  n" + std::to_string(cur) + " [shape=" + shape + ", label=\"" +
+           n.label + "\"];\n";
+    for (int c : n.children) {
+      out += "  n" + std::to_string(cur) + " -> n" + std::to_string(c) + ";\n";
+      stack.push_back(c);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace statcube

@@ -1,0 +1,101 @@
+// The graph model of statistical objects (paper §4.1, Figures 3–7).
+//
+// Three node kinds: S (summary attribute), X (cross product), C (category
+// attribute). The schema graph of Figure 4 is S -> X -> one C chain per
+// dimension, each chain running coarsest to finest category attribute so
+// the classification hierarchy is explicit and cannot be confused with a
+// dimension.
+//
+// X-nodes can be nested to group dimensions into semantic "subject" groups
+// (Figure 5: an X-node "socio-economic categories" holding sex/race/age) —
+// and Figure 6 observes that nested X-nodes are mathematically equivalent to
+// a flat cross product, which `Flatten` implements and a test verifies.
+// Figure 7 captures a physical 2-D layout with X-nodes named "rows" and
+// "columns".
+
+#ifndef STATCUBE_CORE_SCHEMA_GRAPH_H_
+#define STATCUBE_CORE_SCHEMA_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/core/statistical_object.h"
+
+namespace statcube {
+
+/// Node kinds of the STORM graph model.
+enum class GraphNodeKind { kSummary, kCross, kCategory };
+
+/// One node of a schema graph.
+struct SchemaGraphNode {
+  GraphNodeKind kind;
+  std::string label;
+  std::vector<int> children;  ///< indexes into SchemaGraph::nodes()
+};
+
+/// A statistical-object schema as an S/X/C node graph.
+class SchemaGraph {
+ public:
+  /// Builds the Figure 4 graph: S(measure names) -> X -> per-dimension C
+  /// chains (coarsest classification level first, leaf level last; a
+  /// dimension with no hierarchy contributes a single C node).
+  static SchemaGraph FromObject(const StatisticalObject& obj);
+
+  /// Builds the Figure 7 graph: the X-node splits into X("rows") and
+  /// X("columns") holding the respective dimension C chains, capturing a
+  /// legacy 2-D layout.
+  static Result<SchemaGraph> With2DLayout(
+      const StatisticalObject& obj, const std::vector<std::string>& row_dims,
+      const std::vector<std::string>& col_dims);
+
+  /// Builds the Figure 3 *instance* graph — category values as C-nodes, the
+  /// earlier model whose flaws §4.1 dissects: intermediate nodes play two
+  /// roles (the node "engineer" is at once a professional-class value and
+  /// the label of the professions beneath it), and large category sets do
+  /// not fit a screen. The latter complaint is made concrete: building
+  /// fails with InvalidArgument when any level holds more than
+  /// `max_values_per_level` values.
+  static Result<SchemaGraph> FromObjectWithValues(
+      const StatisticalObject& obj, size_t max_values_per_level = 16);
+
+  const std::vector<SchemaGraphNode>& nodes() const { return nodes_; }
+  int root() const { return root_; }
+
+  /// Moves the named dimensions under a new intermediate X-node with
+  /// `group_label` (Figure 5). The dimensions must currently hang directly
+  /// off an X-node.
+  Status GroupDimensions(const std::string& group_label,
+                         const std::vector<std::string>& dim_labels);
+
+  /// Collapses nested X-nodes into their parent X (the Figure 6
+  /// equivalence). After flattening, exactly one X-node remains.
+  void Flatten();
+
+  /// Labels of the C nodes reachable from X-nodes without passing through
+  /// another C node — i.e. the dimensions of the cross product. Invariant
+  /// under GroupDimensions/Flatten (the Figure 6 property).
+  std::vector<std::string> DimensionLabels() const;
+
+  /// Number of X nodes (1 when flat).
+  size_t CrossNodeCount() const;
+
+  /// Graphviz DOT rendering (S = box, X = diamond, C = ellipse).
+  std::string ToDot() const;
+
+ private:
+  int AddNode(GraphNodeKind kind, std::string label) {
+    nodes_.push_back({kind, std::move(label), {}});
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  void CollectDimensionLabels(int node, bool under_cross,
+                              std::vector<std::string>* out) const;
+
+  std::vector<SchemaGraphNode> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_CORE_SCHEMA_GRAPH_H_

@@ -1,0 +1,92 @@
+// The Statistical Object — the data type the paper's conclusion argues
+// database systems should support natively. Following STORM [RS90] (§4.1),
+// an object is: one or more summary measures, a summary function per
+// measure, a set of dimensions (category attributes), and zero or more
+// classification hierarchies per dimension. A "complex statistical object"
+// (§2.2) is simply one with several measures over the same dimensions.
+//
+// The object carries its macro-data as a table with one column per
+// dimension (leaf category values) and one column per measure — the
+// canonical relational representation of Figure 10, but *with* the
+// category/summary semantics the paper says the bare relational model
+// lacks. The OLAP layer (statcube/olap) evaluates S-operators and
+// slice/dice/roll-up against this object via pluggable physical backends.
+
+#ifndef STATCUBE_CORE_STATISTICAL_OBJECT_H_
+#define STATCUBE_CORE_STATISTICAL_OBJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/common/value.h"
+#include "statcube/core/dimension.h"
+#include "statcube/core/measure.h"
+#include "statcube/relational/table.h"
+
+namespace statcube {
+
+/// A multidimensional summary dataset with explicit semantics.
+class StatisticalObject {
+ public:
+  StatisticalObject() = default;
+  explicit StatisticalObject(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a dimension (before any cells).
+  Status AddDimension(Dimension dim);
+
+  /// Adds a summary measure (before any cells).
+  Status AddMeasure(SummaryMeasure measure);
+
+  const std::vector<Dimension>& dimensions() const { return dims_; }
+  std::vector<Dimension>& mutable_dimensions() { return dims_; }
+  const std::vector<SummaryMeasure>& measures() const { return measures_; }
+
+  /// Looks up a dimension by name.
+  Result<const Dimension*> DimensionNamed(const std::string& name) const;
+  Result<Dimension*> MutableDimensionNamed(const std::string& name);
+
+  /// Looks up a measure by name.
+  Result<const SummaryMeasure*> MeasureNamed(const std::string& name) const;
+
+  /// Index of a dimension by name.
+  Result<size_t> DimensionIndex(const std::string& name) const;
+
+  /// Appends one cell: `dim_values` in dimension order, `measure_values` in
+  /// measure order. Leaf category values are registered on their
+  /// dimensions automatically.
+  Status AddCell(const Row& dim_values, const Row& measure_values);
+
+  /// The macro-data: dimension columns then measure columns.
+  const Table& data() const { return data_; }
+  Table& mutable_data() { return data_; }
+
+  /// Builds a statistical object directly from a relational table —
+  /// `dim_columns` become dimensions (kCategorical unless listed in
+  /// `temporal_columns`), `measures` name existing numeric columns.
+  static Result<StatisticalObject> FromTable(
+      const Table& table, const std::vector<std::string>& dim_columns,
+      const std::vector<SummaryMeasure>& measures,
+      const std::vector<std::string>& temporal_columns = {});
+
+  /// Renders the conceptual structure in the style of the paper's §2
+  /// summaries:
+  ///   Summary measure: employment (sum, flow)
+  ///   Dimensions: sex, year, profession
+  ///   Classification hierarchy: professional class --> profession
+  std::string DescribeStructure() const;
+
+ private:
+  void RebuildSchema();
+
+  std::string name_;
+  std::vector<Dimension> dims_;
+  std::vector<SummaryMeasure> measures_;
+  Table data_;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_CORE_STATISTICAL_OBJECT_H_

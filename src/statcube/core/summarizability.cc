@@ -1,0 +1,106 @@
+#include "statcube/core/summarizability.h"
+
+#include <set>
+
+#include "statcube/common/str_util.h"
+
+namespace statcube {
+
+Status SummarizabilityReport::ToStatus() const {
+  if (summarizable) return Status::OK();
+  return Status::NotSummarizable(Join(violations, "; "));
+}
+
+namespace {
+
+// Additive functions are the ones exposed to double counting and
+// incompleteness; order statistics and counts of groups are not.
+bool AdditiveSensitive(AggFn fn) {
+  return fn == AggFn::kSum || fn == AggFn::kCount || fn == AggFn::kCountAll ||
+         fn == AggFn::kAvg || fn == AggFn::kVariance || fn == AggFn::kStdDev;
+}
+
+}  // namespace
+
+Result<SummarizabilityReport> CheckRollup(const StatisticalObject& obj,
+                                          const std::string& dim_name,
+                                          const std::string& hierarchy_name,
+                                          size_t from_level, size_t to_level,
+                                          const std::string& measure_name,
+                                          AggFn fn) {
+  STATCUBE_ASSIGN_OR_RETURN(const Dimension* dim, obj.DimensionNamed(dim_name));
+  STATCUBE_ASSIGN_OR_RETURN(const SummaryMeasure* measure,
+                            obj.MeasureNamed(measure_name));
+  STATCUBE_ASSIGN_OR_RETURN(const ClassificationHierarchy* hier,
+                            dim->HierarchyNamed(hierarchy_name));
+  if (to_level <= from_level)
+    return Status::InvalidArgument("roll-up target level must be above start");
+  if (to_level >= hier->num_levels())
+    return Status::OutOfRange("hierarchy '" + hierarchy_name + "' has only " +
+                              std::to_string(hier->num_levels()) + " levels");
+
+  SummarizabilityReport report;
+
+  for (size_t step = from_level; step < to_level; ++step) {
+    const std::string& child = hier->levels()[step];
+    const std::string& parent = hier->levels()[step + 1];
+
+    // (1) Disjointness.
+    if (AdditiveSensitive(fn) && !hier->IsStrictAt(step)) {
+      std::vector<std::string> culprits;
+      for (const Value& v : hier->MultiParentValues(step))
+        culprits.push_back(v.ToString());
+      report.AddViolation(
+          "step " + child + " -> " + parent + " is non-strict (" +
+          Join(culprits, ", ") + " have multiple parents): " +
+          AggFnName(fn) + " would double-count");
+    }
+
+    // (2a) Mapping coverage: every registered child has a parent.
+    if (!hier->IsCoveringAt(step)) {
+      report.AddViolation("step " + child + " -> " + parent +
+                          " is not covering: unmapped " + child +
+                          " values would be dropped from the roll-up");
+    }
+
+    // (2b) Semantic completeness w.r.t. the measure.
+    if (AdditiveSensitive(fn) &&
+        !hier->IsDeclaredComplete(step, measure_name)) {
+      report.AddViolation(
+          "step " + child + " -> " + parent +
+          " is not declared complete for measure '" + measure_name +
+          "' (the " + child + " values may not exhaust each " + parent +
+          ", like cities vs. state population)");
+    }
+  }
+
+  // (3) Measure-type condition. A roll-up along a temporal dimension's
+  // hierarchy (day -> month) aggregates over time.
+  if (!FunctionCompatible(measure->type, fn, dim->is_temporal())) {
+    report.AddViolation("measure '" + measure_name + "' has type " +
+                        MeasureTypeName(measure->type) + "; " + AggFnName(fn) +
+                        " over " + (dim->is_temporal() ? "temporal " : "") +
+                        "dimension '" + dim_name + "' is not meaningful");
+  }
+
+  return report;
+}
+
+Result<SummarizabilityReport> CheckProjectOut(const StatisticalObject& obj,
+                                              const std::string& dim_name,
+                                              const std::string& measure_name,
+                                              AggFn fn) {
+  STATCUBE_ASSIGN_OR_RETURN(const Dimension* dim, obj.DimensionNamed(dim_name));
+  STATCUBE_ASSIGN_OR_RETURN(const SummaryMeasure* measure,
+                            obj.MeasureNamed(measure_name));
+  SummarizabilityReport report;
+  if (!FunctionCompatible(measure->type, fn, dim->is_temporal())) {
+    report.AddViolation("measure '" + measure_name + "' has type " +
+                        MeasureTypeName(measure->type) + "; " + AggFnName(fn) +
+                        " over " + (dim->is_temporal() ? "temporal " : "") +
+                        "dimension '" + dim_name + "' is not meaningful");
+  }
+  return report;
+}
+
+}  // namespace statcube

@@ -1,0 +1,67 @@
+// Summarizability checking (paper §3.3.2, §4.2; [LS97]).
+//
+// A roll-up is summarizable only when three independent conditions hold:
+//
+//  1. Disjointness — the classification step is strict. Non-strict steps
+//     (physicians with several specialties, lung cancer under two disease
+//     categories) double-count additive aggregates.
+//  2. Completeness — the children exhaust the parent *with respect to the
+//     measure*, and every child present in the data maps to some parent.
+//     Cities do not exhaust a state's population (villages, farms); they may
+//     exhaust its museums. Exhaustiveness is a semantic declaration
+//     (ClassificationHierarchy::DeclareComplete); the child->parent mapping
+//     coverage is checked mechanically.
+//  3. Type compatibility — the summary function suits the measure type and
+//     the dimension being collapsed: flows add over anything, stocks do not
+//     add over time, value-per-unit measures never add (measure.h).
+//
+// The checker reports *all* violations, not just the first, so callers can
+// present them to a user the way the paper's examples do.
+
+#ifndef STATCUBE_CORE_SUMMARIZABILITY_H_
+#define STATCUBE_CORE_SUMMARIZABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/core/statistical_object.h"
+
+namespace statcube {
+
+/// Outcome of a summarizability check.
+struct SummarizabilityReport {
+  bool summarizable = true;
+  std::vector<std::string> violations;
+
+  /// Folds in a violation.
+  void AddViolation(std::string v) {
+    summarizable = false;
+    violations.push_back(std::move(v));
+  }
+
+  /// OK, or kNotSummarizable with all violations joined.
+  Status ToStatus() const;
+};
+
+/// Checks rolling the dimension `dim_name` up along `hierarchy_name` from
+/// `from_level` to `to_level` (level indexes in that hierarchy, finest = 0),
+/// aggregating `measure_name` with `fn`.
+Result<SummarizabilityReport> CheckRollup(const StatisticalObject& obj,
+                                          const std::string& dim_name,
+                                          const std::string& hierarchy_name,
+                                          size_t from_level, size_t to_level,
+                                          const std::string& measure_name,
+                                          AggFn fn);
+
+/// Checks summarizing a dimension away entirely (the S-project of [MRS92]):
+/// only the measure-type condition applies since no classification step is
+/// involved.
+Result<SummarizabilityReport> CheckProjectOut(const StatisticalObject& obj,
+                                              const std::string& dim_name,
+                                              const std::string& measure_name,
+                                              AggFn fn);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_CORE_SUMMARIZABILITY_H_

@@ -1,0 +1,291 @@
+#include "statcube/core/table_render.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "statcube/common/str_util.h"
+#include "statcube/relational/aggregate.h"
+
+namespace statcube {
+
+namespace {
+
+// Sorted distinct tuples of the given columns.
+std::vector<Row> DistinctTuples(const Table& t,
+                                const std::vector<size_t>& idx) {
+  std::set<Row> s;
+  Row key(idx.size());
+  for (const Row& r : t.rows()) {
+    for (size_t i = 0; i < idx.size(); ++i) key[i] = r[idx[i]];
+    s.insert(key);
+  }
+  return std::vector<Row>(s.begin(), s.end());
+}
+
+std::string CellText(const Value& v) {
+  if (v.is_null()) return ".";
+  if (v.is_numeric()) {
+    double d = v.AsDouble();
+    if (d == static_cast<int64_t>(d)) return WithCommas(static_cast<int64_t>(d));
+  }
+  return v.ToString();
+}
+
+}  // namespace
+
+Result<std::string> Render2D(const StatisticalObject& obj,
+                             const Render2DOptions& options) {
+  if (options.row_dims.empty() || options.col_dims.empty())
+    return Status::InvalidArgument("Render2D needs row and column dimensions");
+  STATCUBE_ASSIGN_OR_RETURN(const SummaryMeasure* measure,
+                            obj.MeasureNamed(options.measure));
+  AggFn fn = options.fn.value_or(measure->default_fn);
+
+  // Working table: a copy of the macro-data, plus a derived parent column if
+  // header nesting was requested.
+  Table work = obj.data();
+  std::string parent_col;
+  if (!options.nest_hierarchy.empty()) {
+    const std::string& leaf_dim = options.col_dims.back();
+    STATCUBE_ASSIGN_OR_RETURN(const Dimension* dim,
+                              obj.DimensionNamed(leaf_dim));
+    STATCUBE_ASSIGN_OR_RETURN(const ClassificationHierarchy* hier,
+                              dim->HierarchyNamed(options.nest_hierarchy));
+    if (hier->num_levels() < 2)
+      return Status::InvalidArgument("hierarchy '" + options.nest_hierarchy +
+                                     "' has no parent level to nest");
+    if (!hier->IsStrictAt(0))
+      return Status::NotSummarizable(
+          "hierarchy '" + options.nest_hierarchy +
+          "' is non-strict; a 2-D layout cannot place multi-parent values");
+    parent_col = hier->levels()[1];
+    STATCUBE_ASSIGN_OR_RETURN(size_t leaf_idx,
+                              work.schema().IndexOf(leaf_dim));
+    Schema s2 = work.schema();
+    s2.AddColumn(parent_col, ValueType::kString);
+    Table work2(work.name(), s2);
+    for (const Row& r : work.rows()) {
+      std::vector<Value> ps = hier->Parents(0, r[leaf_idx]);
+      Row r2 = r;
+      r2.push_back(ps.empty() ? Value::Null() : ps.front());
+      work2.AppendRowUnchecked(std::move(r2));
+    }
+    work = std::move(work2);
+  }
+
+  // Effective column key: (other col dims..., [parent], leaf col dim).
+  std::vector<std::string> col_key = options.col_dims;
+  if (!parent_col.empty())
+    col_key.insert(col_key.end() - 1, parent_col);
+
+  // Aggregated cells.
+  std::vector<std::string> group_cols = options.row_dims;
+  group_cols.insert(group_cols.end(), col_key.begin(), col_key.end());
+  AggSpec spec{fn, options.measure, "v"};
+  STATCUBE_ASSIGN_OR_RETURN(GroupedStates cells,
+                            GroupByStates(work, group_cols, {spec}));
+
+  auto lookup = [&](const Row& key) -> Value {
+    auto it = cells.find(key);
+    return it == cells.end() ? Value::Null() : it->second[0].Finalize(fn);
+  };
+
+  STATCUBE_ASSIGN_OR_RETURN(std::vector<size_t> row_idx,
+                            work.schema().IndexesOf(options.row_dims));
+  STATCUBE_ASSIGN_OR_RETURN(std::vector<size_t> col_idx,
+                            work.schema().IndexesOf(col_key));
+  std::vector<Row> row_tuples = DistinctTuples(work, row_idx);
+  std::vector<Row> col_tuples = DistinctTuples(work, col_idx);
+
+  // Marginal machinery: aggregated maps at coarser groupings.
+  GroupedStates row_totals, parent_totals, col_totals;
+  AggState grand;
+  if (options.marginals) {
+    STATCUBE_ASSIGN_OR_RETURN(row_totals,
+                              GroupByStates(work, options.row_dims, {spec}));
+    STATCUBE_ASSIGN_OR_RETURN(col_totals, GroupByStates(work, col_key, {spec}));
+    if (!parent_col.empty()) {
+      std::vector<std::string> pg = options.row_dims;
+      for (size_t i = 0; i + 1 < col_key.size(); ++i) pg.push_back(col_key[i]);
+      STATCUBE_ASSIGN_OR_RETURN(parent_totals, GroupByStates(work, pg, {spec}));
+    }
+    STATCUBE_ASSIGN_OR_RETURN(size_t midx,
+                              work.schema().IndexOf(options.measure));
+    for (const Row& r : work.rows()) grand.Add(r[midx]);
+  }
+
+  // --- Layout -----------------------------------------------------------
+  // Column descriptors: each display column is either a data column (a col
+  // tuple) or a marginal. Marginals are encoded as col tuples with ALL in
+  // the summarized positions.
+  struct DisplayCol {
+    Row tuple;        // values for col_key positions; ALL = summarized
+    bool parent_total = false;
+    bool grand_col = false;  // total over all column dims
+  };
+  std::vector<DisplayCol> dcols;
+  for (size_t i = 0; i < col_tuples.size(); ++i) {
+    dcols.push_back({col_tuples[i], false, false});
+    if (options.marginals && !parent_col.empty()) {
+      // After the last leaf of each parent group, insert a parent total.
+      bool last_of_parent =
+          i + 1 == col_tuples.size() ||
+          !std::equal(col_tuples[i].begin(), col_tuples[i].end() - 1,
+                      col_tuples[i + 1].begin());
+      if (last_of_parent) {
+        Row t = col_tuples[i];
+        t.back() = Value::All();
+        dcols.push_back({t, true, false});
+      }
+    }
+  }
+  if (options.marginals) {
+    Row t(col_key.size(), Value::All());
+    dcols.push_back({t, false, true});
+  }
+
+  // Header lines: one per col_key position.
+  size_t nheader = col_key.size();
+  std::vector<std::vector<std::string>> header(nheader,
+                                               std::vector<std::string>(dcols.size()));
+  for (size_t c = 0; c < dcols.size(); ++c) {
+    for (size_t l = 0; l < nheader; ++l) {
+      const Value& v = dcols[c].tuple[l];
+      if (dcols[c].grand_col) {
+        header[l][c] = l == 0 ? "total" : "";
+      } else if (dcols[c].parent_total && l == nheader - 1) {
+        header[l][c] = "total";
+      } else {
+        header[l][c] = v.is_all() ? "" : v.ToString();
+      }
+      // Suppress repeated labels for spans (show only at group start).
+      if (c > 0 && l < nheader - 1 && !dcols[c].grand_col &&
+          !dcols[c - 1].grand_col &&
+          dcols[c].tuple[l] == dcols[c - 1].tuple[l]) {
+        header[l][c] = "";
+      }
+    }
+  }
+
+  // Row descriptors.
+  struct DisplayRow {
+    Row tuple;
+    bool total = false;
+  };
+  std::vector<DisplayRow> drows;
+  for (const Row& r : row_tuples) drows.push_back({r, false});
+  if (options.marginals)
+    drows.push_back({Row(options.row_dims.size(), Value::All()), true});
+
+  // Cell text matrix.
+  auto cell_value = [&](const DisplayRow& dr, const DisplayCol& dc) -> Value {
+    if (dr.total && dc.grand_col) return grand.Finalize(fn);
+    if (dr.total) {
+      // Total row: aggregate over all row dims for this column key.
+      // Compute from col_totals (grand per column) or parent totals.
+      if (dc.parent_total || dc.grand_col) {
+        // Sum the matching col_totals entries.
+        AggState acc;
+        for (const auto& [key, st] : col_totals) {
+          bool match = true;
+          for (size_t l = 0; l < key.size(); ++l) {
+            if (!dc.tuple[l].is_all() && key[l] != dc.tuple[l]) {
+              match = false;
+              break;
+            }
+          }
+          if (match) acc.Merge(st[0]);
+        }
+        return acc.Finalize(fn);
+      }
+      auto it = col_totals.find(dc.tuple);
+      return it == col_totals.end() ? Value::Null()
+                                    : it->second[0].Finalize(fn);
+    }
+    if (dc.grand_col) {
+      auto it = row_totals.find(dr.tuple);
+      return it == row_totals.end() ? Value::Null()
+                                    : it->second[0].Finalize(fn);
+    }
+    if (dc.parent_total) {
+      Row key = dr.tuple;
+      for (size_t l = 0; l + 1 < dc.tuple.size(); ++l)
+        key.push_back(dc.tuple[l]);
+      auto it = parent_totals.find(key);
+      return it == parent_totals.end() ? Value::Null()
+                                       : it->second[0].Finalize(fn);
+    }
+    Row key = dr.tuple;
+    key.insert(key.end(), dc.tuple.begin(), dc.tuple.end());
+    return lookup(key);
+  };
+
+  // --- Render -------------------------------------------------------------
+  size_t label_cols = options.row_dims.size();
+  std::vector<size_t> label_width(label_cols);
+  for (size_t i = 0; i < label_cols; ++i)
+    label_width[i] = options.row_dims[i].size();
+  for (const auto& dr : drows)
+    for (size_t i = 0; i < label_cols; ++i)
+      label_width[i] = std::max(label_width[i],
+                                dr.total ? 5 : dr.tuple[i].ToString().size());
+
+  std::vector<size_t> col_width(dcols.size(), 1);
+  std::vector<std::vector<std::string>> body(drows.size(),
+                                             std::vector<std::string>(dcols.size()));
+  for (size_t r = 0; r < drows.size(); ++r)
+    for (size_t c = 0; c < dcols.size(); ++c)
+      body[r][c] = CellText(cell_value(drows[r], dcols[c]));
+  for (size_t c = 0; c < dcols.size(); ++c) {
+    for (size_t l = 0; l < nheader; ++l)
+      col_width[c] = std::max(col_width[c], header[l][c].size());
+    for (size_t r = 0; r < drows.size(); ++r)
+      col_width[c] = std::max(col_width[c], body[r][c].size());
+  }
+
+  std::string out = obj.name() + " — " + options.measure + " (" +
+                    AggFnName(fn) + ")\n";
+  // Header lines.
+  for (size_t l = 0; l < nheader; ++l) {
+    std::string line;
+    for (size_t i = 0; i < label_cols; ++i)
+      line += PadRight(l == nheader - 1 ? options.row_dims[i] : "",
+                       label_width[i]) += "  ";
+    for (size_t c = 0; c < dcols.size(); ++c)
+      line += PadLeft(header[l][c], col_width[c]) += "  ";
+    out += line + "\n";
+  }
+  // Separator.
+  {
+    std::string line;
+    for (size_t i = 0; i < label_cols; ++i)
+      line += std::string(label_width[i], '-') + "  ";
+    for (size_t c = 0; c < dcols.size(); ++c)
+      line += std::string(col_width[c], '-') + "  ";
+    out += line + "\n";
+  }
+  // Body.
+  for (size_t r = 0; r < drows.size(); ++r) {
+    std::string line;
+    for (size_t i = 0; i < label_cols; ++i) {
+      std::string label = drows[r].total
+                              ? (i == 0 ? "total" : "")
+                              : drows[r].tuple[i].ToString();
+      // Suppress repeated outer row labels.
+      if (!drows[r].total && r > 0 && !drows[r - 1].total) {
+        bool same_prefix = true;
+        for (size_t j = 0; j <= i && same_prefix; ++j)
+          same_prefix = drows[r].tuple[j] == drows[r - 1].tuple[j];
+        if (same_prefix) label = "";
+      }
+      line += PadRight(label, label_width[i]) += "  ";
+    }
+    for (size_t c = 0; c < dcols.size(); ++c)
+      line += PadLeft(body[r][c], col_width[c]) += "  ";
+    out += line + "\n";
+  }
+  return out;
+}
+
+}  // namespace statcube

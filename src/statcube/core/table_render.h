@@ -1,0 +1,46 @@
+// The traditional 2-D representation of a statistical object (paper §2.1,
+// Figure 1) with optional marginals (§4.3, Figure 9).
+//
+// More than one dimension can be assigned to the rows and to the columns (an
+// arbitrary order must be chosen — the limitation the graph model removes),
+// and a classification hierarchy can be nested in the column headers the way
+// Figure 1 nests professional class over profession. Marginals add "total"
+// columns per nested parent, a "total" column over all column dimensions,
+// a "total" row, and the grand total.
+
+#ifndef STATCUBE_CORE_TABLE_RENDER_H_
+#define STATCUBE_CORE_TABLE_RENDER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/core/statistical_object.h"
+
+namespace statcube {
+
+/// Layout choices for Render2D.
+struct Render2DOptions {
+  std::vector<std::string> row_dims;  ///< dimensions on the rows, outer first
+  std::vector<std::string> col_dims;  ///< dimensions on the columns
+  std::string measure;                ///< measure to display
+  /// Aggregation when several cells collapse into one (defaults to the
+  /// measure's declared summary function).
+  std::optional<AggFn> fn;
+  /// Adds total columns/rows ("marginals", Figure 9).
+  bool marginals = false;
+  /// Name of a classification hierarchy on the *last* column dimension to
+  /// nest one level of parents into the header (Figure 1's professional
+  /// class over profession). Empty = no nesting. Non-strict hierarchies are
+  /// rejected (a 2-D table cannot place a multi-parent value).
+  std::string nest_hierarchy;
+};
+
+/// Renders the object as an ASCII 2-D statistical table.
+Result<std::string> Render2D(const StatisticalObject& obj,
+                             const Render2DOptions& options);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_CORE_TABLE_RENDER_H_

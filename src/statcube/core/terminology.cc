@@ -1,0 +1,47 @@
+#include "statcube/core/terminology.h"
+
+namespace statcube {
+
+const std::vector<TermPair>& StructuralTerms() {
+  static const std::vector<TermPair> kTerms = {
+      {"Dimension", "Category Attribute"},
+      {"Dimension Hierarchy", "Category Hierarchy"},
+      {"Measures (fact column)", "Summary Attribute"},
+      {"Data Cube (fact table)", "Statistical Object"},
+      {"Multidimensionality", "Cross Product"},
+      {"Dimension Value", "Category Value"},
+      {"Table / Data Cube", "Summary Table"},
+  };
+  return kTerms;
+}
+
+const std::vector<TermPair>& OperatorTerms() {
+  static const std::vector<TermPair> kTerms = {
+      {"Slice", "S-projection"},
+      {"Dice", "S-selection"},
+      {"Roll up (consolidation)", "S-aggregation"},
+      {"Drill down", "S-disaggregation"},
+      {"(no equivalent)", "S-union"},
+  };
+  return kTerms;
+}
+
+Result<std::string> SdbTermFor(const std::string& olap_term) {
+  for (const auto& t : StructuralTerms())
+    if (t.olap == olap_term) return t.sdb;
+  for (const auto& t : OperatorTerms())
+    if (t.olap == olap_term) return t.sdb;
+  return Status::NotFound("no SDB correspondence for OLAP term '" +
+                          olap_term + "'");
+}
+
+Result<std::string> OlapTermFor(const std::string& sdb_term) {
+  for (const auto& t : StructuralTerms())
+    if (t.sdb == sdb_term) return t.olap;
+  for (const auto& t : OperatorTerms())
+    if (t.sdb == sdb_term) return t.olap;
+  return Status::NotFound("no OLAP correspondence for SDB term '" + sdb_term +
+                          "'");
+}
+
+}  // namespace statcube

@@ -1,0 +1,35 @@
+// The OLAP <-> Statistical Database terminology correspondence of the
+// paper's Figures 12 (structures) and 14 (operators), as a queryable map —
+// the library speaks both vocabularies.
+
+#ifndef STATCUBE_CORE_TERMINOLOGY_H_
+#define STATCUBE_CORE_TERMINOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+
+namespace statcube {
+
+/// One correspondence row.
+struct TermPair {
+  std::string olap;
+  std::string sdb;
+};
+
+/// Figure 12: structural terms (dimension <-> category attribute, ...).
+const std::vector<TermPair>& StructuralTerms();
+
+/// Figure 14: operator terms (slice <-> S-projection, ...).
+const std::vector<TermPair>& OperatorTerms();
+
+/// SDB term for an OLAP term, searching both tables (case-sensitive).
+Result<std::string> SdbTermFor(const std::string& olap_term);
+
+/// OLAP term for an SDB term, searching both tables.
+Result<std::string> OlapTermFor(const std::string& sdb_term);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_CORE_TERMINOLOGY_H_

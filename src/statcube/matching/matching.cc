@@ -1,0 +1,158 @@
+#include "statcube/matching/matching.h"
+
+#include <algorithm>
+#include <set>
+
+namespace statcube {
+
+Result<std::vector<IntervalBucket>> RefineToBoundaries(
+    const std::vector<IntervalBucket>& source,
+    const std::vector<double>& boundaries) {
+  if (boundaries.size() < 2)
+    return Status::InvalidArgument("need at least two boundaries");
+  for (size_t i = 1; i < boundaries.size(); ++i)
+    if (boundaries[i] <= boundaries[i - 1])
+      return Status::InvalidArgument("boundaries must be ascending");
+  for (const auto& b : source) {
+    if (b.hi <= b.lo) return Status::InvalidArgument("empty source bucket");
+    if (b.lo < boundaries.front() || b.hi > boundaries.back())
+      return Status::InvalidArgument("boundaries do not cover the source");
+  }
+
+  std::vector<IntervalBucket> out;
+  for (size_t i = 0; i + 1 < boundaries.size(); ++i)
+    out.push_back({boundaries[i], boundaries[i + 1], 0.0});
+  // Uniform-density interpolation: each source bucket spreads its value
+  // over its span.
+  for (const auto& s : source) {
+    double density = s.value / (s.hi - s.lo);
+    for (auto& t : out) {
+      double lo = std::max(s.lo, t.lo), hi = std::min(s.hi, t.hi);
+      if (hi > lo) t.value += density * (hi - lo);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<IntervalBucket>> MergeIntervalSources(
+    const std::vector<IntervalBucket>& a,
+    const std::vector<IntervalBucket>& b) {
+  std::set<double> bounds;
+  for (const auto& x : a) {
+    bounds.insert(x.lo);
+    bounds.insert(x.hi);
+  }
+  for (const auto& x : b) {
+    bounds.insert(x.lo);
+    bounds.insert(x.hi);
+  }
+  std::vector<double> boundaries(bounds.begin(), bounds.end());
+  STATCUBE_ASSIGN_OR_RETURN(std::vector<IntervalBucket> ra,
+                            RefineToBoundaries(a, boundaries));
+  STATCUBE_ASSIGN_OR_RETURN(std::vector<IntervalBucket> rb,
+                            RefineToBoundaries(b, boundaries));
+  for (size_t i = 0; i < ra.size(); ++i) ra[i].value += rb[i].value;
+  return ra;
+}
+
+Status CategoryTimeline::AddVersion(const std::string& period,
+                                    std::vector<Value> categories) {
+  if (versions_.count(period))
+    return Status::AlreadyExists("period '" + period + "'");
+  periods_.push_back(period);
+  versions_.emplace(period, std::move(categories));
+  return Status::OK();
+}
+
+Result<const std::vector<Value>*> CategoryTimeline::VersionOf(
+    const std::string& period) const {
+  auto it = versions_.find(period);
+  if (it == versions_.end())
+    return Status::NotFound("no category version for period '" + period + "'");
+  return &it->second;
+}
+
+Status CategoryTimeline::DeclareMapping(const std::string& from_period,
+                                        const Value& from_value,
+                                        const std::string& to_period,
+                                        std::vector<Value> to_values) {
+  STATCUBE_RETURN_NOT_OK(VersionOf(from_period).status());
+  STATCUBE_ASSIGN_OR_RETURN(const std::vector<Value>* target,
+                            VersionOf(to_period));
+  for (const Value& v : to_values) {
+    if (std::find(target->begin(), target->end(), v) == target->end())
+      return Status::InvalidArgument("mapping target " + v.ToString() +
+                                     " not a category of period '" +
+                                     to_period + "'");
+  }
+  mappings_[from_period][from_value][to_period] = std::move(to_values);
+  return Status::OK();
+}
+
+Result<std::vector<Value>> CategoryTimeline::Map(
+    const std::string& from_period, const Value& value,
+    const std::string& to_period) const {
+  STATCUBE_ASSIGN_OR_RETURN(const std::vector<Value>* from,
+                            VersionOf(from_period));
+  STATCUBE_ASSIGN_OR_RETURN(const std::vector<Value>* to,
+                            VersionOf(to_period));
+  if (std::find(from->begin(), from->end(), value) == from->end())
+    return Status::NotFound(value.ToString() + " is not a category of '" +
+                            from_period + "'");
+  auto pit = mappings_.find(from_period);
+  if (pit != mappings_.end()) {
+    auto vit = pit->second.find(value);
+    if (vit != pit->second.end()) {
+      auto tit = vit->second.find(to_period);
+      if (tit != vit->second.end()) return tit->second;
+    }
+  }
+  // Identity when the category survives unchanged.
+  if (std::find(to->begin(), to->end(), value) != to->end())
+    return std::vector<Value>{value};
+  return Status::NotFound("no mapping for " + value.ToString() + " from '" +
+                          from_period + "' to '" + to_period +
+                          "' and the category does not survive");
+}
+
+Result<std::vector<Value>> CategoryTimeline::Added(
+    const std::string& earlier, const std::string& later) const {
+  STATCUBE_ASSIGN_OR_RETURN(const std::vector<Value>* e, VersionOf(earlier));
+  STATCUBE_ASSIGN_OR_RETURN(const std::vector<Value>* l, VersionOf(later));
+  std::vector<Value> out;
+  for (const Value& v : *l)
+    if (std::find(e->begin(), e->end(), v) == e->end()) out.push_back(v);
+  return out;
+}
+
+Result<std::vector<Value>> CategoryTimeline::Removed(
+    const std::string& earlier, const std::string& later) const {
+  return Added(later, earlier);
+}
+
+Result<std::map<Value, double>> DisaggregateByProxy(
+    const std::map<Value, double>& parent_totals,
+    const std::vector<ProxyChild>& children) {
+  // Sum of proxy weights per parent.
+  std::map<Value, double> weight_sum;
+  for (const auto& c : children) {
+    if (c.proxy_weight < 0)
+      return Status::InvalidArgument("negative proxy weight for " +
+                                     c.child.ToString());
+    weight_sum[c.parent] += c.proxy_weight;
+  }
+  std::map<Value, double> out;
+  for (const auto& c : children) {
+    auto pit = parent_totals.find(c.parent);
+    if (pit == parent_totals.end())
+      return Status::NotFound("no total for parent " + c.parent.ToString());
+    double wsum = weight_sum[c.parent];
+    if (wsum <= 0)
+      return Status::InvalidArgument("zero total proxy weight under " +
+                                     c.parent.ToString());
+    out[c.child] = pit->second * (c.proxy_weight / wsum);
+  }
+  return out;
+}
+
+}  // namespace statcube

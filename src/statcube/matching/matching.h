@@ -1,0 +1,103 @@
+// Classification matching (paper §5.7, Figure 17) and disaggregation by
+// proxy (§5.3).
+//
+// Summarizing across sources fails when their classifications disagree:
+//  * non-overlapping granularities — two age-group bucketings with different
+//    boundaries. We align them by refining both to the union of boundary
+//    points under a uniform-density interpolation, then summing. The
+//    interpolation method is recorded so the "metadata of the methods used"
+//    can be kept in the database, as the paper demands.
+//  * time-varying categories — an industry list that gains "internet" in
+//    1991. A CategoryTimeline stores each period's category set and explicit
+//    split/merge/rename mappings between periods.
+//  * disaggregation by proxy — estimate a finer breakdown of a total using
+//    a proxy variable (county areas standing in for county populations).
+
+#ifndef STATCUBE_MATCHING_MATCHING_H_
+#define STATCUBE_MATCHING_MATCHING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/common/value.h"
+
+namespace statcube {
+
+/// One bucket of an interval classification: [lo, hi) with a measure value.
+struct IntervalBucket {
+  double lo = 0;
+  double hi = 0;
+  double value = 0;
+};
+
+/// Re-buckets `source` onto the boundary list `boundaries` (ascending,
+/// covering the source span) by uniform-density interpolation: a source
+/// bucket contributes to a target bucket proportionally to their overlap.
+Result<std::vector<IntervalBucket>> RefineToBoundaries(
+    const std::vector<IntervalBucket>& source,
+    const std::vector<double>& boundaries);
+
+/// Aligns two interval classifications of the same domain to their common
+/// refinement (union of boundaries) and returns the bucket-wise sum — the
+/// "combined age-group classification" of Figure 17.
+Result<std::vector<IntervalBucket>> MergeIntervalSources(
+    const std::vector<IntervalBucket>& a, const std::vector<IntervalBucket>& b);
+
+/// Category sets that change over time, with declared mappings.
+class CategoryTimeline {
+ public:
+  /// Registers a period's category set (periods are ordered by insertion).
+  Status AddVersion(const std::string& period, std::vector<Value> categories);
+
+  /// Declares that `from_value` in `from_period` corresponds to `to_values`
+  /// in `to_period` (rename: one value; split: several; retire: empty).
+  Status DeclareMapping(const std::string& from_period, const Value& from_value,
+                        const std::string& to_period,
+                        std::vector<Value> to_values);
+
+  /// Maps a category value between periods: explicit mapping if declared,
+  /// identity if the value exists in the target period, NotFound otherwise
+  /// (the undocumented-analyst-judgment case the paper warns about).
+  Result<std::vector<Value>> Map(const std::string& from_period,
+                                 const Value& value,
+                                 const std::string& to_period) const;
+
+  /// Categories present in `later` but not `earlier` (e.g. {"internet"}).
+  Result<std::vector<Value>> Added(const std::string& earlier,
+                                   const std::string& later) const;
+
+  /// Categories present in `earlier` but not `later`.
+  Result<std::vector<Value>> Removed(const std::string& earlier,
+                                     const std::string& later) const;
+
+  const std::vector<std::string>& periods() const { return periods_; }
+
+ private:
+  Result<const std::vector<Value>*> VersionOf(const std::string& period) const;
+
+  std::vector<std::string> periods_;
+  std::map<std::string, std::vector<Value>> versions_;
+  // (from_period, from_value, to_period) -> to_values
+  std::map<std::string, std::map<Value, std::map<std::string, std::vector<Value>>>>
+      mappings_;
+};
+
+/// A child category with its parent and proxy weight.
+struct ProxyChild {
+  Value child;
+  Value parent;
+  double proxy_weight = 0;  ///< e.g. county area
+};
+
+/// Disaggregation by proxy: distributes each parent's total over its
+/// children proportionally to the proxy weights ("use the area of the
+/// counties as a proxy to estimate the population at the county level").
+Result<std::map<Value, double>> DisaggregateByProxy(
+    const std::map<Value, double>& parent_totals,
+    const std::vector<ProxyChild>& children);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_MATCHING_MATCHING_H_

@@ -1,0 +1,76 @@
+#include "statcube/materialize/lattice.h"
+
+#include <unordered_set>
+
+#include "statcube/common/str_util.h"
+
+namespace statcube {
+
+Lattice::Lattice(std::vector<std::string> dims,
+                 std::vector<uint64_t> view_sizes)
+    : dims_(std::move(dims)), view_sizes_(std::move(view_sizes)) {}
+
+Result<Lattice> Lattice::FromTable(const Table& table,
+                                   const std::vector<std::string>& dims) {
+  if (dims.size() > 16)
+    return Status::InvalidArgument("lattice over >16 dimensions refused");
+  STATCUBE_ASSIGN_OR_RETURN(std::vector<size_t> idx,
+                            table.schema().IndexesOf(dims));
+  size_t n = dims.size();
+  std::vector<uint64_t> sizes(size_t{1} << n, 0);
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::unordered_set<Row, RowHash, RowEq> distinct;
+    Row key;
+    for (const Row& r : table.rows()) {
+      key.clear();
+      for (size_t d = 0; d < n; ++d)
+        if (mask & (1u << d)) key.push_back(r[idx[d]]);
+      distinct.insert(key);
+    }
+    sizes[mask] = distinct.size();
+  }
+  return Lattice(dims, std::move(sizes));
+}
+
+Lattice Lattice::FromCardinalities(std::vector<std::string> dims,
+                                   const std::vector<uint64_t>& cardinalities,
+                                   uint64_t total_rows) {
+  size_t n = dims.size();
+  std::vector<uint64_t> sizes(size_t{1} << n, 1);
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    uint64_t prod = 1;
+    for (size_t d = 0; d < n; ++d)
+      if (mask & (1u << d)) prod *= cardinalities[d];
+    sizes[mask] = prod < total_rows ? prod : total_rows;
+  }
+  return Lattice(std::move(dims), std::move(sizes));
+}
+
+uint64_t Lattice::QueryCost(uint32_t query,
+                            const std::vector<uint32_t>& materialized) const {
+  uint64_t best = size(top());  // the top view is always available
+  for (uint32_t m : materialized)
+    if (DerivableFrom(query, m) && size(m) < best) best = size(m);
+  return best;
+}
+
+uint64_t Lattice::TotalCost(const std::vector<uint32_t>& materialized) const {
+  uint64_t total = 0;
+  for (uint32_t q = 0; q < num_views(); ++q)
+    total += QueryCost(q, materialized);
+  return total;
+}
+
+uint64_t Lattice::Benefit(const std::vector<uint32_t>& materialized) const {
+  return TotalCost({}) - TotalCost(materialized);
+}
+
+std::string Lattice::ViewName(uint32_t mask) const {
+  std::vector<std::string> members;
+  for (size_t d = 0; d < dims_.size(); ++d)
+    if (mask & (1u << d)) members.push_back(dims_[d]);
+  if (members.empty()) return "{()}";
+  return "{" + Join(members, ", ") + "}";
+}
+
+}  // namespace statcube

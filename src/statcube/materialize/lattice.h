@@ -1,0 +1,79 @@
+// The view-materialization lattice of [HUR96] (paper §6.3, Figure 22).
+//
+// Each of the 2^n group-bys over n dimensions is a view, identified by a
+// dimension bitmask. View u is derivable from view v iff u's dimensions are
+// a subset of v's (the "lines between the items" of Figure 22). Under the
+// linear cost model of [HUR96], answering a query on view u from a
+// materialized ancestor v costs |v| rows; the benefit of materializing a set
+// is the total cost reduction against answering everything from the top
+// view.
+
+#ifndef STATCUBE_MATERIALIZE_LATTICE_H_
+#define STATCUBE_MATERIALIZE_LATTICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/relational/table.h"
+
+namespace statcube {
+
+/// The cube lattice with per-view sizes.
+class Lattice {
+ public:
+  /// `view_sizes` has 2^|dims| entries indexed by dimension bitmask.
+  Lattice(std::vector<std::string> dims, std::vector<uint64_t> view_sizes);
+
+  /// Builds the lattice with *exact* view sizes by counting distinct
+  /// dimension-value combinations in `table` for every subset. Exponential
+  /// in |dims|; fine for the n <= ~12 the technique targets.
+  static Result<Lattice> FromTable(const Table& table,
+                                   const std::vector<std::string>& dims);
+
+  /// Builds the lattice with *estimated* sizes: |v| = min(prod of member
+  /// cardinalities, total_rows) — the standard independence estimate.
+  static Lattice FromCardinalities(std::vector<std::string> dims,
+                                   const std::vector<uint64_t>& cardinalities,
+                                   uint64_t total_rows);
+
+  size_t num_dims() const { return dims_.size(); }
+  const std::vector<std::string>& dims() const { return dims_; }
+  uint32_t top() const {
+    return num_dims() == 0 ? 0 : ((1u << num_dims()) - 1);
+  }
+  size_t num_views() const { return view_sizes_.size(); }
+
+  /// Rows in view `mask`.
+  uint64_t size(uint32_t mask) const { return view_sizes_[mask]; }
+
+  /// True if `query` can be answered from `view` (query dims ⊆ view dims).
+  static bool DerivableFrom(uint32_t query, uint32_t view) {
+    return (query & view) == query;
+  }
+
+  /// Cost of answering `query` given `materialized` views (the top view is
+  /// always implicitly available): the size of the smallest materialized
+  /// ancestor.
+  uint64_t QueryCost(uint32_t query,
+                     const std::vector<uint32_t>& materialized) const;
+
+  /// Sum of QueryCost over all 2^n views (all queries equally likely, as
+  /// [HUR96] assumes).
+  uint64_t TotalCost(const std::vector<uint32_t>& materialized) const;
+
+  /// The benefit of a materialized set: TotalCost({}) - TotalCost(set).
+  uint64_t Benefit(const std::vector<uint32_t>& materialized) const;
+
+  /// Human-readable name of a view ("{product, location}").
+  std::string ViewName(uint32_t mask) const;
+
+ private:
+  std::vector<std::string> dims_;
+  std::vector<uint64_t> view_sizes_;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_MATERIALIZE_LATTICE_H_

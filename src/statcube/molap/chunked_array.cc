@@ -1,0 +1,196 @@
+#include "statcube/molap/chunked_array.h"
+
+#include <cmath>
+
+namespace statcube {
+
+std::vector<size_t> AdviseChunkShape(const std::vector<size_t>& shape,
+                                     const std::vector<size_t>& query_shape,
+                                     size_t target_cells) {
+  size_t n = shape.size();
+  std::vector<size_t> out(n, 1);
+  if (n == 0) return out;
+  double qprod = 1;
+  for (size_t i = 0; i < n; ++i)
+    qprod *= double(query_shape[i] == 0 ? 1 : query_shape[i]);
+  double f = std::pow(double(target_cells) / qprod, 1.0 / double(n));
+  for (size_t i = 0; i < n; ++i) {
+    double q = double(query_shape[i] == 0 ? 1 : query_shape[i]);
+    double c = std::round(q * f);
+    if (c < 1) c = 1;
+    if (c > double(shape[i])) c = double(shape[i]);
+    out[i] = size_t(c);
+  }
+  return out;
+}
+
+ChunkedArray::ChunkedArray(std::vector<size_t> shape,
+                           std::vector<size_t> chunk_shape)
+    : shape_(std::move(shape)), chunk_shape_(std::move(chunk_shape)) {
+  size_t ndims = shape_.size();
+  grid_.resize(ndims);
+  for (size_t i = 0; i < ndims; ++i)
+    grid_[i] = (shape_[i] + chunk_shape_[i] - 1) / chunk_shape_[i];
+  grid_strides_.assign(ndims, 1);
+  size_t nchunks = 1;
+  for (size_t i = ndims; i-- > 0;) {
+    grid_strides_[i] = nchunks;
+    nchunks *= grid_[i];
+  }
+  chunks_.resize(nchunks);
+  // Materialize each chunk's (possibly ragged) shape.
+  for (size_t ci = 0; ci < nchunks; ++ci) {
+    Chunk& ch = chunks_[ci];
+    ch.shape.resize(ndims);
+    size_t rem = ci;
+    size_t cells = 1;
+    for (size_t i = 0; i < ndims; ++i) {
+      size_t g = rem / grid_strides_[i];
+      rem %= grid_strides_[i];
+      size_t lo = g * chunk_shape_[i];
+      size_t hi = lo + chunk_shape_[i];
+      if (hi > shape_[i]) hi = shape_[i];
+      ch.shape[i] = hi - lo;
+    }
+    ch.strides.assign(ndims, 1);
+    for (size_t i = ndims; i-- > 0;) {
+      ch.strides[i] = cells;
+      cells *= ch.shape[i];
+    }
+    ch.cells.assign(cells, 0.0);
+  }
+}
+
+Status ChunkedArray::CheckCoord(const std::vector<size_t>& coord) const {
+  if (coord.size() != shape_.size())
+    return Status::InvalidArgument("coordinate arity mismatch");
+  for (size_t i = 0; i < coord.size(); ++i)
+    if (coord[i] >= shape_[i])
+      return Status::OutOfRange("coordinate out of range");
+  return Status::OK();
+}
+
+std::vector<size_t> ChunkedArray::ChunkCoord(
+    const std::vector<size_t>& coord) const {
+  std::vector<size_t> c(coord.size());
+  for (size_t i = 0; i < coord.size(); ++i) c[i] = coord[i] / chunk_shape_[i];
+  return c;
+}
+
+size_t ChunkedArray::ChunkIndex(const std::vector<size_t>& ccoord) const {
+  size_t idx = 0;
+  for (size_t i = 0; i < ccoord.size(); ++i)
+    idx += ccoord[i] * grid_strides_[i];
+  return idx;
+}
+
+size_t ChunkedArray::InChunkOffset(const std::vector<size_t>& coord,
+                                   const std::vector<size_t>& ccoord,
+                                   size_t chunk) const {
+  const Chunk& ch = chunks_[chunk];
+  size_t off = 0;
+  for (size_t i = 0; i < coord.size(); ++i)
+    off += (coord[i] - ccoord[i] * chunk_shape_[i]) * ch.strides[i];
+  return off;
+}
+
+Status ChunkedArray::Set(const std::vector<size_t>& coord, double v) {
+  STATCUBE_RETURN_NOT_OK(CheckCoord(coord));
+  auto cc = ChunkCoord(coord);
+  size_t ci = ChunkIndex(cc);
+  chunks_[ci].cells[InChunkOffset(coord, cc, ci)] = v;
+  return Status::OK();
+}
+
+Result<double> ChunkedArray::Get(const std::vector<size_t>& coord) {
+  STATCUBE_RETURN_NOT_OK(CheckCoord(coord));
+  auto cc = ChunkCoord(coord);
+  size_t ci = ChunkIndex(cc);
+  counter_.ChargeBytes(chunks_[ci].cells.size() * sizeof(double));
+  return chunks_[ci].cells[InChunkOffset(coord, cc, ci)];
+}
+
+Result<uint64_t> ChunkedArray::ChunksOverlapped(
+    const std::vector<DimRange>& ranges) const {
+  if (ranges.size() != shape_.size())
+    return Status::InvalidArgument("range arity mismatch");
+  uint64_t n = 1;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (ranges[i].lo > ranges[i].hi || ranges[i].hi > shape_[i])
+      return Status::OutOfRange("range invalid");
+    if (ranges[i].lo == ranges[i].hi) return 0;
+    size_t first = ranges[i].lo / chunk_shape_[i];
+    size_t last = (ranges[i].hi - 1) / chunk_shape_[i];
+    n *= (last - first + 1);
+  }
+  return n;
+}
+
+Result<double> ChunkedArray::SumRange(const std::vector<DimRange>& ranges) {
+  STATCUBE_ASSIGN_OR_RETURN(uint64_t overlapped, ChunksOverlapped(ranges));
+  if (overlapped == 0) return 0.0;
+  size_t ndims = shape_.size();
+
+  // Iterate the overlapped chunk grid; read each chunk once and sum the
+  // intersection of the query with the chunk.
+  std::vector<size_t> cfirst(ndims), clast(ndims), ccur(ndims);
+  for (size_t i = 0; i < ndims; ++i) {
+    cfirst[i] = ranges[i].lo / chunk_shape_[i];
+    clast[i] = (ranges[i].hi - 1) / chunk_shape_[i];
+    ccur[i] = cfirst[i];
+  }
+
+  double sum = 0.0;
+  while (true) {
+    size_t ci = ChunkIndex(ccur);
+    const Chunk& ch = chunks_[ci];
+    counter_.ChargeBytes(ch.cells.size() * sizeof(double));  // full chunk read
+
+    // Intersection of query and chunk, in in-chunk coordinates.
+    std::vector<size_t> lo(ndims), hi(ndims), cur(ndims);
+    for (size_t i = 0; i < ndims; ++i) {
+      size_t base = ccur[i] * chunk_shape_[i];
+      lo[i] = ranges[i].lo > base ? ranges[i].lo - base : 0;
+      size_t h = ranges[i].hi - base;
+      hi[i] = h > ch.shape[i] ? ch.shape[i] : h;
+      cur[i] = lo[i];
+    }
+    while (true) {
+      size_t off = 0;
+      for (size_t i = 0; i < ndims; ++i) off += cur[i] * ch.strides[i];
+      for (size_t k = lo[ndims - 1]; k < hi[ndims - 1]; ++k)
+        sum += ch.cells[off - cur[ndims - 1] * ch.strides[ndims - 1] + k];
+      size_t d = ndims - 1;
+      bool done = true;
+      while (d-- > 0) {
+        if (++cur[d] < hi[d]) {
+          done = false;
+          break;
+        }
+        cur[d] = lo[d];
+      }
+      if (done) break;
+    }
+
+    // Advance chunk odometer.
+    size_t d = ndims;
+    bool done = true;
+    while (d-- > 0) {
+      if (++ccur[d] <= clast[d]) {
+        done = false;
+        break;
+      }
+      ccur[d] = cfirst[d];
+    }
+    if (done) break;
+  }
+  return sum;
+}
+
+size_t ChunkedArray::ByteSize() const {
+  size_t b = 0;
+  for (const auto& ch : chunks_) b += ch.cells.size() * sizeof(double);
+  return b;
+}
+
+}  // namespace statcube

@@ -1,0 +1,80 @@
+// Subcube (chunk) partitioning of a data cube ([SS94], paper §6.4,
+// Figure 23): the cube is cut into equal sub-dimension subcubes so that a
+// range ("dice") query reads only the subcubes it overlaps. Each chunk is
+// stored contiguously; the block counter charges whole chunks, which is the
+// unit of I/O this layout trades in.
+
+#ifndef STATCUBE_MOLAP_CHUNKED_ARRAY_H_
+#define STATCUBE_MOLAP_CHUNKED_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "statcube/common/block_counter.h"
+#include "statcube/common/status.h"
+#include "statcube/molap/dense_array.h"
+
+namespace statcube {
+
+/// Non-symmetric partitioning advisor (paper §6.4): "when knowledge exists
+/// on the access patterns ... a non-symmetric partitioning approach can
+/// further improve performance" ([CD+95]; the exact problem is NP-complete,
+/// so a heuristic is expected). This one shapes chunks like the typical
+/// query — extents proportional to `query_shape`, scaled so one chunk holds
+/// about `target_cells` cells — which minimizes the expected number of
+/// chunks a query straddles at fixed chunk volume.
+std::vector<size_t> AdviseChunkShape(const std::vector<size_t>& shape,
+                                     const std::vector<size_t>& query_shape,
+                                     size_t target_cells);
+
+/// A dense array partitioned into equal subcubes.
+class ChunkedArray {
+ public:
+  /// `chunk_shape[i]` divides the query granularity of dimension i; the last
+  /// chunk along a dimension may be ragged.
+  ChunkedArray(std::vector<size_t> shape, std::vector<size_t> chunk_shape);
+
+  size_t num_dims() const { return shape_.size(); }
+  const std::vector<size_t>& shape() const { return shape_; }
+  const std::vector<size_t>& chunk_shape() const { return chunk_shape_; }
+  size_t num_chunks() const { return chunks_.size(); }
+
+  Status Set(const std::vector<size_t>& coord, double v);
+  Result<double> Get(const std::vector<size_t>& coord);
+
+  /// Sum over a hyper-rectangle; charges each overlapped chunk in full.
+  Result<double> SumRange(const std::vector<DimRange>& ranges);
+
+  /// Number of chunks a range query would touch (exposed for benches).
+  Result<uint64_t> ChunksOverlapped(const std::vector<DimRange>& ranges) const;
+
+  size_t ByteSize() const;
+  BlockCounter& counter() { return counter_; }
+
+ private:
+  // Chunk grid coordinate of a cell coordinate.
+  std::vector<size_t> ChunkCoord(const std::vector<size_t>& coord) const;
+  // Linear chunk index from a chunk grid coordinate.
+  size_t ChunkIndex(const std::vector<size_t>& ccoord) const;
+  // Offset of a cell within its chunk.
+  size_t InChunkOffset(const std::vector<size_t>& coord,
+                       const std::vector<size_t>& ccoord, size_t chunk) const;
+  Status CheckCoord(const std::vector<size_t>& coord) const;
+
+  std::vector<size_t> shape_;
+  std::vector<size_t> chunk_shape_;
+  std::vector<size_t> grid_;          // chunks per dimension
+  std::vector<size_t> grid_strides_;  // row-major over the chunk grid
+  // Per chunk: its actual (possibly ragged) shape and cells.
+  struct Chunk {
+    std::vector<size_t> shape;
+    std::vector<size_t> strides;
+    std::vector<double> cells;
+  };
+  std::vector<Chunk> chunks_;
+  BlockCounter counter_;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_MOLAP_CHUNKED_ARRAY_H_

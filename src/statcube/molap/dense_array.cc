@@ -1,0 +1,96 @@
+#include "statcube/molap/dense_array.h"
+
+namespace statcube {
+
+DenseArray::DenseArray(std::vector<size_t> shape) : shape_(std::move(shape)) {
+  strides_.assign(shape_.size(), 1);
+  size_t total = 1;
+  for (size_t i = shape_.size(); i-- > 0;) {
+    strides_[i] = total;
+    total *= shape_[i];
+  }
+  cells_.assign(total, 0.0);
+}
+
+Result<size_t> DenseArray::Linearize(const std::vector<size_t>& coord) const {
+  if (coord.size() != shape_.size())
+    return Status::InvalidArgument("coordinate arity mismatch");
+  size_t pos = 0;
+  for (size_t i = 0; i < coord.size(); ++i) {
+    if (coord[i] >= shape_[i])
+      return Status::OutOfRange("coordinate " + std::to_string(coord[i]) +
+                                " out of range for dimension " +
+                                std::to_string(i));
+    pos += coord[i] * strides_[i];
+  }
+  return pos;
+}
+
+std::vector<size_t> DenseArray::Delinearize(size_t pos) const {
+  std::vector<size_t> coord(shape_.size());
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    coord[i] = pos / strides_[i];
+    pos %= strides_[i];
+  }
+  return coord;
+}
+
+Status DenseArray::Set(const std::vector<size_t>& coord, double v) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t pos, Linearize(coord));
+  cells_[pos] = v;
+  return Status::OK();
+}
+
+Result<double> DenseArray::Get(const std::vector<size_t>& coord) const {
+  STATCUBE_ASSIGN_OR_RETURN(size_t pos, Linearize(coord));
+  return cells_[pos];
+}
+
+Result<double> DenseArray::SumRange(const std::vector<DimRange>& ranges) {
+  if (ranges.size() != shape_.size())
+    return Status::InvalidArgument("range arity mismatch");
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (ranges[i].lo > ranges[i].hi || ranges[i].hi > shape_[i])
+      return Status::OutOfRange("range invalid for dimension " +
+                                std::to_string(i));
+    if (ranges[i].lo == ranges[i].hi) return 0.0;  // empty slab
+  }
+  // Iterate over all combinations of the leading dims; the innermost
+  // dimension contributes a contiguous segment each time.
+  size_t ndims = shape_.size();
+  std::vector<size_t> coord(ndims);
+  for (size_t i = 0; i < ndims; ++i) coord[i] = ranges[i].lo;
+  size_t inner_width = ranges[ndims - 1].width();
+
+  double sum = 0.0;
+  while (true) {
+    size_t base = 0;
+    for (size_t i = 0; i < ndims; ++i) base += coord[i] * strides_[i];
+    // One contiguous segment (charged as a sequential read).
+    counter_.ChargeBytes(inner_width * sizeof(double));
+    for (size_t k = 0; k < inner_width; ++k) sum += cells_[base + k];
+
+    // Odometer over the leading dims.
+    size_t d = ndims - 1;
+    bool done = true;
+    while (d-- > 0) {
+      if (++coord[d] < ranges[d].hi) {
+        done = false;
+        break;
+      }
+      coord[d] = ranges[d].lo;
+    }
+    if (done) break;
+  }
+  return sum;
+}
+
+double DenseArray::Density(double null_value) const {
+  if (cells_.empty()) return 0.0;
+  size_t nonnull = 0;
+  for (double c : cells_)
+    if (c != null_value) ++nonnull;
+  return double(nonnull) / double(cells_.size());
+}
+
+}  // namespace statcube

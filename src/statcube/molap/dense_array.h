@@ -1,0 +1,71 @@
+// Dense multidimensional array with row-major linearization (paper §6.2,
+// Figure 20) — the storage model of MOLAP products: store the distinct
+// values of each dimension once, then only the cells, addressed by the
+// "fairly simple well-known calculation" pos = sum_i coord_i * stride_i.
+//
+// Range aggregation charges the block counter one sequential byte range per
+// contiguous innermost segment, which is what a disk-resident row-major
+// array would read; the chunked array (Figure 23) improves exactly this.
+
+#ifndef STATCUBE_MOLAP_DENSE_ARRAY_H_
+#define STATCUBE_MOLAP_DENSE_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "statcube/common/block_counter.h"
+#include "statcube/common/status.h"
+
+namespace statcube {
+
+/// A [lo, hi) slab per dimension.
+struct DimRange {
+  size_t lo = 0;
+  size_t hi = 0;  ///< exclusive
+  size_t width() const { return hi - lo; }
+};
+
+/// Row-major dense array of doubles.
+class DenseArray {
+ public:
+  /// `shape[i]` = cardinality of dimension i. Product must fit memory.
+  explicit DenseArray(std::vector<size_t> shape);
+
+  size_t num_dims() const { return shape_.size(); }
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t num_cells() const { return cells_.size(); }
+
+  /// Row-major position of a coordinate.
+  Result<size_t> Linearize(const std::vector<size_t>& coord) const;
+
+  /// Inverse of Linearize.
+  std::vector<size_t> Delinearize(size_t pos) const;
+
+  Status Set(const std::vector<size_t>& coord, double v);
+  Result<double> Get(const std::vector<size_t>& coord) const;
+
+  double GetLinear(size_t pos) const { return cells_[pos]; }
+  void SetLinear(size_t pos, double v) { cells_[pos] = v; }
+
+  /// Sum over the hyper-rectangle `ranges` (one DimRange per dimension).
+  /// Charges one sequential read per contiguous innermost segment.
+  Result<double> SumRange(const std::vector<DimRange>& ranges);
+
+  /// Fraction of cells different from `null_value`.
+  double Density(double null_value = 0.0) const;
+
+  size_t ByteSize() const { return cells_.size() * sizeof(double); }
+
+  BlockCounter& counter() { return counter_; }
+  const std::vector<double>& cells() const { return cells_; }
+
+ private:
+  std::vector<size_t> shape_;
+  std::vector<size_t> strides_;  // row-major
+  std::vector<double> cells_;
+  BlockCounter counter_;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_MOLAP_DENSE_ARRAY_H_

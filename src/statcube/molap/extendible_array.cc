@@ -1,0 +1,167 @@
+#include "statcube/molap/extendible_array.h"
+
+namespace statcube {
+
+namespace {
+
+void BuildStrides(const std::vector<size_t>& dims,
+                  std::vector<size_t>* strides, size_t* cells) {
+  strides->assign(dims.size(), 1);
+  size_t total = 1;
+  for (size_t i = dims.size(); i-- > 0;) {
+    (*strides)[i] = total;
+    total *= dims[i];
+  }
+  *cells = total;
+}
+
+}  // namespace
+
+ExtendibleArray::ExtendibleArray(std::vector<size_t> initial_shape)
+    : shape_(std::move(initial_shape)) {
+  Segment s;
+  s.dim = 0;
+  s.start = 0;
+  s.end = shape_.empty() ? 0 : shape_[0];
+  s.bounds = shape_;
+  size_t cells = 0;
+  BuildStrides(s.bounds, &s.strides, &cells);
+  s.cells.assign(cells, 0.0);
+  segments_.push_back(std::move(s));
+}
+
+size_t ExtendibleArray::num_cells() const {
+  size_t n = 1;
+  for (size_t d : shape_) n *= d;
+  return n;
+}
+
+Status ExtendibleArray::Expand(size_t dim, size_t by) {
+  if (dim >= shape_.size()) return Status::OutOfRange("dimension");
+  if (by == 0) return Status::OK();
+  Segment s;
+  s.dim = dim;
+  s.start = shape_[dim];
+  s.end = shape_[dim] + by;
+  shape_[dim] += by;
+  s.bounds = shape_;  // other dims at their *current* extents
+  size_t cells = 0;
+  // The segment spans [start, end) along dim and [0, shape) on the others,
+  // so its dim-extent is `by`.
+  std::vector<size_t> seg_shape = shape_;
+  seg_shape[dim] = by;
+  BuildStrides(seg_shape, &s.strides, &cells);
+  s.cells.assign(cells, 0.0);
+  counter_.ChargeBytes(cells * sizeof(double));  // write the new slab only
+  segments_.push_back(std::move(s));
+  return Status::OK();
+}
+
+Status ExtendibleArray::CheckCoord(const std::vector<size_t>& coord) const {
+  if (coord.size() != shape_.size())
+    return Status::InvalidArgument("coordinate arity mismatch");
+  for (size_t i = 0; i < coord.size(); ++i)
+    if (coord[i] >= shape_[i])
+      return Status::OutOfRange("coordinate out of range");
+  return Status::OK();
+}
+
+Result<size_t> ExtendibleArray::SegmentOf(
+    const std::vector<size_t>& coord) const {
+  for (size_t i = segments_.size(); i-- > 0;) {
+    const Segment& s = segments_[i];
+    if (coord[s.dim] >= s.start && coord[s.dim] < s.end) return i;
+  }
+  return Status::Internal("no segment owns coordinate");
+}
+
+size_t ExtendibleArray::OffsetIn(const Segment& s,
+                                 const std::vector<size_t>& coord) const {
+  size_t off = 0;
+  for (size_t i = 0; i < coord.size(); ++i) {
+    size_t c = (i == s.dim) ? coord[i] - s.start : coord[i];
+    off += c * s.strides[i];
+  }
+  return off;
+}
+
+Status ExtendibleArray::Set(const std::vector<size_t>& coord, double v) {
+  STATCUBE_RETURN_NOT_OK(CheckCoord(coord));
+  STATCUBE_ASSIGN_OR_RETURN(size_t si, SegmentOf(coord));
+  segments_[si].cells[OffsetIn(segments_[si], coord)] = v;
+  return Status::OK();
+}
+
+Result<double> ExtendibleArray::Get(const std::vector<size_t>& coord) {
+  STATCUBE_RETURN_NOT_OK(CheckCoord(coord));
+  STATCUBE_ASSIGN_OR_RETURN(size_t si, SegmentOf(coord));
+  counter_.ChargeBlocks(1);
+  return segments_[si].cells[OffsetIn(segments_[si], coord)];
+}
+
+Result<double> ExtendibleArray::SumRange(const std::vector<DimRange>& ranges) {
+  if (ranges.size() != shape_.size())
+    return Status::InvalidArgument("range arity mismatch");
+  size_t ndims = shape_.size();
+  for (size_t i = 0; i < ndims; ++i) {
+    if (ranges[i].lo > ranges[i].hi || ranges[i].hi > shape_[i])
+      return Status::OutOfRange("range invalid");
+    if (ranges[i].lo == ranges[i].hi) return 0.0;
+  }
+  double sum = 0.0;
+  // Per segment: intersect the query with the segment's region, iterate.
+  for (const Segment& s : segments_) {
+    std::vector<size_t> lo(ndims), hi(ndims);
+    bool empty = false;
+    for (size_t i = 0; i < ndims; ++i) {
+      size_t slo = (i == s.dim) ? s.start : 0;
+      size_t shi = (i == s.dim) ? s.end : s.bounds[i];
+      lo[i] = ranges[i].lo > slo ? ranges[i].lo : slo;
+      hi[i] = ranges[i].hi < shi ? ranges[i].hi : shi;
+      if (lo[i] >= hi[i]) {
+        empty = true;
+        break;
+      }
+    }
+    if (empty) continue;
+    // Later segments own overlapping coordinates along other dims? No: a
+    // segment's region [start,end) along its dim never overlaps another
+    // segment's region along the same dim, and along other dims its bounds
+    // were the shape at expansion time, which later segments extend beyond —
+    // so regions partition the array... except that a later expansion of a
+    // *different* dim overlaps this segment's dim-range with larger other
+    // coords. The region test above uses s.bounds for the other dims, which
+    // excludes exactly those cells. Hence no double counting.
+    size_t cells_visited = 1;
+    for (size_t i = 0; i < ndims; ++i) cells_visited *= hi[i] - lo[i];
+    counter_.ChargeBytes(cells_visited * sizeof(double));
+
+    std::vector<size_t> cur = lo;
+    while (true) {
+      // cur[ndims-1] stays at lo[ndims-1]; the innermost dimension has
+      // stride 1, so the run is contiguous from the base offset.
+      size_t off = OffsetIn(s, cur);
+      for (size_t k = 0; k < hi[ndims - 1] - lo[ndims - 1]; ++k)
+        sum += s.cells[off + k];
+      size_t d = ndims - 1;
+      bool done = true;
+      while (d-- > 0) {
+        if (++cur[d] < hi[d]) {
+          done = false;
+          break;
+        }
+        cur[d] = lo[d];
+      }
+      if (done) break;
+    }
+  }
+  return sum;
+}
+
+size_t ExtendibleArray::ByteSize() const {
+  size_t b = 0;
+  for (const auto& s : segments_) b += s.cells.size() * sizeof(double);
+  return b;
+}
+
+}  // namespace statcube

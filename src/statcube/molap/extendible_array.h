@@ -1,0 +1,75 @@
+// Extendible arrays for incrementally growing data cubes ([RZ86], paper
+// §6.5, Figure 24): appends along any dimension allocate a new subarray
+// segment instead of relinearizing the whole cube. An index over the
+// expansion history routes each coordinate to its segment; a cell belongs to
+// the expansion that made it addressable.
+//
+// The benchmark compares Expand (write only the new slab) against the
+// rebuild strategy (reallocate and rewrite every cell), which is what a
+// plain linearized array must do when a dimension grows.
+
+#ifndef STATCUBE_MOLAP_EXTENDIBLE_ARRAY_H_
+#define STATCUBE_MOLAP_EXTENDIBLE_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "statcube/common/block_counter.h"
+#include "statcube/common/status.h"
+#include "statcube/molap/dense_array.h"
+
+namespace statcube {
+
+/// A multidimensional array of doubles that grows along any dimension
+/// without moving existing cells.
+class ExtendibleArray {
+ public:
+  /// Starts with `initial_shape` (one initial segment).
+  explicit ExtendibleArray(std::vector<size_t> initial_shape);
+
+  size_t num_dims() const { return shape_.size(); }
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t num_cells() const;
+
+  /// Grows dimension `dim` by `by` slices; existing data stays in place.
+  /// Charges only the new segment's bytes (the incremental-append win).
+  Status Expand(size_t dim, size_t by);
+
+  Status Set(const std::vector<size_t>& coord, double v);
+  Result<double> Get(const std::vector<size_t>& coord);
+
+  /// Sum over a hyper-rectangle. Visits each expansion segment that
+  /// intersects the range and charges the intersected bytes.
+  Result<double> SumRange(const std::vector<DimRange>& ranges);
+
+  /// Number of expansion segments (1 after construction).
+  size_t num_segments() const { return segments_.size(); }
+
+  size_t ByteSize() const;
+  BlockCounter& counter() { return counter_; }
+
+ private:
+  // One expansion: dimension `dim` grew from `start` to `end`; all other
+  // dimensions were bounded by `bounds` (shape at expansion time).
+  struct Segment {
+    size_t dim;
+    size_t start, end;           // [start, end) along `dim`
+    std::vector<size_t> bounds;  // shape at expansion time (with end at dim)
+    std::vector<size_t> strides;
+    std::vector<double> cells;
+  };
+
+  // Segment owning `coord`: the latest segment s with coord[s.dim] in
+  // [s.start, s.end).
+  Result<size_t> SegmentOf(const std::vector<size_t>& coord) const;
+  size_t OffsetIn(const Segment& s, const std::vector<size_t>& coord) const;
+  Status CheckCoord(const std::vector<size_t>& coord) const;
+
+  std::vector<size_t> shape_;
+  std::vector<Segment> segments_;
+  BlockCounter counter_;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_MOLAP_EXTENDIBLE_ARRAY_H_

@@ -1,0 +1,81 @@
+#include "statcube/molap/header_compressed.h"
+
+namespace statcube {
+
+HeaderCompressedArray::HeaderCompressedArray(const std::vector<double>& cells,
+                                             double null_value)
+    : null_value_(null_value), logical_size_(cells.size()) {
+  uint64_t i = 0;
+  while (i < cells.size()) {
+    if (cells[i] == null_value_) {
+      ++i;
+      continue;
+    }
+    // Start of a non-null run.
+    RunInfo run{i, uint64_t(values_.size()), 0};
+    while (i < cells.size() && cells[i] != null_value_) {
+      values_.push_back(cells[i]);
+      ++run.length;
+      ++i;
+    }
+    forward_.Insert(run.logical_start, run);
+    inverse_.Insert(run.stored_start, run);
+    ++runs_;
+  }
+}
+
+Result<double> HeaderCompressedArray::Get(uint64_t pos) {
+  if (pos >= logical_size_) return Status::OutOfRange("position");
+  // One header probe (a handful of tree blocks) ...
+  counter_.ChargeBlocks(1);
+  auto e = forward_.FloorEntry(pos);
+  if (!e.valid()) return null_value_;
+  const RunInfo& run = *e.value;
+  if (pos >= run.logical_start + run.length) return null_value_;
+  // ... plus the value block.
+  counter_.ChargeBlocks(1);
+  return values_[run.stored_start + (pos - run.logical_start)];
+}
+
+Result<uint64_t> HeaderCompressedArray::LogicalPositionOf(
+    uint64_t stored_index) {
+  if (stored_index >= values_.size())
+    return Status::OutOfRange("stored index");
+  counter_.ChargeBlocks(1);
+  auto e = inverse_.FloorEntry(stored_index);
+  if (!e.valid()) return Status::Internal("inverse header inconsistent");
+  const RunInfo& run = *e.value;
+  return run.logical_start + (stored_index - run.stored_start);
+}
+
+Result<double> HeaderCompressedArray::SumPositions(uint64_t lo, uint64_t hi) {
+  if (lo > hi || hi > logical_size_) return Status::OutOfRange("range");
+  if (lo == hi) return 0.0;
+  double sum = 0.0;
+  counter_.ChargeBlocks(1);  // header probe
+  // Start from the run containing (or after) lo.
+  auto e = forward_.FloorEntry(lo);
+  if (!e.valid() || e.value->logical_start + e.value->length <= lo)
+    e = forward_.LowerBound(lo);
+  while (e.valid() && e.value->logical_start < hi) {
+    const RunInfo& run = *e.value;
+    uint64_t from = run.logical_start < lo ? lo : run.logical_start;
+    uint64_t to = run.logical_start + run.length;
+    if (to > hi) to = hi;
+    if (from < to) {
+      counter_.ChargeBytes((to - from) * sizeof(double));
+      uint64_t s = run.stored_start + (from - run.logical_start);
+      for (uint64_t k = 0; k < to - from; ++k) sum += values_[s + k];
+    }
+    e = forward_.LowerBound(run.logical_start + 1);
+  }
+  return sum;
+}
+
+size_t HeaderCompressedArray::ByteSize() const {
+  // Values + one (start, stored, length) header entry per run. The two
+  // trees index the same header; a disk layout stores it once.
+  return values_.size() * sizeof(double) + runs_ * sizeof(RunInfo);
+}
+
+}  // namespace statcube

@@ -1,0 +1,86 @@
+// Header compression for sparse linearized arrays ([EOA81], paper §6.2,
+// Figure 21).
+//
+// Nulls cluster in the linearized value sequence, so only the non-null
+// values are stored, plus a run-length "header": the alternating counts of
+// values and nulls, accumulated into a monotonically increasing sequence and
+// indexed with a B+-tree. The tree supports both mappings in O(log n):
+//   forward  — logical array position -> stored position (or "null");
+//   inverse  — stored position -> logical array position.
+
+#ifndef STATCUBE_MOLAP_HEADER_COMPRESSED_H_
+#define STATCUBE_MOLAP_HEADER_COMPRESSED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "statcube/common/block_counter.h"
+#include "statcube/common/status.h"
+#include "statcube/molap/dense_array.h"
+#include "statcube/storage/btree.h"
+
+namespace statcube {
+
+/// A sparse linearized array stored as (non-null values, header B+-tree).
+class HeaderCompressedArray {
+ public:
+  /// Compresses a dense cell sequence, treating `null_value` cells as nulls.
+  HeaderCompressedArray(const std::vector<double>& cells,
+                        double null_value = 0.0);
+
+  /// Convenience: compress a DenseArray's cells.
+  static HeaderCompressedArray FromDense(const DenseArray& array,
+                                         double null_value = 0.0) {
+    return HeaderCompressedArray(array.cells(), null_value);
+  }
+
+  /// Value at logical position `pos` (the null value for compressed-out
+  /// cells). O(log #runs) via the header tree.
+  Result<double> Get(uint64_t pos);
+
+  /// Inverse mapping: the logical position of the i-th stored value.
+  Result<uint64_t> LogicalPositionOf(uint64_t stored_index);
+
+  /// Sum of logical positions [lo, hi) — reads only the overlapping stored
+  /// runs.
+  Result<double> SumPositions(uint64_t lo, uint64_t hi);
+
+  uint64_t logical_size() const { return logical_size_; }
+  uint64_t stored_count() const { return uint64_t(values_.size()); }
+  double null_value() const { return null_value_; }
+
+  /// Stored bytes: values + header entries.
+  size_t ByteSize() const;
+
+  /// Compression ratio versus the dense layout.
+  double CompressionRatio() const {
+    size_t dense = size_t(logical_size_) * sizeof(double);
+    return ByteSize() == 0 ? 0.0 : double(dense) / double(ByteSize());
+  }
+
+  /// Number of non-null runs (header entries).
+  size_t num_runs() const { return runs_; }
+
+  BlockCounter& counter() { return counter_; }
+
+ private:
+  struct RunInfo {
+    uint64_t logical_start;
+    uint64_t stored_start;
+    uint64_t length;
+  };
+
+  double null_value_;
+  uint64_t logical_size_ = 0;
+  size_t runs_ = 0;
+  std::vector<double> values_;  // non-null values, in order
+  // Forward header: logical_start -> run; FloorEntry(pos) finds the run.
+  BPlusTree<uint64_t, RunInfo> forward_;
+  // Inverse header: stored_start -> run.
+  BPlusTree<uint64_t, RunInfo> inverse_;
+  BlockCounter counter_;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_MOLAP_HEADER_COMPRESSED_H_

@@ -1,0 +1,102 @@
+#include "statcube/olap/auto_aggregate.h"
+
+#include <map>
+
+namespace statcube {
+
+Result<AutoResult> AutoAggregate(const StatisticalObject& obj,
+                                 const AutoQuery& query,
+                                 const OperatorOptions& options) {
+  STATCUBE_RETURN_NOT_OK(obj.MeasureNamed(query.measure).status());
+  AutoResult result;
+
+  // Resolve each selection to (dimension, hierarchy, level).
+  struct Resolved {
+    std::string dim;
+    std::string hierarchy;  // empty = leaf selection
+    size_t level = 0;
+    Value value;
+  };
+  std::vector<Resolved> resolved;
+  std::map<std::string, bool> selected_dim;
+  for (const auto& sel : query.selections) {
+    bool found = false;
+    for (const auto& d : obj.dimensions()) {
+      if (d.name() == sel.attribute) {
+        resolved.push_back({d.name(), "", 0, sel.value});
+        selected_dim[d.name()] = true;
+        found = true;
+        break;
+      }
+      auto lv = d.LevelNamed(sel.attribute);
+      if (lv.ok()) {
+        resolved.push_back(
+            {d.name(), lv->first->name(), lv->second, sel.value});
+        selected_dim[d.name()] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      return Status::NotFound("no category attribute '" + sel.attribute +
+                              "' on any dimension");
+  }
+
+  StatisticalObject cur = obj;
+  // (i) selections on non-leaf nodes: aggregate the dimension to that level
+  // first (summarization over all descendants is implied), then select.
+  for (const auto& r : resolved) {
+    if (!r.hierarchy.empty() && r.level > 0) {
+      STATCUBE_ASSIGN_OR_RETURN(const Dimension* od, obj.DimensionNamed(r.dim));
+      STATCUBE_ASSIGN_OR_RETURN(const ClassificationHierarchy* h,
+                                od->HierarchyNamed(r.hierarchy));
+      STATCUBE_ASSIGN_OR_RETURN(
+          cur, SAggregate(cur, r.dim, r.hierarchy, r.level, options));
+      result.inferred_steps.push_back("S-aggregate " + r.dim + " to level '" +
+                                      h->levels()[r.level] + "'");
+    }
+  }
+  // After aggregation the dimension is renamed to the level's attribute;
+  // re-resolve names for the select step.
+  for (const auto& r : resolved) {
+    std::string dim_name = r.dim;
+    if (!r.hierarchy.empty() && r.level > 0) {
+      // The aggregated dimension carries the level's name.
+      STATCUBE_ASSIGN_OR_RETURN(const Dimension* od, obj.DimensionNamed(r.dim));
+      STATCUBE_ASSIGN_OR_RETURN(const ClassificationHierarchy* h,
+                                od->HierarchyNamed(r.hierarchy));
+      dim_name = h->levels()[r.level];
+    }
+    STATCUBE_ASSIGN_OR_RETURN(cur, SSelect(cur, dim_name, {r.value}));
+    result.inferred_steps.push_back("S-select " + dim_name + " = " +
+                                    r.value.ToString());
+  }
+  // (ii) dimensions without a selection: summarization over all their
+  // values is implied -> S-project them out.
+  for (const auto& d : obj.dimensions()) {
+    if (!selected_dim.count(d.name())) {
+      STATCUBE_ASSIGN_OR_RETURN(cur, SProject(cur, d.name(), options));
+      result.inferred_steps.push_back("S-project " + d.name() +
+                                      " (summarize over all values)");
+    }
+  }
+  // (iii) project the remaining selected dimensions away too — each is now a
+  // singleton, so this only collapses the coordinate, not the data.
+  while (!cur.dimensions().empty()) {
+    STATCUBE_ASSIGN_OR_RETURN(
+        cur, SProject(cur, cur.dimensions().front().name(), options));
+  }
+
+  // (iv) the measure value is read off the single remaining cell.
+  if (cur.data().num_rows() == 0) {
+    result.value = Value::Null();
+    return result;
+  }
+  STATCUBE_ASSIGN_OR_RETURN(size_t midx,
+                            cur.data().schema().IndexOf(query.measure));
+  result.value = cur.data().at(0, midx);
+  result.inferred_steps.push_back("report " + query.measure);
+  return result;
+}
+
+}  // namespace statcube

@@ -1,0 +1,58 @@
+// Automatic aggregation ([S82], paper §5.1, Figure 13): because a
+// statistical object's semantics are explicit, a query need only circle a
+// few nodes — "engineer" on the profession hierarchy, "1980" on year — and
+// everything else is inferred:
+//   * a selection on a non-leaf category value implies summarization over
+//     its descendants;
+//   * a dimension with no selection implies summarization over all its
+//     values;
+//   * the measure and the summary function come from the object itself.
+//
+// AutoAggregate compiles such a minimal query into the S-operator pipeline
+// (S-aggregate to the selected level, S-select the circled value, S-project
+// the unselected dimensions) and returns the single resulting cell.
+
+#ifndef STATCUBE_OLAP_AUTO_AGGREGATE_H_
+#define STATCUBE_OLAP_AUTO_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/core/statistical_object.h"
+#include "statcube/olap/operators.h"
+
+namespace statcube {
+
+/// One circled node: a category attribute name (a dimension name or any
+/// classification level name on it) and the selected value.
+struct AutoSelection {
+  std::string attribute;
+  Value value;
+};
+
+/// A minimal query: selections plus the measure to report.
+struct AutoQuery {
+  std::vector<AutoSelection> selections;
+  std::string measure;
+};
+
+/// Result of an automatic aggregation: the inferred plan (for display) and
+/// the value.
+struct AutoResult {
+  Value value;
+  std::vector<std::string> inferred_steps;  ///< human-readable plan
+};
+
+/// Evaluates a minimal query against the object. Summarizability
+/// enforcement follows `options`; the default matches interactive use
+/// (enforce off — the user explicitly asked for this summary, as in the
+/// paper's Figure 13 walk-through).
+Result<AutoResult> AutoAggregate(const StatisticalObject& obj,
+                                 const AutoQuery& query,
+                                 const OperatorOptions& options = {
+                                     .enforce_summarizability = false});
+
+}  // namespace statcube
+
+#endif  // STATCUBE_OLAP_AUTO_AGGREGATE_H_

@@ -1,0 +1,230 @@
+#include "statcube/olap/backend.h"
+
+#include <algorithm>
+#include <map>
+
+#include "statcube/olap/molap_cube.h"
+#include "statcube/relational/aggregate.h"
+
+namespace statcube {
+
+namespace {
+
+// ------------------------------------------------------------------ MOLAP
+
+class MolapBackend : public CubeBackend {
+ public:
+  MolapBackend(MolapCube cube, std::vector<std::string> dim_names,
+               std::vector<std::vector<Value>> dim_values)
+      : cube_(std::move(cube)),
+        dim_names_(std::move(dim_names)),
+        dim_values_(std::move(dim_values)) {}
+
+  std::string name() const override { return "molap"; }
+
+  Result<double> Sum(const std::vector<EqFilter>& filters) override {
+    return cube_.SumWhere(filters);
+  }
+
+  Result<Table> GroupBySum(const CubeQuery& query) override {
+    // Enumerate group coordinates from the dimension metadata; each group
+    // is a slab sum over the array.
+    std::vector<size_t> gidx;
+    for (const auto& g : query.group_dims) {
+      auto it = std::find(dim_names_.begin(), dim_names_.end(), g);
+      if (it == dim_names_.end())
+        return Status::NotFound("no dimension '" + g + "'");
+      gidx.push_back(size_t(it - dim_names_.begin()));
+    }
+    Schema out_schema;
+    for (const auto& g : query.group_dims)
+      out_schema.AddColumn(g, ValueType::kString);
+    out_schema.AddColumn("sum", ValueType::kDouble);
+    Table out("groupby_molap", out_schema);
+
+    std::vector<size_t> pick(gidx.size(), 0);
+    while (true) {
+      std::vector<EqFilter> filters = query.filters;
+      Row row;
+      for (size_t i = 0; i < gidx.size(); ++i) {
+        const Value& v = dim_values_[gidx[i]][pick[i]];
+        filters.push_back({dim_names_[gidx[i]], v});
+        row.push_back(v);
+      }
+      STATCUBE_ASSIGN_OR_RETURN(double s, cube_.SumWhere(filters));
+      row.push_back(Value(s));
+      out.AppendRowUnchecked(std::move(row));
+      // Odometer.
+      size_t d = gidx.size();
+      bool done = true;
+      while (d-- > 0) {
+        if (++pick[d] < dim_values_[gidx[d]].size()) {
+          done = false;
+          break;
+        }
+        pick[d] = 0;
+      }
+      if (done || gidx.empty()) break;
+    }
+    STATCUBE_RETURN_NOT_OK(out.SortBy(query.group_dims));
+    return out;
+  }
+
+  size_t ByteSize() const override { return cube_.ByteSize(); }
+  BlockCounter& counter() override { return cube_.counter(); }
+
+ private:
+  MolapCube cube_;
+  std::vector<std::string> dim_names_;
+  std::vector<std::vector<Value>> dim_values_;
+};
+
+// ------------------------------------------------------------------ ROLAP
+
+class RolapBackend : public CubeBackend {
+ public:
+  RolapBackend(const StatisticalObject& obj, size_t measure_idx,
+               RolapBackendOptions options)
+      : table_(obj.data()), measure_idx_(measure_idx), options_(options) {
+    for (const auto& d : obj.dimensions()) dim_names_.push_back(d.name());
+    if (options_.build_bitmap_indexes) BuildIndexes();
+  }
+
+  std::string name() const override {
+    return options_.build_bitmap_indexes ? "rolap+bitmap" : "rolap";
+  }
+
+  Result<double> Sum(const std::vector<EqFilter>& filters) override {
+    if (options_.build_bitmap_indexes) return SumIndexed(filters);
+    return SumScan(filters);
+  }
+
+  Result<Table> GroupBySum(const CubeQuery& query) override {
+    // Filter then relational group-by over the cell table.
+    STATCUBE_ASSIGN_OR_RETURN(std::vector<size_t> fidx, FilterIdx(query.filters));
+    Table filtered(table_.name(), table_.schema());
+    counter_.ChargeBytes(table_.ByteSize());
+    for (const Row& r : table_.rows()) {
+      bool match = true;
+      for (size_t i = 0; i < fidx.size(); ++i) {
+        if (r[fidx[i]] != query.filters[i].value) {
+          match = false;
+          break;
+        }
+      }
+      if (match) filtered.AppendRowUnchecked(r);
+    }
+    std::string measure = table_.schema().column(measure_idx_).name;
+    STATCUBE_ASSIGN_OR_RETURN(
+        Table out,
+        GroupBy(filtered, query.group_dims, {{AggFn::kSum, measure, "sum"}}));
+    return out;
+  }
+
+  size_t ByteSize() const override {
+    size_t b = table_.ByteSize();
+    for (const auto& dim_index : indexes_)
+      for (const auto& [v, bm] : dim_index) b += bm.ByteSize();
+    return b;
+  }
+  BlockCounter& counter() override { return counter_; }
+
+ private:
+  Result<std::vector<size_t>> FilterIdx(
+      const std::vector<EqFilter>& filters) const {
+    std::vector<size_t> out;
+    for (const auto& f : filters) {
+      STATCUBE_ASSIGN_OR_RETURN(size_t i, table_.schema().IndexOf(f.column));
+      out.push_back(i);
+    }
+    return out;
+  }
+
+  Result<double> SumScan(const std::vector<EqFilter>& filters) {
+    STATCUBE_ASSIGN_OR_RETURN(std::vector<size_t> fidx, FilterIdx(filters));
+    counter_.ChargeBytes(table_.ByteSize());
+    double sum = 0;
+    for (const Row& r : table_.rows()) {
+      bool match = true;
+      for (size_t i = 0; i < fidx.size(); ++i) {
+        if (r[fidx[i]] != filters[i].value) {
+          match = false;
+          break;
+        }
+      }
+      if (match && r[measure_idx_].is_numeric())
+        sum += r[measure_idx_].AsDouble();
+    }
+    return sum;
+  }
+
+  Result<double> SumIndexed(const std::vector<EqFilter>& filters) {
+    BitVector match(table_.num_rows(), true);
+    for (const auto& f : filters) {
+      auto dit = std::find(dim_names_.begin(), dim_names_.end(), f.column);
+      if (dit == dim_names_.end())
+        return Status::NotFound("no dimension '" + f.column + "'");
+      size_t d = size_t(dit - dim_names_.begin());
+      auto vit = indexes_[d].find(f.value);
+      if (vit == indexes_[d].end()) return 0.0;  // value never occurs
+      counter_.ChargeBytes(vit->second.ByteSize());
+      match.AndWith(vit->second);
+    }
+    // Read only the matching measure cells.
+    double sum = 0;
+    size_t matched = 0;
+    for (size_t i = 0; i < table_.num_rows(); ++i) {
+      if (!match.Get(i)) continue;
+      ++matched;
+      const Value& v = table_.at(i, measure_idx_);
+      if (v.is_numeric()) sum += v.AsDouble();
+    }
+    counter_.ChargeBytes(matched * sizeof(double));
+    return sum;
+  }
+
+  void BuildIndexes() {
+    indexes_.resize(dim_names_.size());
+    for (size_t d = 0; d < dim_names_.size(); ++d) {
+      for (size_t i = 0; i < table_.num_rows(); ++i) {
+        const Value& v = table_.at(i, d);
+        auto it = indexes_[d].find(v);
+        if (it == indexes_[d].end())
+          it = indexes_[d].emplace(v, BitVector(table_.num_rows())).first;
+        it->second.Set(i, true);
+      }
+    }
+  }
+
+  Table table_;
+  size_t measure_idx_;
+  RolapBackendOptions options_;
+  std::vector<std::string> dim_names_;
+  std::vector<std::map<Value, BitVector>> indexes_;  // per dim: value -> rows
+  BlockCounter counter_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<CubeBackend>> MakeMolapBackend(
+    const StatisticalObject& obj, const std::string& measure) {
+  STATCUBE_ASSIGN_OR_RETURN(MolapCube cube, MolapCube::Build(obj, measure));
+  std::vector<std::string> names;
+  std::vector<std::vector<Value>> values;
+  for (const auto& d : obj.dimensions()) {
+    names.push_back(d.name());
+    values.push_back(d.values());
+  }
+  return std::unique_ptr<CubeBackend>(
+      new MolapBackend(std::move(cube), std::move(names), std::move(values)));
+}
+
+Result<std::unique_ptr<CubeBackend>> MakeRolapBackend(
+    const StatisticalObject& obj, const std::string& measure,
+    const RolapBackendOptions& options) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t midx,
+                            obj.data().schema().IndexOf(measure));
+  return std::unique_ptr<CubeBackend>(new RolapBackend(obj, midx, options));
+}
+
+}  // namespace statcube

@@ -1,0 +1,72 @@
+#include "statcube/olap/cube_build.h"
+
+#include <algorithm>
+
+namespace statcube {
+
+DenseArray CollapseDim(const DenseArray& a, size_t d) {
+  std::vector<size_t> out_shape;
+  for (size_t i = 0; i < a.shape().size(); ++i)
+    if (i != d) out_shape.push_back(a.shape()[i]);
+  if (out_shape.empty()) out_shape.push_back(1);  // 0-d -> single cell
+  DenseArray out(out_shape);
+
+  size_t n = a.num_cells();
+  std::vector<size_t> coord;
+  for (size_t pos = 0; pos < n; ++pos) {
+    coord = a.Delinearize(pos);
+    std::vector<size_t> oc;
+    for (size_t i = 0; i < coord.size(); ++i)
+      if (i != d) oc.push_back(coord[i]);
+    if (oc.empty()) oc.push_back(0);
+    size_t opos = *out.Linearize(oc);
+    out.SetLinear(opos, out.GetLinear(opos) + a.GetLinear(pos));
+  }
+  return out;
+}
+
+Result<std::map<uint32_t, DenseArray>> ArrayCubeAll(const DenseArray& base) {
+  size_t ndims = base.shape().size();
+  if (ndims > 20) return Status::InvalidArgument("cube over >20 dims refused");
+  uint32_t full = ndims == 0 ? 0 : ((1u << ndims) - 1);
+
+  std::map<uint32_t, DenseArray> out;
+  out.emplace(full, base);
+
+  // Masks by decreasing popcount: every child has a computed parent.
+  std::vector<uint32_t> masks;
+  for (uint32_t m = 0; m <= full; ++m) masks.push_back(m);
+  std::sort(masks.begin(), masks.end(), [](uint32_t a, uint32_t b) {
+    int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+    return pa != pb ? pa > pb : a < b;
+  });
+
+  for (uint32_t m : masks) {
+    if (out.count(m)) continue;
+    uint32_t missing = full & ~m;
+    uint32_t bit = missing & (~missing + 1);  // lowest absent dimension
+    uint32_t parent = m | bit;
+    // Position of `bit`'s dimension within the parent's retained dims.
+    size_t d = 0;
+    for (size_t i = 0; i < ndims; ++i) {
+      if ((uint32_t(1) << i) == bit) break;
+      if (parent & (1u << i)) ++d;
+    }
+    out.emplace(m, CollapseDim(out.at(parent), d));
+  }
+  return out;
+}
+
+uint64_t ArrayCubeCells(const std::vector<size_t>& shape) {
+  size_t ndims = shape.size();
+  uint64_t total = 0;
+  for (uint32_t m = 0; m < (1u << ndims); ++m) {
+    uint64_t cells = 1;
+    for (size_t i = 0; i < ndims; ++i)
+      if (m & (1u << i)) cells *= shape[i];
+    total += cells;
+  }
+  return total;
+}
+
+}  // namespace statcube

@@ -1,0 +1,34 @@
+// Array-based simultaneous computation of all 2^n cube aggregates, in the
+// spirit of [ZDN97] (paper §5.4/§6.6): instead of scanning the base data
+// once per grouping (the naive relational strategy), compute the finest
+// array once and derive every coarser array by collapsing one dimension of
+// an already-computed parent — each cell is touched a minimal number of
+// times.
+
+#ifndef STATCUBE_OLAP_CUBE_BUILD_H_
+#define STATCUBE_OLAP_CUBE_BUILD_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/molap/dense_array.h"
+
+namespace statcube {
+
+/// Sums array `a` along dimension `d`, producing an array of one fewer
+/// dimension (shape without d). A 0-d result is a single-cell array.
+DenseArray CollapseDim(const DenseArray& a, size_t d);
+
+/// All 2^n groupings of `base`, keyed by dimension bitmask (bit i set =
+/// dimension i retained; the full mask maps to a copy of `base`). Each
+/// grouping is derived from a parent with exactly one more dimension.
+Result<std::map<uint32_t, DenseArray>> ArrayCubeAll(const DenseArray& base);
+
+/// Total cells written across all groupings (cost model for benches).
+uint64_t ArrayCubeCells(const std::vector<size_t>& shape);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_OLAP_CUBE_BUILD_H_

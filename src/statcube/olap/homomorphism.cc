@@ -1,0 +1,65 @@
+#include "statcube/olap/homomorphism.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace statcube {
+
+Result<StatisticalObject> SummarizeMicro(const Table& micro,
+                                         const std::vector<std::string>& dims,
+                                         const AggSpec& agg,
+                                         MeasureType type) {
+  std::vector<AggSpec> aggs = {agg};
+  bool with_count = agg.fn == AggFn::kAvg;
+  if (with_count)
+    aggs.push_back({AggFn::kCountAll, "", agg.EffectiveName() + "_count"});
+  STATCUBE_ASSIGN_OR_RETURN(Table macro, GroupBy(micro, dims, aggs));
+
+  std::vector<SummaryMeasure> measures;
+  SummaryMeasure m;
+  m.name = agg.EffectiveName();
+  m.type = type;
+  m.default_fn = agg.fn;
+  if (with_count) m.weight_measure = agg.EffectiveName() + "_count";
+  measures.push_back(m);
+  if (with_count) {
+    SummaryMeasure c;
+    c.name = agg.EffectiveName() + "_count";
+    c.type = MeasureType::kFlow;
+    c.default_fn = AggFn::kSum;
+    measures.push_back(c);
+  }
+  return StatisticalObject::FromTable(macro, dims, measures);
+}
+
+Result<bool> MacroDataEqual(const StatisticalObject& a,
+                            const StatisticalObject& b, double tol) {
+  if (a.data().num_columns() != b.data().num_columns()) return false;
+  if (a.data().num_rows() != b.data().num_rows()) return false;
+  // Compare as sorted row sets.
+  auto rows_a = a.data().rows();
+  auto rows_b = b.data().rows();
+  auto cmp = [](const Row& x, const Row& y) {
+    for (size_t i = 0; i < x.size(); ++i) {
+      int c = Value::Compare(x[i], y[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+  std::sort(rows_a.begin(), rows_a.end(), cmp);
+  std::sort(rows_b.begin(), rows_b.end(), cmp);
+  for (size_t r = 0; r < rows_a.size(); ++r) {
+    for (size_t c = 0; c < rows_a[r].size(); ++c) {
+      const Value& x = rows_a[r][c];
+      const Value& y = rows_b[r][c];
+      if (x.is_numeric() && y.is_numeric()) {
+        if (std::abs(x.AsDouble() - y.AsDouble()) > tol) return false;
+      } else if (x != y) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace statcube

@@ -1,0 +1,45 @@
+// The completeness-by-homomorphism harness (paper §5.5, Figure 16; [MRS92]):
+//
+//        micro ── summarize ──► macro
+//          │                      │
+//   relational op          statistical op
+//          ▼                      ▼
+//    result micro ─ summarize ─► result macro  (must commute)
+//
+// `SummarizeMicro` is the vertical "summarize" arrow: it derives a
+// statistical object (macro-data) from a relational micro-data table. The
+// property tests drive relational operators down the left side and
+// S-operators down the right side and assert the square commutes for
+// S-select/select, S-project/project-out, and S-union/union.
+
+#ifndef STATCUBE_OLAP_HOMOMORPHISM_H_
+#define STATCUBE_OLAP_HOMOMORPHISM_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/core/statistical_object.h"
+#include "statcube/relational/aggregate.h"
+#include "statcube/relational/table.h"
+
+namespace statcube {
+
+/// Derives macro-data from micro-data: groups `micro` by `dims` and
+/// aggregates `agg`, returning a StatisticalObject whose one measure is the
+/// aggregate (named by the spec). For kAvg aggregates a companion count
+/// measure is added automatically and linked as the weight, so that further
+/// summarization of the macro-data is exact (the paper's §5.1 note).
+Result<StatisticalObject> SummarizeMicro(const Table& micro,
+                                         const std::vector<std::string>& dims,
+                                         const AggSpec& agg,
+                                         MeasureType type = MeasureType::kFlow);
+
+/// Compares two statistical objects' cell tables for equality up to row
+/// order and floating-point tolerance. Used by the commutation tests.
+Result<bool> MacroDataEqual(const StatisticalObject& a,
+                            const StatisticalObject& b, double tol = 1e-9);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_OLAP_HOMOMORPHISM_H_

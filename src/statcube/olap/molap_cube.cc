@@ -1,0 +1,115 @@
+#include "statcube/olap/molap_cube.h"
+
+namespace statcube {
+
+Result<MolapCube> MolapCube::Build(const StatisticalObject& obj,
+                                   const std::string& measure) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t midx,
+                            obj.data().schema().IndexOf(measure));
+  size_t ndims = obj.dimensions().size();
+  std::vector<std::string> names;
+  std::vector<Dictionary> dicts(ndims);
+  std::vector<size_t> shape(ndims);
+  for (size_t i = 0; i < ndims; ++i) {
+    names.push_back(obj.dimensions()[i].name());
+    for (const Value& v : obj.dimensions()[i].values()) dicts[i].Encode(v);
+    shape[i] = dicts[i].cardinality();
+    if (shape[i] == 0)
+      return Status::InvalidArgument("dimension '" + names[i] +
+                                     "' has no values");
+  }
+  DenseArray array(shape);
+  std::vector<size_t> coord(ndims);
+  for (const Row& r : obj.data().rows()) {
+    for (size_t i = 0; i < ndims; ++i) {
+      STATCUBE_ASSIGN_OR_RETURN(uint32_t code, dicts[i].Lookup(r[i]));
+      coord[i] = code;
+    }
+    STATCUBE_ASSIGN_OR_RETURN(size_t pos, array.Linearize(coord));
+    double v = r[midx].is_numeric() ? r[midx].AsDouble() : 0.0;
+    array.SetLinear(pos, array.GetLinear(pos) + v);
+  }
+  return MolapCube(std::move(names), std::move(dicts), std::move(array));
+}
+
+Result<size_t> MolapCube::DimIndex(const std::string& name) const {
+  for (size_t i = 0; i < dim_names_.size(); ++i)
+    if (dim_names_[i] == name) return i;
+  return Status::NotFound("cube has no dimension '" + name + "'");
+}
+
+Result<double> MolapCube::GetCell(const std::vector<Value>& coord_values) {
+  if (coord_values.size() != dicts_.size())
+    return Status::InvalidArgument("coordinate arity mismatch");
+  std::vector<size_t> coord(dicts_.size());
+  for (size_t i = 0; i < dicts_.size(); ++i) {
+    auto code = dicts_[i].Lookup(coord_values[i]);
+    if (!code.ok()) return 0.0;
+    coord[i] = *code;
+  }
+  STATCUBE_ASSIGN_OR_RETURN(double v, array_.Get(coord));
+  array_.counter().ChargeBlocks(1);
+  return v;
+}
+
+Result<double> MolapCube::SumWhere(const std::vector<EqFilter>& filters) {
+  std::vector<DimRange> ranges(dicts_.size());
+  for (size_t i = 0; i < dicts_.size(); ++i)
+    ranges[i] = {0, dicts_[i].cardinality()};
+  for (const auto& f : filters) {
+    STATCUBE_ASSIGN_OR_RETURN(size_t d, DimIndex(f.column));
+    auto code = dicts_[d].Lookup(f.value);
+    if (!code.ok()) return 0.0;  // value never occurs
+    ranges[d] = {*code, *code + 1};
+  }
+  return array_.SumRange(ranges);
+}
+
+Result<double> MolapCube::SumDice(const std::vector<DiceDim>& dice) {
+  // Per dimension: the list of selected codes (all codes if unmentioned).
+  std::vector<std::vector<size_t>> codes(dicts_.size());
+  for (size_t i = 0; i < dicts_.size(); ++i) {
+    codes[i].resize(dicts_[i].cardinality());
+    for (size_t c = 0; c < codes[i].size(); ++c) codes[i][c] = c;
+  }
+  for (const auto& d : dice) {
+    STATCUBE_ASSIGN_OR_RETURN(size_t di, DimIndex(d.dim));
+    codes[di].clear();
+    for (const Value& v : d.values) {
+      auto code = dicts_[di].Lookup(v);
+      if (code.ok()) codes[di].push_back(*code);
+    }
+    if (codes[di].empty()) return 0.0;
+  }
+  // Enumerate combinations of the leading dims; the innermost selected
+  // codes read via Get (charged per cell block).
+  size_t ndims = dicts_.size();
+  std::vector<size_t> pick(ndims, 0);
+  std::vector<size_t> coord(ndims);
+  double sum = 0.0;
+  while (true) {
+    for (size_t i = 0; i < ndims; ++i) coord[i] = codes[i][pick[i]];
+    STATCUBE_ASSIGN_OR_RETURN(double v, array_.Get(coord));
+    array_.counter().ChargeBlocks(1);
+    sum += v;
+    size_t d = ndims;
+    bool done = true;
+    while (d-- > 0) {
+      if (++pick[d] < codes[d].size()) {
+        done = false;
+        break;
+      }
+      pick[d] = 0;
+    }
+    if (done) break;
+  }
+  return sum;
+}
+
+size_t MolapCube::ByteSize() const {
+  size_t b = array_.ByteSize();
+  for (const auto& d : dicts_) b += d.ByteSize();
+  return b;
+}
+
+}  // namespace statcube

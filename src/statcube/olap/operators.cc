@@ -1,0 +1,323 @@
+#include "statcube/olap/operators.h"
+
+#include <map>
+#include <set>
+
+namespace statcube {
+
+namespace {
+
+// Builds a fresh object from dimension/measure metadata and cells given as
+// (coordinate, measure values) rows. Dimension leaf registries are rebuilt
+// from the cells.
+Result<StatisticalObject> MakeObject(
+    const std::string& name, std::vector<Dimension> dims,
+    const std::vector<SummaryMeasure>& measures,
+    const std::vector<std::pair<Row, Row>>& cells) {
+  StatisticalObject out(name);
+  for (auto& d : dims) {
+    d.ClearValues();
+    STATCUBE_RETURN_NOT_OK(out.AddDimension(std::move(d)));
+  }
+  for (const auto& m : measures) STATCUBE_RETURN_NOT_OK(out.AddMeasure(m));
+  for (const auto& [coord, mv] : cells)
+    STATCUBE_RETURN_NOT_OK(out.AddCell(coord, mv));
+  return out;
+}
+
+// Aggregation plan per measure, honoring weight_measure for kAvg.
+struct MeasurePlan {
+  AggFn fn;
+  int weight_index = -1;  // index into the measure list, or -1
+};
+
+std::vector<MeasurePlan> PlanMeasures(
+    const std::vector<SummaryMeasure>& measures) {
+  std::vector<MeasurePlan> plans;
+  for (const auto& m : measures) {
+    MeasurePlan p{m.default_fn, -1};
+    if (m.default_fn == AggFn::kAvg && !m.weight_measure.empty()) {
+      for (size_t j = 0; j < measures.size(); ++j)
+        if (measures[j].name == m.weight_measure)
+          p.weight_index = static_cast<int>(j);
+    }
+    plans.push_back(p);
+  }
+  return plans;
+}
+
+// One accumulator per measure per group.
+struct MeasureAcc {
+  AggState state;
+  double weighted_num = 0.0;
+  double weighted_den = 0.0;
+};
+
+// Groups `cells` (coordinate, measure-values pairs) by coordinate and
+// aggregates the measures according to `plans`.
+std::vector<std::pair<Row, Row>> AggregateCells(
+    const std::vector<std::pair<Row, Row>>& cells,
+    const std::vector<SummaryMeasure>& measures,
+    const std::vector<MeasurePlan>& plans) {
+  std::map<Row, std::vector<MeasureAcc>> groups;
+  for (const auto& [coord, mv] : cells) {
+    auto it = groups.find(coord);
+    if (it == groups.end())
+      it = groups.emplace(coord, std::vector<MeasureAcc>(measures.size()))
+               .first;
+    for (size_t i = 0; i < measures.size(); ++i) {
+      MeasureAcc& acc = it->second[i];
+      acc.state.Add(mv[i]);
+      if (plans[i].weight_index >= 0) {
+        const Value& w = mv[static_cast<size_t>(plans[i].weight_index)];
+        if (mv[i].is_numeric() && w.is_numeric()) {
+          acc.weighted_num += mv[i].AsDouble() * w.AsDouble();
+          acc.weighted_den += w.AsDouble();
+        }
+      }
+    }
+  }
+  std::vector<std::pair<Row, Row>> out;
+  out.reserve(groups.size());
+  for (auto& [coord, accs] : groups) {
+    Row mv(measures.size());
+    for (size_t i = 0; i < measures.size(); ++i) {
+      if (plans[i].weight_index >= 0 && accs[i].weighted_den > 0) {
+        mv[i] = Value(accs[i].weighted_num / accs[i].weighted_den);
+      } else {
+        mv[i] = accs[i].state.Finalize(plans[i].fn);
+      }
+    }
+    out.emplace_back(coord, std::move(mv));
+  }
+  return out;
+}
+
+// Splits the object's data rows into (coordinate, measure values).
+std::vector<std::pair<Row, Row>> SplitCells(const StatisticalObject& obj) {
+  size_t nd = obj.dimensions().size();
+  size_t nm = obj.measures().size();
+  std::vector<std::pair<Row, Row>> out;
+  out.reserve(obj.data().num_rows());
+  for (const Row& r : obj.data().rows()) {
+    Row coord(r.begin(), r.begin() + static_cast<long>(nd));
+    Row mv(r.begin() + static_cast<long>(nd),
+           r.begin() + static_cast<long>(nd + nm));
+    out.emplace_back(std::move(coord), std::move(mv));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<StatisticalObject> SSelect(const StatisticalObject& obj,
+                                  const std::string& dim,
+                                  const std::vector<Value>& values) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t didx, obj.DimensionIndex(dim));
+  std::set<Value> keep(values.begin(), values.end());
+  std::vector<std::pair<Row, Row>> cells;
+  for (auto& cell : SplitCells(obj))
+    if (keep.count(cell.first[didx])) cells.push_back(std::move(cell));
+  return MakeObject(obj.name() + "_sselect", obj.dimensions(), obj.measures(),
+                    cells);
+}
+
+Result<StatisticalObject> Dice(const StatisticalObject& obj,
+                               const std::vector<DiceSpec>& specs) {
+  StatisticalObject cur = obj;
+  for (const auto& spec : specs) {
+    STATCUBE_ASSIGN_OR_RETURN(cur, SSelect(cur, spec.dim, spec.values));
+  }
+  return cur;
+}
+
+Result<StatisticalObject> SliceAt(const StatisticalObject& obj,
+                                  const std::string& dim, const Value& value) {
+  return SSelect(obj, dim, {value});
+}
+
+Result<StatisticalObject> SProject(const StatisticalObject& obj,
+                                   const std::string& dim,
+                                   const OperatorOptions& options) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t didx, obj.DimensionIndex(dim));
+  if (options.enforce_summarizability) {
+    for (const auto& m : obj.measures()) {
+      STATCUBE_ASSIGN_OR_RETURN(
+          SummarizabilityReport rep,
+          CheckProjectOut(obj, dim, m.name, m.default_fn));
+      STATCUBE_RETURN_NOT_OK(rep.ToStatus());
+    }
+  }
+  std::vector<Dimension> dims;
+  for (size_t i = 0; i < obj.dimensions().size(); ++i)
+    if (i != didx) dims.push_back(obj.dimensions()[i]);
+
+  std::vector<std::pair<Row, Row>> cells;
+  for (auto& [coord, mv] : SplitCells(obj)) {
+    Row c;
+    for (size_t i = 0; i < coord.size(); ++i)
+      if (i != didx) c.push_back(coord[i]);
+    cells.emplace_back(std::move(c), std::move(mv));
+  }
+  auto plans = PlanMeasures(obj.measures());
+  auto aggregated = AggregateCells(cells, obj.measures(), plans);
+  return MakeObject(obj.name() + "_minus_" + dim, std::move(dims),
+                    obj.measures(), aggregated);
+}
+
+Result<StatisticalObject> SAggregate(const StatisticalObject& obj,
+                                     const std::string& dim,
+                                     const std::string& hierarchy,
+                                     size_t to_level,
+                                     const OperatorOptions& options) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t didx, obj.DimensionIndex(dim));
+  const Dimension& d = obj.dimensions()[didx];
+  STATCUBE_ASSIGN_OR_RETURN(const ClassificationHierarchy* hier,
+                            d.HierarchyNamed(hierarchy));
+  if (to_level == 0) return obj;  // already at the leaves
+  if (to_level >= hier->num_levels())
+    return Status::OutOfRange("hierarchy '" + hierarchy + "' has only " +
+                              std::to_string(hier->num_levels()) + " levels");
+  if (options.enforce_summarizability) {
+    for (const auto& m : obj.measures()) {
+      STATCUBE_ASSIGN_OR_RETURN(
+          SummarizabilityReport rep,
+          CheckRollup(obj, dim, hierarchy, 0, to_level, m.name, m.default_fn));
+      STATCUBE_RETURN_NOT_OK(rep.ToStatus());
+    }
+  }
+
+  // New dimension named after the target category attribute, carrying the
+  // truncated hierarchy (levels to_level and above).
+  Dimension nd(hier->levels()[to_level], d.kind());
+  if (to_level + 1 < hier->num_levels()) {
+    std::vector<std::string> levels(hier->levels().begin() +
+                                        static_cast<long>(to_level),
+                                    hier->levels().end());
+    ClassificationHierarchy trunc(hier->name(), levels);
+    for (size_t l = to_level; l + 1 < hier->num_levels(); ++l) {
+      for (const Value& child : hier->ValuesAt(l)) {
+        for (const Value& parent : hier->Parents(l, child)) {
+          STATCUBE_RETURN_NOT_OK(trunc.Link(l - to_level, child, parent));
+        }
+      }
+    }
+    nd.AddHierarchy(std::move(trunc));
+  }
+  std::vector<Dimension> dims = obj.dimensions();
+  dims[didx] = std::move(nd);
+
+  // Map each cell's leaf value to its ancestors at to_level. Multiple
+  // ancestors (non-strict) replicate the cell; none (uncovered) drops it.
+  std::vector<std::pair<Row, Row>> cells;
+  for (auto& [coord, mv] : SplitCells(obj)) {
+    STATCUBE_ASSIGN_OR_RETURN(std::vector<Value> ancestors,
+                              hier->Ancestors(0, coord[didx], to_level));
+    for (const Value& a : ancestors) {
+      Row c = coord;
+      c[didx] = a;
+      cells.emplace_back(std::move(c), mv);
+    }
+  }
+  auto plans = PlanMeasures(obj.measures());
+  auto aggregated = AggregateCells(cells, obj.measures(), plans);
+  return MakeObject(obj.name() + "_by_" + hier->levels()[to_level],
+                    std::move(dims), obj.measures(), aggregated);
+}
+
+Result<StatisticalObject> DrillDown(const StatisticalObject& base,
+                                    const std::string& dim,
+                                    const std::string& hierarchy,
+                                    size_t to_level,
+                                    const OperatorOptions& options) {
+  if (to_level == 0) return base;
+  return SAggregate(base, dim, hierarchy, to_level, options);
+}
+
+Result<StatisticalObject> SUnion(const StatisticalObject& a,
+                                 const StatisticalObject& b) {
+  if (a.dimensions().size() != b.dimensions().size())
+    return Status::InvalidArgument("S-union: dimension counts differ");
+  for (size_t i = 0; i < a.dimensions().size(); ++i)
+    if (a.dimensions()[i].name() != b.dimensions()[i].name())
+      return Status::InvalidArgument("S-union: dimension '" +
+                                     a.dimensions()[i].name() + "' vs '" +
+                                     b.dimensions()[i].name() + "'");
+  if (a.measures().size() != b.measures().size())
+    return Status::InvalidArgument("S-union: measure counts differ");
+  for (size_t i = 0; i < a.measures().size(); ++i)
+    if (a.measures()[i].name != b.measures()[i].name)
+      return Status::InvalidArgument("S-union: measure '" +
+                                     a.measures()[i].name + "' vs '" +
+                                     b.measures()[i].name + "'");
+
+  auto cells = SplitCells(a);
+  for (auto& cell : SplitCells(b)) cells.push_back(std::move(cell));
+  auto plans = PlanMeasures(a.measures());
+  auto aggregated = AggregateCells(cells, a.measures(), plans);
+  // Union the dimension hierarchies too (prefer a's; b's extra hierarchies
+  // are not merged — classification matching (§5.7) handles mismatched
+  // classifications explicitly).
+  return MakeObject(a.name() + "_union_" + b.name(), a.dimensions(),
+                    a.measures(), aggregated);
+}
+
+Result<StatisticalObject> SDisaggregateByProxy(
+    const StatisticalObject& obj, const std::string& dim,
+    const std::string& child_attribute,
+    const std::vector<ProxyChild>& children) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t didx, obj.DimensionIndex(dim));
+
+  // Per parent: its children and normalized weights.
+  std::map<Value, std::vector<std::pair<Value, double>>> per_parent;
+  std::map<Value, double> weight_sum;
+  for (const auto& c : children) {
+    if (c.proxy_weight < 0)
+      return Status::InvalidArgument("negative proxy weight for " +
+                                     c.child.ToString());
+    per_parent[c.parent].emplace_back(c.child, c.proxy_weight);
+    weight_sum[c.parent] += c.proxy_weight;
+  }
+
+  // Which measures split (additive) vs copy (levels/rates).
+  std::vector<bool> additive;
+  for (const auto& m : obj.measures())
+    additive.push_back(m.default_fn == AggFn::kSum ||
+                       m.default_fn == AggFn::kCount ||
+                       m.default_fn == AggFn::kCountAll);
+
+  std::vector<Dimension> dims = obj.dimensions();
+  dims[didx] = Dimension(child_attribute, obj.dimensions()[didx].kind());
+
+  std::vector<std::pair<Row, Row>> cells;
+  for (auto& [coord, mv] : SplitCells(obj)) {
+    auto pit = per_parent.find(coord[didx]);
+    if (pit == per_parent.end())
+      return Status::NotFound("no proxy children for parent " +
+                              coord[didx].ToString());
+    double wsum = weight_sum[coord[didx]];
+    if (wsum <= 0)
+      return Status::InvalidArgument("zero total proxy weight under " +
+                                     coord[didx].ToString());
+    for (const auto& [child, w] : pit->second) {
+      Row c = coord;
+      c[didx] = child;
+      Row m = mv;
+      for (size_t i = 0; i < m.size(); ++i) {
+        if (additive[i] && m[i].is_numeric())
+          m[i] = Value(m[i].AsDouble() * (w / wsum));
+      }
+      cells.emplace_back(std::move(c), std::move(m));
+    }
+  }
+  return MakeObject(obj.name() + "_by_" + child_attribute, std::move(dims),
+                    obj.measures(), cells);
+}
+
+Result<StatisticalObject> Consolidate(const StatisticalObject& obj) {
+  auto plans = PlanMeasures(obj.measures());
+  auto aggregated = AggregateCells(SplitCells(obj), obj.measures(), plans);
+  return MakeObject(obj.name(), obj.dimensions(), obj.measures(), aggregated);
+}
+
+}  // namespace statcube

@@ -1,0 +1,132 @@
+// Statistical algebra and OLAP operators over StatisticalObjects.
+//
+// Following the correspondence of the paper's §5.2–5.3 (Figure 14):
+//
+//   OLAP                      SDB [MRS92]      here
+//   -------------             ------------     -----------------------------
+//   Dice                      S-selection      SSelect / Dice
+//   Slice (summarize sense)   S-projection     SProject / Slice
+//   Slice (fixed-value sense) —                SliceAt (the paper notes the
+//                                              term is used both ways)
+//   Roll up (consolidation)   S-aggregation    SAggregate / RollUp
+//   Drill down                S-disaggregation DrillDown (requires the base
+//                                              object: a summary cannot be
+//                                              refined without its source)
+//   —                         S-union          SUnion
+//
+// Every operator that further summarizes (SProject, SAggregate) consults the
+// summarizability checker (§3.3.2) and refuses unsafe operations unless
+// `OperatorOptions::enforce_summarizability` is cleared — which is exactly
+// how one reproduces the paper's double-counting example (physicians by
+// specialty summed over specialties).
+
+#ifndef STATCUBE_OLAP_OPERATORS_H_
+#define STATCUBE_OLAP_OPERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/core/statistical_object.h"
+#include "statcube/core/summarizability.h"
+#include "statcube/matching/matching.h"
+
+namespace statcube {
+
+/// Behavior switches for summarizing operators.
+struct OperatorOptions {
+  /// Refuse operations the summarizability checker rejects.
+  bool enforce_summarizability = true;
+};
+
+/// One dimension's selection for Dice.
+struct DiceSpec {
+  std::string dim;
+  std::vector<Value> values;
+};
+
+/// S-select: keep only cells whose `dim` value is in `values`. Cardinality
+/// of the multidimensional space is otherwise unchanged; hierarchies and
+/// measures carry over.
+Result<StatisticalObject> SSelect(const StatisticalObject& obj,
+                                  const std::string& dim,
+                                  const std::vector<Value>& values);
+
+/// OLAP dice: S-select over several dimensions at once.
+Result<StatisticalObject> Dice(const StatisticalObject& obj,
+                               const std::vector<DiceSpec>& specs);
+
+/// S-project: summarize over *all* values of `dim`, removing it (reduces
+/// dimensionality by one). Measures aggregate with their declared functions;
+/// kAvg measures with a `weight_measure` aggregate as weighted means.
+Result<StatisticalObject> SProject(const StatisticalObject& obj,
+                                   const std::string& dim,
+                                   const OperatorOptions& options = {});
+
+/// OLAP slice in the "summarize over a dimension" sense == S-project.
+inline Result<StatisticalObject> Slice(const StatisticalObject& obj,
+                                       const std::string& dim,
+                                       const OperatorOptions& options = {}) {
+  return SProject(obj, dim, options);
+}
+
+/// OLAP slice in the "cut at a fixed value" sense: keep only cells with
+/// `dim == value`; the dimension remains as a singleton (like the "state =
+/// California" page of Figure 1).
+Result<StatisticalObject> SliceAt(const StatisticalObject& obj,
+                                  const std::string& dim, const Value& value);
+
+/// S-aggregation / roll-up: replace the leaf values of `dim` with their
+/// ancestors at `to_level` of `hierarchy`, aggregating cells that collide.
+/// In a non-strict hierarchy a cell contributes to every parent — the
+/// double-counting hazard the checker guards against.
+Result<StatisticalObject> SAggregate(const StatisticalObject& obj,
+                                     const std::string& dim,
+                                     const std::string& hierarchy,
+                                     size_t to_level,
+                                     const OperatorOptions& options = {});
+
+/// OLAP roll-up (consolidation): one level up.
+inline Result<StatisticalObject> RollUp(const StatisticalObject& obj,
+                                        const std::string& dim,
+                                        const std::string& hierarchy,
+                                        const OperatorOptions& options = {}) {
+  return SAggregate(obj, dim, hierarchy, 1, options);
+}
+
+/// Drill down ("disaggregation", §5.3): re-derive the view of `base` with
+/// `dim` classified at `to_level` (0 = the leaves). Needs the base object —
+/// a coarse summary alone cannot be refined.
+Result<StatisticalObject> DrillDown(const StatisticalObject& base,
+                                    const std::string& dim,
+                                    const std::string& hierarchy,
+                                    size_t to_level,
+                                    const OperatorOptions& options = {});
+
+/// S-union: combines two objects with identical structure (same dimensions
+/// and measures). Cells present in both aggregate with the measures'
+/// functions — the "overlapping category values" case of [MRS92].
+Result<StatisticalObject> SUnion(const StatisticalObject& a,
+                                 const StatisticalObject& b);
+
+/// Disaggregation by proxy (§5.3): estimates a *finer* statistical object
+/// than the data supports — "if the population is only known at the state
+/// level, but the area of each county is known, one can use the area of the
+/// counties as a proxy". The object's `dim` values must be the parents;
+/// `children` supplies the child -> (parent, proxy weight) mapping;
+/// additive measures split proportionally, others are copied to each child.
+/// The finer dimension is named `child_attribute`. This is an ESTIMATE; the
+/// catalog (§3.3.3) should record the method.
+Result<StatisticalObject> SDisaggregateByProxy(
+    const StatisticalObject& obj, const std::string& dim,
+    const std::string& child_attribute,
+    const std::vector<ProxyChild>& children);
+
+/// Collapses duplicate coordinates in an object's cell table, aggregating
+/// measures with their declared functions (weighted for kAvg-with-weight).
+/// Shared by the operators; exposed for reuse by backends.
+Result<StatisticalObject> Consolidate(const StatisticalObject& obj);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_OLAP_OPERATORS_H_

@@ -1,0 +1,103 @@
+#include "statcube/olap/sparse_cube.h"
+
+namespace statcube {
+
+Result<SparseMolapCube> SparseMolapCube::Build(const StatisticalObject& obj,
+                                               const std::string& measure) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t midx,
+                            obj.data().schema().IndexOf(measure));
+  size_t ndims = obj.dimensions().size();
+  std::vector<std::string> names;
+  std::vector<Dictionary> dicts(ndims);
+  std::vector<size_t> shape(ndims);
+  for (size_t i = 0; i < ndims; ++i) {
+    names.push_back(obj.dimensions()[i].name());
+    for (const Value& v : obj.dimensions()[i].values()) dicts[i].Encode(v);
+    shape[i] = dicts[i].cardinality();
+    if (shape[i] == 0)
+      return Status::InvalidArgument("dimension '" + names[i] +
+                                     "' has no values");
+  }
+  std::vector<size_t> strides(ndims, 1);
+  size_t total = 1;
+  for (size_t i = ndims; i-- > 0;) {
+    strides[i] = total;
+    total *= shape[i];
+  }
+  std::vector<double> cells(total, 0.0);
+  for (const Row& r : obj.data().rows()) {
+    size_t pos = 0;
+    for (size_t i = 0; i < ndims; ++i) {
+      STATCUBE_ASSIGN_OR_RETURN(uint32_t code, dicts[i].Lookup(r[i]));
+      pos += code * strides[i];
+    }
+    if (r[midx].is_numeric()) cells[pos] += r[midx].AsDouble();
+  }
+  HeaderCompressedArray compressed(cells);
+  return SparseMolapCube(std::move(names), std::move(dicts),
+                         std::move(strides), std::move(compressed));
+}
+
+Result<double> SparseMolapCube::SumWhere(
+    const std::vector<EqFilter>& filters) {
+  size_t ndims = dicts_.size();
+  if (ndims == 0) return array_.SumPositions(0, array_.logical_size());
+  // [lo, hi) code slab per dimension.
+  std::vector<size_t> lo(ndims, 0), hi(ndims);
+  for (size_t i = 0; i < ndims; ++i) hi[i] = dicts_[i].cardinality();
+  for (const auto& f : filters) {
+    bool found = false;
+    for (size_t i = 0; i < ndims; ++i) {
+      if (dim_names_[i] != f.column) continue;
+      found = true;
+      auto code = dicts_[i].Lookup(f.value);
+      if (!code.ok()) return 0.0;
+      lo[i] = *code;
+      hi[i] = *code + 1;
+    }
+    if (!found) return Status::NotFound("no dimension '" + f.column + "'");
+  }
+  // Odometer over leading dims; innermost dim gives contiguous positions.
+  std::vector<size_t> cur = lo;
+  double sum = 0.0;
+  while (true) {
+    size_t base = 0;
+    for (size_t i = 0; i < ndims; ++i) base += cur[i] * strides_[i];
+    STATCUBE_ASSIGN_OR_RETURN(
+        double seg, array_.SumPositions(base, base + (hi[ndims - 1] -
+                                                      lo[ndims - 1])));
+    sum += seg;
+    size_t d = ndims - 1;
+    bool done = true;
+    while (d-- > 0) {
+      if (++cur[d] < hi[d]) {
+        done = false;
+        break;
+      }
+      cur[d] = lo[d];
+    }
+    if (done) break;
+  }
+  return sum;
+}
+
+Result<double> SparseMolapCube::GetCell(
+    const std::vector<Value>& coord_values) {
+  if (coord_values.size() != dicts_.size())
+    return Status::InvalidArgument("coordinate arity mismatch");
+  size_t pos = 0;
+  for (size_t i = 0; i < dicts_.size(); ++i) {
+    auto code = dicts_[i].Lookup(coord_values[i]);
+    if (!code.ok()) return 0.0;
+    pos += *code * strides_[i];
+  }
+  return array_.Get(pos);
+}
+
+size_t SparseMolapCube::ByteSize() const {
+  size_t b = array_.ByteSize();
+  for (const auto& d : dicts_) b += d.ByteSize();
+  return b;
+}
+
+}  // namespace statcube

@@ -1,0 +1,109 @@
+#include "statcube/olap/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+namespace statcube {
+
+Result<double> Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return Status::InvalidArgument("percentile of nothing");
+  if (p < 0 || p > 100)
+    return Status::InvalidArgument("percentile must be in [0, 100]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double rank = p / 100.0 * double(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - double(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+Result<double> Median(std::vector<double> values) {
+  return Percentile(std::move(values), 50.0);
+}
+
+Result<double> TrimmedMean(std::vector<double> values, double trim_fraction) {
+  if (values.empty()) return Status::InvalidArgument("trimmed mean of nothing");
+  if (trim_fraction < 0 || trim_fraction >= 0.5)
+    return Status::InvalidArgument("trim fraction must be in [0, 0.5)");
+  std::sort(values.begin(), values.end());
+  size_t k = static_cast<size_t>(std::floor(trim_fraction * double(values.size())));
+  if (2 * k >= values.size())
+    return Status::InvalidArgument("trim removes all values");
+  double sum = 0;
+  for (size_t i = k; i < values.size() - k; ++i) sum += values[i];
+  return sum / double(values.size() - 2 * k);
+}
+
+Result<double> Mean(const std::vector<double>& values) {
+  if (values.empty()) return Status::InvalidArgument("mean of nothing");
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / double(values.size());
+}
+
+Result<double> StdDev(const std::vector<double>& values) {
+  if (values.empty()) return Status::InvalidArgument("stddev of nothing");
+  STATCUBE_ASSIGN_OR_RETURN(double mean, Mean(values));
+  double ss = 0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / double(values.size()));
+}
+
+Result<Table> GroupedHolistic(const Table& input,
+                              const std::vector<std::string>& group_cols,
+                              const std::string& value_col,
+                              const std::string& stat) {
+  STATCUBE_ASSIGN_OR_RETURN(std::vector<size_t> gidx,
+                            input.schema().IndexesOf(group_cols));
+  STATCUBE_ASSIGN_OR_RETURN(size_t vidx, input.schema().IndexOf(value_col));
+
+  // Parse the statistic spec once.
+  enum class Kind { kMedian, kPercentile, kTrimmed } kind;
+  double param = 0;
+  if (stat == "median") {
+    kind = Kind::kMedian;
+  } else if (stat.rfind("p", 0) == 0) {
+    kind = Kind::kPercentile;
+    char* end = nullptr;
+    param = strtod(stat.c_str() + 1, &end);
+    if (!end || *end != '\0' || param < 0 || param > 100)
+      return Status::InvalidArgument("bad percentile spec '" + stat + "'");
+  } else if (stat.rfind("trimmed", 0) == 0) {
+    kind = Kind::kTrimmed;
+    char* end = nullptr;
+    param = strtod(stat.c_str() + 7, &end) / 100.0;
+    if (!end || *end != '\0' || param < 0 || param >= 0.5)
+      return Status::InvalidArgument("bad trim spec '" + stat + "'");
+  } else {
+    return Status::InvalidArgument("unknown statistic '" + stat + "'");
+  }
+
+  // Holistic: collect the full value set per group.
+  std::map<Row, std::vector<double>> groups;
+  Row key(gidx.size());
+  for (const Row& r : input.rows()) {
+    for (size_t i = 0; i < gidx.size(); ++i) key[i] = r[gidx[i]];
+    if (r[vidx].is_numeric()) groups[key].push_back(r[vidx].AsDouble());
+  }
+
+  Schema out_schema;
+  for (const auto& g : group_cols) out_schema.AddColumn(g, ValueType::kString);
+  out_schema.AddColumn(stat + "_" + value_col, ValueType::kDouble);
+  Table out(input.name() + "_" + stat, out_schema);
+  for (auto& [k, values] : groups) {
+    Result<double> s = kind == Kind::kMedian
+                           ? Median(values)
+                           : kind == Kind::kPercentile
+                                 ? Percentile(values, param)
+                                 : TrimmedMean(values, param);
+    Row row = k;
+    row.push_back(s.ok() ? Value(*s) : Value::Null());
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace statcube

@@ -1,0 +1,47 @@
+// Holistic statistics (paper §5.6): the operations beyond the simple
+// aggregation functions database systems provide — percentiles, medians,
+// trimmed means — which the paper notes are the domain of statistical
+// packages. They need the full value set, so they operate on vectors rather
+// than mergeable states.
+
+#ifndef STATCUBE_OLAP_STATISTICS_H_
+#define STATCUBE_OLAP_STATISTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/relational/table.h"
+
+namespace statcube {
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation between order
+/// statistics. Errors on empty input.
+Result<double> Percentile(std::vector<double> values, double p);
+
+/// Median (50th percentile).
+Result<double> Median(std::vector<double> values);
+
+/// Mean after discarding the lowest and highest `trim_fraction` of values
+/// (0 <= trim_fraction < 0.5) — "find the trimmed means over a sample of the
+/// data" (§5.6).
+Result<double> TrimmedMean(std::vector<double> values, double trim_fraction);
+
+/// Arithmetic mean. Errors on empty input.
+Result<double> Mean(const std::vector<double>& values);
+
+/// Population standard deviation. Errors on empty input.
+Result<double> StdDev(const std::vector<double>& values);
+
+/// Holistic statistics per group: the "find the trimmed means / percentiles
+/// by category" bridge between group-by and the statistical package. Each
+/// output row is (group values..., statistic). Supported `stat`:
+/// "median", "p<value>" (e.g. "p95"), "trimmed<percent>" (e.g. "trimmed10").
+Result<Table> GroupedHolistic(const Table& input,
+                              const std::vector<std::string>& group_cols,
+                              const std::string& value_col,
+                              const std::string& stat);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_OLAP_STATISTICS_H_

@@ -1,0 +1,100 @@
+#include "statcube/olap/timeseries.h"
+
+#include <algorithm>
+#include <map>
+
+#include "statcube/relational/aggregate.h"
+
+namespace statcube {
+
+Result<std::vector<SeriesPoint>> ExtractSeries(const StatisticalObject& obj,
+                                               const std::string& entity_dim,
+                                               const Value& entity,
+                                               const std::string& time_dim,
+                                               const std::string& measure) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t eidx, obj.DimensionIndex(entity_dim));
+  STATCUBE_ASSIGN_OR_RETURN(size_t tidx, obj.DimensionIndex(time_dim));
+  STATCUBE_ASSIGN_OR_RETURN(const SummaryMeasure* m,
+                            obj.MeasureNamed(measure));
+  STATCUBE_ASSIGN_OR_RETURN(size_t midx,
+                            obj.data().schema().IndexOf(measure));
+
+  std::map<Value, AggState> per_time;
+  for (const Row& r : obj.data().rows()) {
+    if (r[eidx] != entity) continue;
+    per_time[r[tidx]].Add(r[midx]);
+  }
+  std::vector<SeriesPoint> out;
+  out.reserve(per_time.size());
+  for (const auto& [t, st] : per_time) {
+    Value v = st.Finalize(m->default_fn);
+    out.push_back({t, v.is_numeric() ? v.AsDouble() : 0.0});
+  }
+  return out;
+}
+
+std::vector<SeriesPoint> MovingAverage(const std::vector<SeriesPoint>& series,
+                                       size_t window) {
+  std::vector<SeriesPoint> out;
+  if (window == 0) window = 1;
+  double sum = 0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    sum += series[i].value;
+    if (i >= window) sum -= series[i - window].value;
+    size_t n = i + 1 < window ? i + 1 : window;
+    out.push_back({series[i].time, sum / double(n)});
+  }
+  return out;
+}
+
+Result<std::vector<PeriodSummary>> SummarizeByPeriod(
+    const StatisticalObject& obj, const std::string& time_dim,
+    const std::string& hierarchy, size_t level,
+    const std::vector<SeriesPoint>& series) {
+  STATCUBE_ASSIGN_OR_RETURN(const Dimension* dim,
+                            obj.DimensionNamed(time_dim));
+  STATCUBE_ASSIGN_OR_RETURN(const ClassificationHierarchy* hier,
+                            dim->HierarchyNamed(hierarchy));
+  if (level == 0 || level >= hier->num_levels())
+    return Status::OutOfRange("period level out of range");
+
+  std::map<Value, PeriodSummary> periods;
+  for (const auto& p : series) {
+    STATCUBE_ASSIGN_OR_RETURN(std::vector<Value> anc,
+                              hier->Ancestors(0, p.time, level));
+    if (anc.empty())
+      return Status::NotFound("timestamp " + p.time.ToString() +
+                              " is unmapped in hierarchy '" + hierarchy + "'");
+    for (const Value& a : anc) {
+      auto it = periods.find(a);
+      if (it == periods.end()) {
+        it = periods.emplace(a, PeriodSummary{a, 0, p.value, p.value, 0})
+                 .first;
+      }
+      PeriodSummary& ps = it->second;
+      ps.avg += p.value;  // running sum; divided below
+      ps.high = std::max(ps.high, p.value);
+      ps.low = std::min(ps.low, p.value);
+      ++ps.n;
+    }
+  }
+  std::vector<PeriodSummary> out;
+  for (auto& [k, ps] : periods) {
+    ps.avg /= double(ps.n);
+    out.push_back(ps);
+  }
+  return out;
+}
+
+Result<double> MaxDrawdown(const std::vector<SeriesPoint>& series) {
+  if (series.empty()) return Status::InvalidArgument("empty series");
+  double peak = series.front().value;
+  double worst = 0.0;
+  for (const auto& p : series) {
+    if (p.value > peak) peak = p.value;
+    if (peak > 0) worst = std::max(worst, (peak - p.value) / peak);
+  }
+  return worst;
+}
+
+}  // namespace statcube

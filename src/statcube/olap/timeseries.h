@@ -1,0 +1,66 @@
+// Time-series operations over a statistical object's temporal dimension
+// (paper §3.2(ii)): the stock-market needs the paper lists — "generating
+// weekly or monthly averages, highs and lows" — plus moving averages, the
+// bread-and-butter smoothing of regular-interval series.
+//
+// The temporal dimension's leaf values are ordered by the Value total order
+// (workloads name days so lexicographic == chronological); per-key series
+// are extracted per value of a chosen entity dimension.
+
+#ifndef STATCUBE_OLAP_TIMESERIES_H_
+#define STATCUBE_OLAP_TIMESERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/core/statistical_object.h"
+
+namespace statcube {
+
+/// One (time, value) point.
+struct SeriesPoint {
+  Value time;
+  double value;
+};
+
+/// Extracts the ordered series of `measure` for a fixed value of
+/// `entity_dim` (e.g. the close prices of one stock), ordered by the
+/// temporal dimension's values. Remaining dimensions must be singletons or
+/// absent; duplicate timestamps aggregate with the measure's function.
+Result<std::vector<SeriesPoint>> ExtractSeries(const StatisticalObject& obj,
+                                               const std::string& entity_dim,
+                                               const Value& entity,
+                                               const std::string& time_dim,
+                                               const std::string& measure);
+
+/// Simple moving average with the given window (first window-1 points use
+/// the partial prefix, so output length == input length).
+std::vector<SeriesPoint> MovingAverage(const std::vector<SeriesPoint>& series,
+                                       size_t window);
+
+/// Per-period summary: average, high, low of a series grouped by a
+/// classification level of the time dimension (e.g. weekly from daily).
+struct PeriodSummary {
+  Value period;
+  double avg = 0;
+  double high = 0;
+  double low = 0;
+  size_t n = 0;
+};
+
+/// Groups `series` by the ancestors of each timestamp at `level` of
+/// `hierarchy` on the object's `time_dim`. The "weekly averages, highs and
+/// lows" of §3.2(ii).
+Result<std::vector<PeriodSummary>> SummarizeByPeriod(
+    const StatisticalObject& obj, const std::string& time_dim,
+    const std::string& hierarchy, size_t level,
+    const std::vector<SeriesPoint>& series);
+
+/// Largest peak-to-trough decline of the series, as a fraction of the peak
+/// (max drawdown — a standard series statistic exercising ordering).
+Result<double> MaxDrawdown(const std::vector<SeriesPoint>& series);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_OLAP_TIMESERIES_H_

@@ -1,0 +1,35 @@
+#include "statcube/privacy/audit.h"
+
+namespace statcube {
+
+Result<double> AuditedDatabase::Query(const std::string& description,
+                                      AggFn fn, const std::string& column,
+                                      const RowPredicate& pred) {
+  AuditRecord rec;
+  rec.description = description;
+  rec.fn = fn;
+  rec.column = column;
+
+  std::vector<size_t> members;
+  for (size_t i = 0; i < micro_.num_rows(); ++i)
+    if (pred(micro_.row(i))) members.push_back(i);
+  rec.query_set_size = members.size();
+
+  auto result = db_.Query(fn, column, pred);
+  rec.answered = result.ok();
+  if (!result.ok()) rec.refusal_reason = result.status().message();
+  if (rec.answered)
+    for (size_t i : members) ++touch_counts_[i];
+  log_.push_back(std::move(rec));
+  return result;
+}
+
+std::vector<size_t> AuditedDatabase::HeavilyQueriedRows(
+    uint64_t threshold) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < touch_counts_.size(); ++i)
+    if (touch_counts_[i] > threshold) out.push_back(i);
+  return out;
+}
+
+}  // namespace statcube

@@ -1,0 +1,64 @@
+// Query auditing for the privacy monitor (paper §7): overlap control
+// "requires keeping track of all query sets" — the audit log is that
+// record, plus the operational telemetry a database officer would want: per
+// query, its declared description, set size, decision, and which rows have
+// been touched how often (heavily-queried individuals are the ones at
+// inference risk).
+
+#ifndef STATCUBE_PRIVACY_AUDIT_H_
+#define STATCUBE_PRIVACY_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/privacy/protected_db.h"
+
+namespace statcube {
+
+/// One audited query.
+struct AuditRecord {
+  std::string description;  ///< caller-supplied predicate description
+  AggFn fn;
+  std::string column;
+  size_t query_set_size = 0;
+  bool answered = false;
+  std::string refusal_reason;  ///< empty when answered
+};
+
+/// A ProtectedDatabase wrapper that records every query.
+class AuditedDatabase {
+ public:
+  AuditedDatabase(Table micro, PrivacyPolicy policy)
+      : micro_(micro),
+        db_(std::move(micro), policy),
+        touch_counts_(micro_.num_rows(), 0) {}
+
+  /// Issues a query through the monitor, logging it under `description`.
+  Result<double> Query(const std::string& description, AggFn fn,
+                       const std::string& column, const RowPredicate& pred);
+
+  const std::vector<AuditRecord>& log() const { return log_; }
+  ProtectedDatabase& db() { return db_; }
+
+  /// Rows (by index) whose membership in *answered* query sets exceeds
+  /// `threshold` — the individuals most exposed to intersection inference.
+  std::vector<size_t> HeavilyQueriedRows(uint64_t threshold) const;
+
+  /// How many answered query sets row `i` appeared in.
+  uint64_t TouchCount(size_t i) const {
+    return i < touch_counts_.size() ? touch_counts_[i] : 0;
+  }
+
+ private:
+  Table micro_;  // for set-size/touch accounting (the monitor's own copy
+                 // answers the queries)
+  ProtectedDatabase db_;
+  std::vector<AuditRecord> log_;
+  std::vector<uint64_t> touch_counts_;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_PRIVACY_AUDIT_H_

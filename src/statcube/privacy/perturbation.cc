@@ -1,0 +1,61 @@
+#include "statcube/privacy/perturbation.h"
+
+#include <cmath>
+
+#include "statcube/common/rng.h"
+
+namespace statcube {
+
+Result<Table> PerturbInput(const Table& micro,
+                           const std::vector<std::string>& columns,
+                           const PerturbOptions& options) {
+  STATCUBE_ASSIGN_OR_RETURN(std::vector<size_t> cidx,
+                            micro.schema().IndexesOf(columns));
+  Rng rng(options.seed);
+  Table out(micro.name() + "_perturbed", micro.schema());
+  for (const Row& r : micro.rows()) out.AppendRowUnchecked(r);
+
+  for (size_t c : cidx) {
+    // Draw the noise vector.
+    std::vector<double> noise(out.num_rows());
+    double noise_sum = 0;
+    for (auto& nv : noise) {
+      nv = rng.Gaussian(0.0, options.noise_stddev);
+      noise_sum += nv;
+    }
+    double shift =
+        options.preserve_total ? noise_sum / double(out.num_rows()) : 0.0;
+    for (size_t r = 0; r < out.num_rows(); ++r) {
+      const Value& v = out.row(r)[c];
+      if (!v.is_numeric()) continue;
+      out.mutable_rows()[r][c] = Value(v.AsDouble() + noise[r] - shift);
+    }
+  }
+  return out;
+}
+
+Result<double> MeanAbsoluteRowError(const Table& a, const Table& b,
+                                    const std::string& column) {
+  if (a.num_rows() != b.num_rows())
+    return Status::InvalidArgument("tables differ in size");
+  STATCUBE_ASSIGN_OR_RETURN(size_t ca, a.schema().IndexOf(column));
+  STATCUBE_ASSIGN_OR_RETURN(size_t cb, b.schema().IndexOf(column));
+  if (a.num_rows() == 0) return 0.0;
+  double err = 0;
+  for (size_t r = 0; r < a.num_rows(); ++r)
+    err += std::abs(a.at(r, ca).AsDouble() - b.at(r, cb).AsDouble());
+  return err / double(a.num_rows());
+}
+
+Result<double> RelativeTotalError(const Table& a, const Table& b,
+                                  const std::string& column) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t ca, a.schema().IndexOf(column));
+  STATCUBE_ASSIGN_OR_RETURN(size_t cb, b.schema().IndexOf(column));
+  double ta = 0, tb = 0;
+  for (const Row& r : a.rows()) ta += r[ca].AsDouble();
+  for (const Row& r : b.rows()) tb += r[cb].AsDouble();
+  if (ta == 0) return tb == 0 ? 0.0 : 1.0;
+  return std::abs(ta - tb) / std::abs(ta);
+}
+
+}  // namespace statcube

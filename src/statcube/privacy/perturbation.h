@@ -1,0 +1,47 @@
+// Data perturbation defenses (paper §7, defenses (iv) and (v)):
+//  * input perturbation — store statistically correct but noise-perturbed
+//    micro-data for general consumption;
+//  * output perturbation — handled by ProtectedDatabase's
+//    `output_noise_stddev` policy.
+// Plus helpers to measure the accuracy/privacy trade-off the paper says all
+// these imperfect defenses make.
+
+#ifndef STATCUBE_PRIVACY_PERTURBATION_H_
+#define STATCUBE_PRIVACY_PERTURBATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/relational/table.h"
+
+namespace statcube {
+
+/// Options for input perturbation.
+struct PerturbOptions {
+  double noise_stddev = 1.0;  ///< zero-mean Gaussian noise per value
+  uint64_t seed = 7;
+  /// If true, shift the noise so the column total is preserved exactly
+  /// ("statistically correct" release).
+  bool preserve_total = true;
+};
+
+/// Returns a copy of `micro` with the numeric `columns` perturbed.
+Result<Table> PerturbInput(const Table& micro,
+                           const std::vector<std::string>& columns,
+                           const PerturbOptions& options = {});
+
+/// Mean absolute per-row error between a column of two same-shaped tables —
+/// the privacy gained (individual values are wrong by ~this much).
+Result<double> MeanAbsoluteRowError(const Table& a, const Table& b,
+                                    const std::string& column);
+
+/// Relative error between the column sums of two tables — the statistical
+/// utility lost (should be ~0 when preserve_total is on).
+Result<double> RelativeTotalError(const Table& a, const Table& b,
+                                  const std::string& column);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_PRIVACY_PERTURBATION_H_

@@ -1,0 +1,103 @@
+#include "statcube/privacy/protected_db.h"
+
+namespace statcube {
+
+ProtectedDatabase::ProtectedDatabase(Table micro, PrivacyPolicy policy)
+    : micro_(std::move(micro)), policy_(policy), rng_(policy.seed) {}
+
+Result<double> ProtectedDatabase::Aggregate(AggFn fn,
+                                            const std::string& column,
+                                            const BitVector& set) const {
+  size_t cidx = 0;
+  if (fn != AggFn::kCountAll) {
+    STATCUBE_ASSIGN_OR_RETURN(cidx, micro_.schema().IndexOf(column));
+  }
+  AggState state;
+  for (size_t i = 0; i < micro_.num_rows(); ++i) {
+    if (!set.Get(i)) continue;
+    if (fn == AggFn::kCountAll) {
+      ++state.rows;
+    } else {
+      state.Add(micro_.at(i, cidx));
+    }
+  }
+  Value v = state.Finalize(fn);
+  return v.is_null() ? 0.0 : v.AsDouble();
+}
+
+Result<double> ProtectedDatabase::Query(AggFn fn, const std::string& column,
+                                        const RowPredicate& pred) {
+  // Materialize the query set.
+  BitVector set(micro_.num_rows(), false);
+  size_t size = 0;
+  for (size_t i = 0; i < micro_.num_rows(); ++i) {
+    if (pred(micro_.row(i))) {
+      set.Set(i, true);
+      ++size;
+    }
+  }
+
+  size_t k = policy_.min_query_set_size;
+  size_t n = micro_.num_rows();
+  if (size < k || size + k > n) {
+    ++refused_;
+    return Status::PrivacyRefused(
+        "query set size " + std::to_string(size) + " outside [" +
+        std::to_string(k) + ", " + std::to_string(n - k) + "]");
+  }
+
+  if (policy_.max_overlap != SIZE_MAX) {
+    for (const BitVector& prev : history_) {
+      BitVector inter = set;
+      inter.AndWith(prev);
+      if (inter.PopCount() > policy_.max_overlap) {
+        ++refused_;
+        return Status::PrivacyRefused(
+            "query set overlaps a previous query in " +
+            std::to_string(inter.PopCount()) + " rows (max " +
+            std::to_string(policy_.max_overlap) + ")");
+      }
+    }
+    history_.push_back(set);
+  }
+
+  // Sampling defense: answer from a Bernoulli subsample, scaled.
+  double answer;
+  if (policy_.sample_rate < 1.0) {
+    BitVector sampled(micro_.num_rows(), false);
+    size_t kept = 0;
+    for (size_t i = 0; i < micro_.num_rows(); ++i) {
+      if (set.Get(i) && rng_.Bernoulli(policy_.sample_rate)) {
+        sampled.Set(i, true);
+        ++kept;
+      }
+    }
+    STATCUBE_ASSIGN_OR_RETURN(double sampled_answer,
+                              Aggregate(fn, column, sampled));
+    // Scale additive aggregates; means/extrema report the sample statistic.
+    if (fn == AggFn::kSum || fn == AggFn::kCount || fn == AggFn::kCountAll) {
+      answer = kept == 0 ? 0.0 : sampled_answer * (double(size) / double(kept));
+    } else {
+      answer = sampled_answer;
+    }
+  } else {
+    STATCUBE_ASSIGN_OR_RETURN(answer, Aggregate(fn, column, set));
+  }
+
+  if (policy_.output_noise_stddev > 0)
+    answer += rng_.Gaussian(0.0, policy_.output_noise_stddev);
+
+  ++answered_;
+  return answer;
+}
+
+Result<double> ProtectedDatabase::TrueAnswer(AggFn fn,
+                                             const std::string& column,
+                                             const RowPredicate& pred) const {
+  BitVector set(micro_.num_rows(), false);
+  for (size_t i = 0; i < micro_.num_rows(); ++i)
+    if (pred(micro_.row(i))) set.Set(i, true);
+  return Aggregate(fn, column, set);
+}
+
+}  // namespace statcube

@@ -1,0 +1,86 @@
+// Statistical-inference defenses (paper §7).
+//
+// ProtectedDatabase wraps micro-data and answers only statistical summary
+// queries, enforcing:
+//  * query-set size restriction — refuse when the query set has fewer than
+//    k rows or more than N-k (the complement leak: "average salary of all
+//    employees under 65" vs "of all employees");
+//  * query-set overlap control — optionally refuse when a new query set
+//    overlaps a previously answered one in more than `max_overlap` rows
+//    (the paper notes this eventually refuses everything — a test shows
+//    exactly that);
+//  * output perturbation — optionally add zero-mean noise to every answer;
+//  * random-sample queries — optionally answer from a fixed random subset
+//    of the query set, scaled up ([OR95]-style defense for large data).
+//
+// The tracker attack (tracker.h) demonstrates that size restriction alone
+// is always compromisable [DS80].
+
+#ifndef STATCUBE_PRIVACY_PROTECTED_DB_H_
+#define STATCUBE_PRIVACY_PROTECTED_DB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "statcube/common/rng.h"
+#include "statcube/common/status.h"
+#include "statcube/relational/aggregate.h"
+#include "statcube/relational/expression.h"
+#include "statcube/relational/table.h"
+#include "statcube/storage/bitvector.h"
+
+namespace statcube {
+
+/// Defense configuration.
+struct PrivacyPolicy {
+  /// Minimum query-set size k; also refuses sets larger than N - k.
+  size_t min_query_set_size = 5;
+  /// Maximum allowed overlap (rows) between a new query set and any
+  /// previously answered one. SIZE_MAX disables overlap control.
+  size_t max_overlap = SIZE_MAX;
+  /// Standard deviation of zero-mean Gaussian output noise; 0 disables.
+  double output_noise_stddev = 0.0;
+  /// Answer from a Bernoulli sample of the query set with this rate (scaled
+  /// back up); 1.0 disables.
+  double sample_rate = 1.0;
+  /// Seed for noise / sampling.
+  uint64_t seed = 42;
+};
+
+/// A micro-data table exposed only through guarded statistical queries.
+class ProtectedDatabase {
+ public:
+  ProtectedDatabase(Table micro, PrivacyPolicy policy);
+
+  /// Answers fn(column) over rows matching `pred`, or PrivacyRefused.
+  Result<double> Query(AggFn fn, const std::string& column,
+                       const RowPredicate& pred);
+
+  /// Number of rows (public: the attacker model assumes N is known).
+  size_t num_rows() const { return micro_.num_rows(); }
+
+  const PrivacyPolicy& policy() const { return policy_; }
+  uint64_t queries_answered() const { return answered_; }
+  uint64_t queries_refused() const { return refused_; }
+
+  /// The exact answer, bypassing every defense — for tests and for
+  /// measuring attack accuracy only.
+  Result<double> TrueAnswer(AggFn fn, const std::string& column,
+                            const RowPredicate& pred) const;
+
+ private:
+  Result<double> Aggregate(AggFn fn, const std::string& column,
+                           const BitVector& set) const;
+
+  Table micro_;
+  PrivacyPolicy policy_;
+  Rng rng_;
+  std::vector<BitVector> history_;  // answered query sets (overlap control)
+  uint64_t answered_ = 0;
+  uint64_t refused_ = 0;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_PRIVACY_PROTECTED_DB_H_

@@ -1,0 +1,94 @@
+#include "statcube/privacy/suppression.h"
+
+#include <algorithm>
+#include <map>
+
+namespace statcube {
+
+Result<SuppressionResult> SuppressCells(
+    const Table& macro, const std::vector<std::string>& dim_columns,
+    const std::string& count_column,
+    const std::vector<std::string>& measure_columns,
+    const SuppressionOptions& options) {
+  STATCUBE_ASSIGN_OR_RETURN(std::vector<size_t> didx,
+                            macro.schema().IndexesOf(dim_columns));
+  STATCUBE_ASSIGN_OR_RETURN(size_t cidx,
+                            macro.schema().IndexOf(count_column));
+  STATCUBE_ASSIGN_OR_RETURN(std::vector<size_t> midx,
+                            macro.schema().IndexesOf(measure_columns));
+
+  size_t n = macro.num_rows();
+  std::vector<bool> suppressed(n, false);
+  SuppressionResult result;
+
+  // Primary suppression.
+  for (size_t r = 0; r < n; ++r) {
+    const Value& c = macro.at(r, cidx);
+    if (c.is_numeric() && c.AsDouble() > 0 &&
+        c.AsDouble() < double(options.count_threshold)) {
+      suppressed[r] = true;
+      result.primary.push_back(r);
+    }
+  }
+
+  // Complementary suppression: for every "line" (all dims fixed but one),
+  // a single suppressed cell is recoverable from the line's marginal;
+  // suppress the smallest-count unsuppressed sibling. Repeat to fixpoint.
+  if (options.complementary && dim_columns.size() >= 1) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t vary = 0; vary < didx.size(); ++vary) {
+        // Group rows by the values of all dims except `vary`.
+        std::map<Row, std::vector<size_t>> lines;
+        for (size_t r = 0; r < n; ++r) {
+          Row key;
+          for (size_t d = 0; d < didx.size(); ++d)
+            if (d != vary) key.push_back(macro.at(r, didx[d]));
+          lines[key].push_back(r);
+        }
+        for (const auto& [key, rows] : lines) {
+          if (rows.size() < 2) continue;  // no sibling: marginal == cell,
+                                          // nothing complementary can help
+          size_t nsupp = 0;
+          for (size_t r : rows) nsupp += suppressed[r] ? 1 : 0;
+          if (nsupp != 1) continue;
+          // Pick the smallest-count unsuppressed sibling.
+          int64_t best = -1;
+          double best_count = 0;
+          for (size_t r : rows) {
+            if (suppressed[r]) continue;
+            double c = macro.at(r, cidx).is_numeric()
+                           ? macro.at(r, cidx).AsDouble()
+                           : 0.0;
+            if (best < 0 || c < best_count) {
+              best = int64_t(r);
+              best_count = c;
+            }
+          }
+          if (best >= 0) {
+            suppressed[size_t(best)] = true;
+            result.secondary.push_back(size_t(best));
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Publish with suppressed measures NULLed.
+  Table out(macro.name() + "_published", macro.schema());
+  for (size_t r = 0; r < n; ++r) {
+    Row row = macro.row(r);
+    if (suppressed[r]) {
+      for (size_t m : midx) row[m] = Value::Null();
+    }
+    out.AppendRowUnchecked(std::move(row));
+  }
+  std::sort(result.primary.begin(), result.primary.end());
+  std::sort(result.secondary.begin(), result.secondary.end());
+  result.published = std::move(out);
+  return result;
+}
+
+}  // namespace statcube

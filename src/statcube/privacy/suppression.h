@@ -1,0 +1,49 @@
+// Cell suppression (paper §7, defense (iii)): before releasing a summary
+// table, suppress cells whose underlying count is below a threshold
+// (primary suppression — census "cell suppression"), then add complementary
+// suppressions so no primary cell can be reconstructed from published
+// marginals: any line (fixing all dimensions but one) with exactly one
+// suppressed cell and a published marginal leaks that cell by subtraction,
+// so a second cell in the line must also be suppressed. Iterate to a fixed
+// point.
+
+#ifndef STATCUBE_PRIVACY_SUPPRESSION_H_
+#define STATCUBE_PRIVACY_SUPPRESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/relational/table.h"
+
+namespace statcube {
+
+/// Configuration for SuppressCells.
+struct SuppressionOptions {
+  /// Cells with count below this are primary-suppressed.
+  int64_t count_threshold = 5;
+  /// Apply complementary suppression (assumes marginals are published).
+  bool complementary = true;
+};
+
+/// Result of a suppression pass.
+struct SuppressionResult {
+  Table published;               ///< input with suppressed measures NULLed
+  std::vector<size_t> primary;   ///< row indexes primary-suppressed
+  std::vector<size_t> secondary; ///< row indexes complementary-suppressed
+};
+
+/// Suppresses cells of a macro-data table. `dim_columns` identify the
+/// coordinates; `count_column` holds the cell count tested against the
+/// threshold; every column in `measure_columns` (typically including the
+/// count) is NULLed in suppressed cells.
+Result<SuppressionResult> SuppressCells(
+    const Table& macro, const std::vector<std::string>& dim_columns,
+    const std::string& count_column,
+    const std::vector<std::string>& measure_columns,
+    const SuppressionOptions& options = {});
+
+}  // namespace statcube
+
+#endif  // STATCUBE_PRIVACY_SUPPRESSION_H_

@@ -1,0 +1,83 @@
+#include "statcube/privacy/tracker.h"
+
+namespace statcube {
+
+Result<GeneralTracker> FindGeneralTracker(
+    ProtectedDatabase& db, const Schema& schema,
+    const std::vector<std::string>& category_columns,
+    const std::vector<std::vector<Value>>& candidate_values) {
+  if (category_columns.size() != candidate_values.size())
+    return Status::InvalidArgument("columns/values arity mismatch");
+  size_t n = db.num_rows();
+  size_t k = db.policy().min_query_set_size;
+
+  for (size_t c = 0; c < category_columns.size(); ++c) {
+    for (const Value& v : candidate_values[c]) {
+      STATCUBE_ASSIGN_OR_RETURN(
+          RowPredicate eq, expr::ColumnEq(schema, category_columns[c], v));
+      RowPredicate ne = expr::Not(eq);
+      // The attacker only sees legal answers: probe |T| via a count query.
+      auto size_t_q = db.Query(AggFn::kCountAll, "", eq);
+      if (!size_t_q.ok()) continue;  // refused: T outside the window anyway
+      double t_size = *size_t_q;
+      if (t_size >= double(2 * k) && t_size <= double(n) - double(2 * k)) {
+        return GeneralTracker{eq, ne,
+                              category_columns[c] + " = " + v.ToString()};
+      }
+    }
+  }
+  return Status::NotFound("no general tracker among the candidates");
+}
+
+Result<double> IndividualTrackerAttack::Via(AggFn fn,
+                                            const std::string& column) {
+  // T = C1 AND NOT C2; q(C1) = q(T) + q(C1 AND C2)  =>  q(C) = q(C1) - q(T).
+  RowPredicate t = expr::And({c1_, expr::Not(c2_)});
+  STATCUBE_ASSIGN_OR_RETURN(double q_c1, db_->Query(fn, column, c1_));
+  STATCUBE_ASSIGN_OR_RETURN(double q_t, db_->Query(fn, column, t));
+  queries_used_ += 2;
+  return q_c1 - q_t;
+}
+
+Result<double> IndividualTrackerAttack::Count() {
+  return Via(AggFn::kCountAll, "");
+}
+
+Result<double> IndividualTrackerAttack::Sum(const std::string& column) {
+  return Via(AggFn::kSum, column);
+}
+
+Result<double> TrackerAttack::PaddedQuery(AggFn fn, const std::string& column,
+                                          const RowPredicate& pred) {
+  // q(C or T) + q(C or ~T) - (q(T) + q(~T)): four legal queries.
+  RowPredicate c_or_t = expr::Or({pred, tracker_.tracker});
+  RowPredicate c_or_nt = expr::Or({pred, tracker_.complement});
+  STATCUBE_ASSIGN_OR_RETURN(double a, db_->Query(fn, column, c_or_t));
+  STATCUBE_ASSIGN_OR_RETURN(double b, db_->Query(fn, column, c_or_nt));
+  STATCUBE_ASSIGN_OR_RETURN(double t, db_->Query(fn, column, tracker_.tracker));
+  STATCUBE_ASSIGN_OR_RETURN(double nt,
+                            db_->Query(fn, column, tracker_.complement));
+  queries_used_ += 4;
+  return a + b - (t + nt);
+}
+
+Result<double> TrackerAttack::Count(const RowPredicate& pred) {
+  return PaddedQuery(AggFn::kCountAll, "", pred);
+}
+
+Result<double> TrackerAttack::Sum(const std::string& column,
+                                  const RowPredicate& pred) {
+  return PaddedQuery(AggFn::kSum, column, pred);
+}
+
+Result<double> TrackerAttack::IndividualValue(const std::string& column,
+                                              const RowPredicate& pred) {
+  STATCUBE_ASSIGN_OR_RETURN(double count, Count(pred));
+  if (count < 0.5 || count > 1.5)
+    return Status::InvalidArgument(
+        "predicate does not isolate an individual (count ~= " +
+        std::to_string(count) + ")");
+  return Sum(column, pred);
+}
+
+}  // namespace statcube

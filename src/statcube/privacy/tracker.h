@@ -1,0 +1,103 @@
+// The general tracker of Denning & Schlörer [DS80] (paper §7): a procedure
+// that compromises any database protected only by query-set size
+// restriction. A predicate T whose query set satisfies 2k <= |T| <= N - 2k
+// is a *general tracker*; padding any small query C with T and its
+// complement keeps every issued query inside the legal window:
+//
+//   count(C) = q(C or T) + q(C or not T) - N
+//   sum(C)   = q_sum(C or T) + q_sum(C or not T) - total_sum
+//
+// so the restricted answer is reconstructed exactly from answerable
+// queries. `FindGeneralTracker` locates a tracker by scanning single-column
+// equality predicates; `TrackerAttack` then reads out any individual's
+// value.
+
+#ifndef STATCUBE_PRIVACY_TRACKER_H_
+#define STATCUBE_PRIVACY_TRACKER_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/privacy/protected_db.h"
+
+namespace statcube {
+
+/// A located general tracker: the predicate and its complement.
+struct GeneralTracker {
+  RowPredicate tracker;
+  RowPredicate complement;
+  std::string description;  ///< e.g. "sex = M"
+};
+
+/// Scans candidate predicates (equality on each of `category_columns`'
+/// values, built from `public_schema_values`) and returns the first general
+/// tracker, i.e. one with 2k <= |T| <= N - 2k. Uses only legal queries
+/// against `db` to verify candidate sizes (q(T) succeeds and q(not T)
+/// succeeds imply the window, given the attacker knows N).
+Result<GeneralTracker> FindGeneralTracker(
+    ProtectedDatabase& db, const Schema& schema,
+    const std::vector<std::string>& category_columns,
+    const std::vector<std::vector<Value>>& candidate_values);
+
+/// The *individual* tracker of [DS80]: when the attacker can split the
+/// predicate isolating an individual as C = C1 AND C2 with both |C1| and
+/// |C1 AND NOT C2| inside the legal window, T = C1 AND NOT C2 tracks that
+/// individual:  q(C) = q(C1) − q(T). Cheaper than the general tracker (two
+/// queries per secret) but target-specific.
+class IndividualTrackerAttack {
+ public:
+  /// `c1` and `c2` are the attacker's split of the isolating predicate
+  /// (e.g. c1: dept = eng, c2: age = 65).
+  IndividualTrackerAttack(ProtectedDatabase* db, RowPredicate c1,
+                          RowPredicate c2)
+      : db_(db), c1_(std::move(c1)), c2_(std::move(c2)) {}
+
+  /// count(C1 AND C2) via the two legal padded queries.
+  Result<double> Count();
+
+  /// sum(column) over C1 AND C2.
+  Result<double> Sum(const std::string& column);
+
+  uint64_t queries_used() const { return queries_used_; }
+
+ private:
+  Result<double> Via(AggFn fn, const std::string& column);
+
+  ProtectedDatabase* db_;
+  RowPredicate c1_, c2_;
+  uint64_t queries_used_ = 0;
+};
+
+/// Compromises the database with a tracker.
+class TrackerAttack {
+ public:
+  TrackerAttack(ProtectedDatabase* db, GeneralTracker tracker)
+      : db_(db), tracker_(std::move(tracker)) {}
+
+  /// count of an arbitrary predicate, however small its query set.
+  Result<double> Count(const RowPredicate& pred);
+
+  /// sum(column) over an arbitrary predicate.
+  Result<double> Sum(const std::string& column, const RowPredicate& pred);
+
+  /// The value of `column` for the single individual matching `pred`
+  /// (verifies the query set is a singleton first).
+  Result<double> IndividualValue(const std::string& column,
+                                 const RowPredicate& pred);
+
+  /// Queries issued so far.
+  uint64_t queries_used() const { return queries_used_; }
+
+ private:
+  Result<double> PaddedQuery(AggFn fn, const std::string& column,
+                             const RowPredicate& pred);
+
+  ProtectedDatabase* db_;
+  GeneralTracker tracker_;
+  uint64_t queries_used_ = 0;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_PRIVACY_TRACKER_H_

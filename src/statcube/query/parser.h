@@ -1,0 +1,58 @@
+// A small textual query language over statistical objects — the paper's
+// §5.1 point that explicit statistical-object semantics "permit the use of
+// very concise query languages". Grammar (case-insensitive keywords):
+//
+//   query   := SELECT aggs [BY dims] [WHERE conds]
+//   aggs    := agg (',' agg)*
+//   agg     := FN '(' ident ')'          FN in {SUM, COUNT, AVG, MIN, MAX}
+//   dims    := ident (',' ident)*
+//   conds   := cond (AND cond)*
+//   cond    := ident '=' literal
+//   literal := 'single-quoted string' | number
+//
+// Example:  SELECT sum(amount), avg(qty) BY city WHERE product = 'prod1'
+//
+// Identifiers name dimensions, classification levels, or measures of the
+// target object. A dimension-level identifier (e.g. "city" when the object
+// stores stores) triggers the automatic-aggregation machinery: the object
+// is rolled up along the hierarchy owning that level before grouping — the
+// Figure 13 inference, exposed through text.
+
+#ifndef STATCUBE_QUERY_PARSER_H_
+#define STATCUBE_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/core/statistical_object.h"
+#include "statcube/relational/aggregate.h"
+
+namespace statcube {
+
+/// A parsed query, independent of any object.
+struct ParsedQuery {
+  std::vector<AggSpec> aggs;
+  std::vector<std::string> by;
+  /// BY CUBE(...) — compute all 2^n groupings with ALL rows ([GB+96]'s SQL
+  /// extension, paper §5.4).
+  bool cube = false;
+  std::vector<std::pair<std::string, Value>> where;
+};
+
+/// Parses the query text (syntax only).
+Result<ParsedQuery> ParseQuery(const std::string& text);
+
+/// Executes a parsed query against a statistical object: resolves
+/// identifiers (dimension, hierarchy level, or measure), rolls the object up
+/// to any referenced hierarchy levels, applies WHERE equalities, groups and
+/// aggregates. Returns the result table (group columns then aggregates).
+Result<Table> ExecuteQuery(const StatisticalObject& obj,
+                           const ParsedQuery& query);
+
+/// Parse + execute.
+Result<Table> Query(const StatisticalObject& obj, const std::string& text);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_QUERY_PARSER_H_

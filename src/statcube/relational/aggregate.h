@@ -1,0 +1,121 @@
+// Group-by aggregation with mergeable accumulators.
+//
+// The summary functions here are the paper's §5.6 "simple aggregation
+// functions (usually only count, sum, average, maximum, minimum)" plus
+// stddev/variance which are mergeable via (count, sum, sum of squares).
+// Holistic statistics (percentiles, trimmed means) live in
+// statcube/olap/statistics.h because they cannot be maintained in constant
+// state.
+//
+// Accumulator states are exposed (`GroupByStates`) and mergeable so that a
+// coarser grouping can be computed from a finer one without revisiting the
+// micro-data — the key enabler of the simultaneous cube computation
+// ([ZDN97]-style, §5.4/§6.6) and of answering queries from materialized
+// views ([HUR96], §6.3). Note that merging is exactly what summarizability
+// (§3.3.2) licenses; the semantic checks for when merging is *valid* are in
+// statcube/core/summarizability.h.
+
+#ifndef STATCUBE_RELATIONAL_AGGREGATE_H_
+#define STATCUBE_RELATIONAL_AGGREGATE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/common/value.h"
+#include "statcube/relational/table.h"
+
+namespace statcube {
+
+/// Distributive/algebraic summary functions.
+enum class AggFn {
+  kCount,     ///< non-null values of the column
+  kCountAll,  ///< rows (column ignored)
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kVariance,  ///< population variance
+  kStdDev,    ///< population standard deviation
+};
+
+/// Name of an aggregate function ("sum", "avg", ...).
+const char* AggFnName(AggFn fn);
+
+/// One requested aggregate: a function over a column, with an output name.
+struct AggSpec {
+  AggFn fn;
+  std::string column;       ///< empty allowed for kCountAll
+  std::string output_name;  ///< defaults to "<fn>_<column>" when empty
+
+  std::string EffectiveName() const;
+};
+
+/// Mergeable accumulator covering every AggFn. Constant size; merging two
+/// states gives the state of the concatenated input.
+struct AggState {
+  int64_t count = 0;        // non-null values
+  int64_t rows = 0;         // all rows
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  /// Folds one value into the state (NULL affects only `rows`).
+  void Add(const Value& v) {
+    ++rows;
+    if (v.is_null()) return;
+    ++count;
+    if (v.is_numeric()) {
+      double d = v.AsDouble();
+      sum += d;
+      sum_sq += d * d;
+      if (d < min) min = d;
+      if (d > max) max = d;
+    }
+  }
+
+  /// Merges another state (set union of the underlying multisets).
+  void Merge(const AggState& o) {
+    count += o.count;
+    rows += o.rows;
+    sum += o.sum;
+    sum_sq += o.sum_sq;
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
+  }
+
+  /// Finalizes the state into the value of `fn` (NULL on empty input for
+  /// sum/avg/min/max).
+  Value Finalize(AggFn fn) const;
+};
+
+/// Intermediate group-by result: group key -> one state per AggSpec.
+using GroupedStates =
+    std::unordered_map<Row, std::vector<AggState>, RowHash, RowEq>;
+
+/// Computes accumulator states per group.
+/// `group_cols` may be empty (single global group with an empty key).
+Result<GroupedStates> GroupByStates(const Table& input,
+                                    const std::vector<std::string>& group_cols,
+                                    const std::vector<AggSpec>& aggs);
+
+/// Full group-by: returns a table with `group_cols` followed by one column
+/// per aggregate, sorted by the group columns for deterministic output.
+Result<Table> GroupBy(const Table& input,
+                      const std::vector<std::string>& group_cols,
+                      const std::vector<AggSpec>& aggs);
+
+/// Converts grouped states into an output table (shared by GroupBy and the
+/// cube builder).
+Table StatesToTable(const std::string& name,
+                    const std::vector<std::string>& group_cols,
+                    const std::vector<AggSpec>& aggs,
+                    const GroupedStates& states);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_RELATIONAL_AGGREGATE_H_

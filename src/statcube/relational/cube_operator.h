@@ -1,0 +1,51 @@
+// The data-cube relational operator of Gray et al. [GB+96], discussed in the
+// paper's §4.3/§5.4 (Figures 10 and 15): GROUP BY CUBE(d1..dn) produces the
+// union of the 2^n group-bys over every subset of the dimensions, with the
+// reserved pseudo-value ALL standing in for "summarized over every value of
+// this column". ROLLUP produces the n+1 hierarchical prefixes.
+//
+// Two implementations are provided:
+//  * CubeByNaive — literally the union of 2^n independent group-bys; one
+//    scan of the input per subset. This is the verbose SQL the paper calls
+//    "awkward" in §5.4.
+//  * CubeBy — one scan computes the finest grouping; every coarser grouping
+//    is derived by merging accumulator states along the lattice, the
+//    simultaneous-aggregation idea of [ZDN97] (§6.6). Results are identical
+//    (a property test asserts this); bench/bench_cube_operator measures the
+//    gap.
+
+#ifndef STATCUBE_RELATIONAL_CUBE_OPERATOR_H_
+#define STATCUBE_RELATIONAL_CUBE_OPERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/relational/aggregate.h"
+#include "statcube/relational/table.h"
+
+namespace statcube {
+
+/// GROUP BY CUBE: all 2^n groupings, one scan per grouping.
+Result<Table> CubeByNaive(const Table& input,
+                          const std::vector<std::string>& dims,
+                          const std::vector<AggSpec>& aggs);
+
+/// GROUP BY CUBE: one input scan, coarser groupings rolled up through the
+/// lattice by state merging.
+Result<Table> CubeBy(const Table& input, const std::vector<std::string>& dims,
+                     const std::vector<AggSpec>& aggs);
+
+/// GROUP BY ROLLUP: the n+1 prefix groupings (d1..dn), (d1..dn-1), ..., ().
+Result<Table> RollupBy(const Table& input,
+                       const std::vector<std::string>& dims,
+                       const std::vector<AggSpec>& aggs);
+
+/// Number of rows a CUBE over these dimension cardinalities can produce at
+/// most: prod(card_i + 1). Exposed for size estimation in the
+/// materialization module.
+uint64_t CubeUpperBound(const std::vector<uint64_t>& cardinalities);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_RELATIONAL_CUBE_OPERATOR_H_

@@ -1,0 +1,80 @@
+#include "statcube/relational/expression.h"
+
+namespace statcube {
+namespace expr {
+
+Result<RowPredicate> ColumnCompare(const Schema& schema,
+                                   const std::string& column, CompareOp op,
+                                   Value literal) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(column));
+  return RowPredicate([idx, op, literal = std::move(literal)](const Row& row) {
+    int c = Value::Compare(row[idx], literal);
+    switch (op) {
+      case CompareOp::kEq:
+        return c == 0;
+      case CompareOp::kNe:
+        return c != 0;
+      case CompareOp::kLt:
+        return c < 0;
+      case CompareOp::kLe:
+        return c <= 0;
+      case CompareOp::kGt:
+        return c > 0;
+      case CompareOp::kGe:
+        return c >= 0;
+    }
+    return false;
+  });
+}
+
+Result<RowPredicate> ColumnEq(const Schema& schema, const std::string& column,
+                              Value literal) {
+  return ColumnCompare(schema, column, CompareOp::kEq, std::move(literal));
+}
+
+Result<RowPredicate> ColumnIn(const Schema& schema, const std::string& column,
+                              std::vector<Value> literals) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(column));
+  auto set = std::make_shared<std::unordered_set<Value>>(literals.begin(),
+                                                         literals.end());
+  return RowPredicate(
+      [idx, set](const Row& row) { return set->count(row[idx]) > 0; });
+}
+
+Result<RowPredicate> ColumnBetween(const Schema& schema,
+                                   const std::string& column, Value lo,
+                                   Value hi) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(column));
+  return RowPredicate([idx, lo = std::move(lo), hi = std::move(hi)](
+                          const Row& row) {
+    return Value::Compare(row[idx], lo) >= 0 &&
+           Value::Compare(row[idx], hi) <= 0;
+  });
+}
+
+RowPredicate And(std::vector<RowPredicate> preds) {
+  return [preds = std::move(preds)](const Row& row) {
+    for (const auto& p : preds)
+      if (!p(row)) return false;
+    return true;
+  };
+}
+
+RowPredicate Or(std::vector<RowPredicate> preds) {
+  return [preds = std::move(preds)](const Row& row) {
+    for (const auto& p : preds)
+      if (p(row)) return true;
+    return false;
+  };
+}
+
+RowPredicate Not(RowPredicate pred) {
+  return [pred = std::move(pred)](const Row& row) { return !pred(row); };
+}
+
+RowPredicate True() {
+  return [](const Row&) { return true; };
+}
+
+}  // namespace expr
+}  // namespace statcube

@@ -1,0 +1,63 @@
+// Row predicates. Predicates are compiled against a Schema once (name ->
+// index resolution), then evaluated per row with no lookups. This is the
+// selection language of both the relational operators and the statistical
+// S-select.
+
+#ifndef STATCUBE_RELATIONAL_EXPRESSION_H_
+#define STATCUBE_RELATIONAL_EXPRESSION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/common/value.h"
+#include "statcube/relational/schema.h"
+
+namespace statcube {
+
+/// A compiled predicate over rows of a fixed schema.
+using RowPredicate = std::function<bool(const Row&)>;
+
+/// Comparison operators for `ColumnCompare`.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Builders return a compiled predicate or an error if a column is missing.
+namespace expr {
+
+/// column <op> literal.
+Result<RowPredicate> ColumnCompare(const Schema& schema,
+                                   const std::string& column, CompareOp op,
+                                   Value literal);
+
+/// column == literal (shorthand).
+Result<RowPredicate> ColumnEq(const Schema& schema, const std::string& column,
+                              Value literal);
+
+/// column IN (set of literals).
+Result<RowPredicate> ColumnIn(const Schema& schema, const std::string& column,
+                              std::vector<Value> literals);
+
+/// lo <= column <= hi — the "dice" range selection of the paper's §5.3.
+Result<RowPredicate> ColumnBetween(const Schema& schema,
+                                   const std::string& column, Value lo,
+                                   Value hi);
+
+/// Conjunction of predicates (empty conjunction is TRUE).
+RowPredicate And(std::vector<RowPredicate> preds);
+
+/// Disjunction of predicates (empty disjunction is FALSE).
+RowPredicate Or(std::vector<RowPredicate> preds);
+
+/// Negation.
+RowPredicate Not(RowPredicate pred);
+
+/// The always-true predicate.
+RowPredicate True();
+
+}  // namespace expr
+}  // namespace statcube
+
+#endif  // STATCUBE_RELATIONAL_EXPRESSION_H_

@@ -1,0 +1,71 @@
+#include "statcube/relational/join.h"
+
+#include <unordered_map>
+
+#include "statcube/common/value.h"
+
+namespace statcube {
+
+namespace {
+
+// Shared machinery of the two join flavors.
+Result<Table> HashJoinImpl(const Table& left, const std::string& left_key,
+                           const Table& right, const std::string& right_key,
+                           bool keep_unmatched_left) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t lkey, left.schema().IndexOf(left_key));
+  STATCUBE_ASSIGN_OR_RETURN(size_t rkey, right.schema().IndexOf(right_key));
+
+  // Build side: right table (dimension tables are small in a star schema).
+  std::unordered_multimap<Value, size_t> build;
+  build.reserve(right.num_rows());
+  for (size_t i = 0; i < right.num_rows(); ++i)
+    build.emplace(right.row(i)[rkey], i);
+
+  Schema out_schema;
+  for (const auto& c : left.schema().columns())
+    out_schema.AddColumn(c.name, c.type);
+  std::vector<size_t> right_cols;  // right column indexes kept in output
+  for (size_t c = 0; c < right.schema().num_columns(); ++c) {
+    if (c == rkey) continue;
+    std::string name = right.schema().column(c).name;
+    if (out_schema.Contains(name)) name = right.name() + "." + name;
+    out_schema.AddColumn(name, right.schema().column(c).type);
+    right_cols.push_back(c);
+  }
+
+  Table out(left.name() + "_join_" + right.name(), out_schema);
+  for (const Row& lrow : left.rows()) {
+    auto [lo, hi] = build.equal_range(lrow[lkey]);
+    if (lo == hi && keep_unmatched_left) {
+      Row r = lrow;
+      r.resize(out_schema.num_columns(), Value::Null());
+      out.AppendRowUnchecked(std::move(r));
+      continue;
+    }
+    for (auto it = lo; it != hi; ++it) {
+      const Row& rrow = right.row(it->second);
+      Row r = lrow;
+      r.reserve(out_schema.num_columns());
+      for (size_t c : right_cols) r.push_back(rrow[c]);
+      out.AppendRowUnchecked(std::move(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> HashJoin(const Table& left, const std::string& left_key,
+                       const Table& right, const std::string& right_key) {
+  return HashJoinImpl(left, left_key, right, right_key,
+                      /*keep_unmatched_left=*/false);
+}
+
+Result<Table> LeftOuterHashJoin(const Table& left, const std::string& left_key,
+                                const Table& right,
+                                const std::string& right_key) {
+  return HashJoinImpl(left, left_key, right, right_key,
+                      /*keep_unmatched_left=*/true);
+}
+
+}  // namespace statcube

@@ -1,0 +1,32 @@
+// Equi-joins. The star schema of §4.3 (Figure 11) answers dimension-level
+// queries by joining the fact table to dimension tables on their ID columns;
+// HashJoin is the workhorse there and in the ROLAP backend.
+
+#ifndef STATCUBE_RELATIONAL_JOIN_H_
+#define STATCUBE_RELATIONAL_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/relational/table.h"
+
+namespace statcube {
+
+/// Inner hash equi-join of `left` and `right` on left.left_key ==
+/// right.right_key. Output columns: all of left, then all of right except
+/// the join key (to avoid a duplicate column). Right-side columns whose name
+/// clashes with a left column are prefixed with "<right table name>.".
+Result<Table> HashJoin(const Table& left, const std::string& left_key,
+                       const Table& right, const std::string& right_key);
+
+/// Left outer hash join: like HashJoin, but left rows without a match keep a
+/// NULL-padded right side — so fact rows with dangling dimension keys (late-
+/// arriving dimension rows in a warehouse) are not silently dropped.
+Result<Table> LeftOuterHashJoin(const Table& left, const std::string& left_key,
+                                const Table& right,
+                                const std::string& right_key);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_RELATIONAL_JOIN_H_

@@ -1,0 +1,76 @@
+#include "statcube/relational/operators.h"
+
+#include <unordered_set>
+
+namespace statcube {
+
+Table Select(const Table& input, const RowPredicate& pred) {
+  Table out(input.name() + "_sel", input.schema());
+  for (const Row& row : input.rows())
+    if (pred(row)) out.AppendRowUnchecked(row);
+  return out;
+}
+
+Result<Table> Project(const Table& input,
+                      const std::vector<std::string>& columns) {
+  STATCUBE_ASSIGN_OR_RETURN(std::vector<size_t> idx,
+                            input.schema().IndexesOf(columns));
+  Schema out_schema;
+  for (size_t i : idx)
+    out_schema.AddColumn(input.schema().column(i).name,
+                         input.schema().column(i).type);
+  Table out(input.name() + "_proj", out_schema);
+  for (const Row& row : input.rows()) {
+    Row r;
+    r.reserve(idx.size());
+    for (size_t i : idx) r.push_back(row[i]);
+    out.AppendRowUnchecked(std::move(r));
+  }
+  return out;
+}
+
+Table Distinct(const Table& input) {
+  Table out(input.name() + "_distinct", input.schema());
+  std::unordered_set<Row, RowHash, RowEq> seen;
+  for (const Row& row : input.rows())
+    if (seen.insert(row).second) out.AppendRowUnchecked(row);
+  return out;
+}
+
+Result<Table> ProjectDistinct(const Table& input,
+                              const std::vector<std::string>& columns) {
+  STATCUBE_ASSIGN_OR_RETURN(Table projected, Project(input, columns));
+  return Distinct(projected);
+}
+
+Result<Table> UnionAll(const Table& a, const Table& b) {
+  if (!(a.schema() == b.schema())) {
+    return Status::InvalidArgument("UnionAll: schemas differ between '" +
+                                   a.name() + "' and '" + b.name() + "'");
+  }
+  Table out(a.name() + "_union", a.schema());
+  for (const Row& row : a.rows()) out.AppendRowUnchecked(row);
+  for (const Row& row : b.rows()) out.AppendRowUnchecked(row);
+  return out;
+}
+
+Result<Table> UnionDistinct(const Table& a, const Table& b) {
+  STATCUBE_ASSIGN_OR_RETURN(Table all, UnionAll(a, b));
+  return Distinct(all);
+}
+
+Table Limit(const Table& input, size_t n) {
+  Table out(input.name() + "_limit", input.schema());
+  for (size_t i = 0; i < n && i < input.num_rows(); ++i)
+    out.AppendRowUnchecked(input.row(i));
+  return out;
+}
+
+Result<Table> Sorted(const Table& input,
+                     const std::vector<std::string>& cols) {
+  Table out = input;
+  STATCUBE_RETURN_NOT_OK(out.SortBy(cols));
+  return out;
+}
+
+}  // namespace statcube

@@ -1,0 +1,47 @@
+// Relational algebra operators over Tables: select, project, sort, union,
+// distinct, limit. These are the operators whose statistical analogues
+// (S-select, S-project, S-union, S-aggregation [MRS92]) the paper compares
+// in §5.2; the completeness-by-homomorphism harness (§5.5, Figure 16)
+// commutes these with summarization.
+
+#ifndef STATCUBE_RELATIONAL_OPERATORS_H_
+#define STATCUBE_RELATIONAL_OPERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/relational/expression.h"
+#include "statcube/relational/table.h"
+
+namespace statcube {
+
+/// sigma: rows satisfying `pred`.
+Table Select(const Table& input, const RowPredicate& pred);
+
+/// pi without duplicate elimination (SQL SELECT list).
+Result<Table> Project(const Table& input,
+                      const std::vector<std::string>& columns);
+
+/// pi with duplicate elimination (relational projection).
+Result<Table> ProjectDistinct(const Table& input,
+                              const std::vector<std::string>& columns);
+
+/// Bag union; schemas must be identical.
+Result<Table> UnionAll(const Table& a, const Table& b);
+
+/// Set union (bag union + distinct).
+Result<Table> UnionDistinct(const Table& a, const Table& b);
+
+/// Removes duplicate rows.
+Table Distinct(const Table& input);
+
+/// First `n` rows.
+Table Limit(const Table& input, size_t n);
+
+/// Sorted copy.
+Result<Table> Sorted(const Table& input, const std::vector<std::string>& cols);
+
+}  // namespace statcube
+
+#endif  // STATCUBE_RELATIONAL_OPERATORS_H_

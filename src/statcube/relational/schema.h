@@ -1,0 +1,77 @@
+// Relational schema: ordered, named, typed columns. The relational
+// representation of a statistical object (paper §4.3, Figure 10) is a table
+// whose first columns are category attributes and whose last columns are
+// summary attributes — but, as the paper stresses, the relational model
+// itself carries no such semantics. The semantics live in src/core; this
+// layer is a plain relational engine.
+
+#ifndef STATCUBE_RELATIONAL_SCHEMA_H_
+#define STATCUBE_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/common/value.h"
+
+namespace statcube {
+
+/// One column: a name and a declared type. Values of type kNull/kAll may
+/// appear in any column (SQL NULL and the cube operator's ALL).
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  bool operator==(const ColumnDef&) const = default;
+};
+
+/// An ordered list of column definitions.
+class Schema {
+ public:
+  Schema() = default;
+  /*implicit*/ Schema(std::vector<ColumnDef> cols) : cols_(std::move(cols)) {}
+
+  /// Appends a column.
+  void AddColumn(std::string name, ValueType type) {
+    cols_.push_back({std::move(name), type});
+  }
+
+  size_t num_columns() const { return cols_.size(); }
+  const ColumnDef& column(size_t i) const { return cols_[i]; }
+  const std::vector<ColumnDef>& columns() const { return cols_; }
+
+  /// Index of the column named `name`, or an error.
+  Result<size_t> IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < cols_.size(); ++i)
+      if (cols_[i].name == name) return i;
+    return Status::NotFound("no column named '" + name + "'");
+  }
+
+  /// True if a column with this name exists.
+  bool Contains(const std::string& name) const {
+    for (const auto& c : cols_)
+      if (c.name == name) return true;
+    return false;
+  }
+
+  /// Resolves several names to indexes (error on the first miss).
+  Result<std::vector<size_t>> IndexesOf(
+      const std::vector<std::string>& names) const {
+    std::vector<size_t> out;
+    out.reserve(names.size());
+    for (const auto& n : names) {
+      STATCUBE_ASSIGN_OR_RETURN(size_t idx, IndexOf(n));
+      out.push_back(idx);
+    }
+    return out;
+  }
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<ColumnDef> cols_;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,86 @@
+#include "statcube/relational/star_schema.h"
+
+#include <unordered_set>
+
+#include "statcube/relational/join.h"
+#include "statcube/relational/operators.h"
+
+namespace statcube {
+
+Status StarSchema::AddDimension(StarDimension dim) {
+  if (!fact_.schema().Contains(dim.fact_fk)) {
+    return Status::InvalidArgument("fact table has no column '" +
+                                   dim.fact_fk + "' for dimension '" +
+                                   dim.name + "'");
+  }
+  if (!dim.table.schema().Contains(dim.key_column)) {
+    return Status::InvalidArgument("dimension table '" + dim.name +
+                                   "' has no key column '" + dim.key_column +
+                                   "'");
+  }
+  for (const auto& level : dim.hierarchy_levels) {
+    if (!dim.table.schema().Contains(level)) {
+      return Status::InvalidArgument("dimension '" + dim.name +
+                                     "' lacks hierarchy level column '" +
+                                     level + "'");
+    }
+  }
+  dims_.push_back(std::move(dim));
+  return Status::OK();
+}
+
+Result<int> StarSchema::OwnerOf(const std::string& attribute) const {
+  if (fact_.schema().Contains(attribute)) return -1;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].table.schema().Contains(attribute) &&
+        attribute != dims_[i].key_column) {
+      return static_cast<int>(i);
+    }
+  }
+  return Status::NotFound("no table in the star owns attribute '" +
+                          attribute + "'");
+}
+
+Result<Table> StarSchema::Denormalize(
+    const std::vector<std::string>& attributes) const {
+  std::unordered_set<int> needed;
+  for (const auto& attr : attributes) {
+    STATCUBE_ASSIGN_OR_RETURN(int owner, OwnerOf(attr));
+    if (owner >= 0) needed.insert(owner);
+  }
+  Table joined = fact_;
+  for (int d : std::vector<int>(needed.begin(), needed.end())) {
+    const StarDimension& dim = dims_[static_cast<size_t>(d)];
+    STATCUBE_ASSIGN_OR_RETURN(
+        joined, HashJoin(joined, dim.fact_fk, dim.table, dim.key_column));
+  }
+  return joined;
+}
+
+Result<Table> StarSchema::Aggregate(
+    const std::vector<std::string>& group_attrs,
+    const std::vector<AggSpec>& aggs,
+    const std::vector<AttrFilter>& filters) const {
+  std::vector<std::string> all_attrs = group_attrs;
+  for (const auto& f : filters) all_attrs.push_back(f.attribute);
+  STATCUBE_ASSIGN_OR_RETURN(Table joined, Denormalize(all_attrs));
+
+  if (!filters.empty()) {
+    std::vector<RowPredicate> preds;
+    for (const auto& f : filters) {
+      STATCUBE_ASSIGN_OR_RETURN(
+          RowPredicate p, expr::ColumnEq(joined.schema(), f.attribute, f.value));
+      preds.push_back(std::move(p));
+    }
+    joined = Select(joined, expr::And(std::move(preds)));
+  }
+  return GroupBy(joined, group_attrs, aggs);
+}
+
+size_t StarSchema::ByteSize() const {
+  size_t b = fact_.ByteSize();
+  for (const auto& d : dims_) b += d.table.ByteSize();
+  return b;
+}
+
+}  // namespace statcube

@@ -1,0 +1,78 @@
+// Star schema (paper §4.3, Figure 11): a central fact table keyed by
+// dimension IDs, surrounded by dimension tables that hold the category
+// attributes of each dimension's classification structure. Queries that
+// group or filter by dimension attributes are answered by joining the fact
+// table to the dimension tables that own those attributes and aggregating —
+// the ROLAP execution strategy measured in bench/bench_rolap_molap.
+
+#ifndef STATCUBE_RELATIONAL_STAR_SCHEMA_H_
+#define STATCUBE_RELATIONAL_STAR_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/relational/aggregate.h"
+#include "statcube/relational/expression.h"
+#include "statcube/relational/table.h"
+
+namespace statcube {
+
+/// One point of the star: a dimension table.
+struct StarDimension {
+  std::string name;        ///< e.g. "hospital"
+  Table table;             ///< the dimension table
+  std::string key_column;  ///< its ID column, e.g. "hospital_id"
+  std::string fact_fk;     ///< the fact table column referencing it
+  /// Category attributes from finest to coarsest (e.g. {"city", "state"}),
+  /// the structural information the paper notes plain star schemas lack.
+  std::vector<std::string> hierarchy_levels;
+};
+
+/// An attribute-equals-value filter applied after denormalization.
+struct AttrFilter {
+  std::string attribute;
+  Value value;
+};
+
+/// Fact table plus dimension tables, with attribute-level query answering.
+class StarSchema {
+ public:
+  StarSchema() = default;
+  explicit StarSchema(Table fact) : fact_(std::move(fact)) {}
+
+  void set_fact(Table fact) { fact_ = std::move(fact); }
+  const Table& fact() const { return fact_; }
+
+  /// Registers a dimension. Its `fact_fk` must exist in the fact table and
+  /// `key_column` in the dimension table.
+  Status AddDimension(StarDimension dim);
+
+  const std::vector<StarDimension>& dimensions() const { return dims_; }
+
+  /// The dimension table owning `attribute`, or -1 if the fact table owns it
+  /// (or an error if nobody does).
+  Result<int> OwnerOf(const std::string& attribute) const;
+
+  /// Joins the fact table with exactly the dimension tables needed to make
+  /// all of `attributes` available.
+  Result<Table> Denormalize(const std::vector<std::string>& attributes) const;
+
+  /// GROUP BY `group_attrs` over the star with optional equality filters:
+  /// joins what is needed, filters, aggregates. This is "one OLAP query" in
+  /// the ROLAP backend.
+  Result<Table> Aggregate(const std::vector<std::string>& group_attrs,
+                          const std::vector<AggSpec>& aggs,
+                          const std::vector<AttrFilter>& filters = {}) const;
+
+  /// Total bytes across fact and dimension tables (storage comparisons).
+  size_t ByteSize() const;
+
+ private:
+  Table fact_;
+  std::vector<StarDimension> dims_;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_RELATIONAL_STAR_SCHEMA_H_

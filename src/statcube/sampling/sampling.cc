@@ -1,0 +1,32 @@
+#include "statcube/sampling/sampling.h"
+
+namespace statcube {
+
+Table ReservoirSample(const Table& input, size_t k, uint64_t seed) {
+  Table out(input.name() + "_sample", input.schema());
+  if (k == 0) return out;
+  Rng rng(seed);
+  std::vector<size_t> reservoir;
+  for (size_t i = 0; i < input.num_rows(); ++i) {
+    if (reservoir.size() < k) {
+      reservoir.push_back(i);
+    } else {
+      size_t j = size_t(rng.Uniform(i + 1));
+      if (j < k) reservoir[j] = i;
+    }
+  }
+  for (size_t i : reservoir) out.AppendRowUnchecked(input.row(i));
+  return out;
+}
+
+Result<Table> BernoulliSample(const Table& input, double p, uint64_t seed) {
+  if (p < 0.0 || p > 1.0)
+    return Status::InvalidArgument("sampling rate must be in [0, 1]");
+  Rng rng(seed);
+  Table out(input.name() + "_sample", input.schema());
+  for (const Row& r : input.rows())
+    if (rng.Bernoulli(p)) out.AppendRowUnchecked(r);
+  return out;
+}
+
+}  // namespace statcube

@@ -1,0 +1,56 @@
+// Random sampling inside the data management system ([OR95], paper §5.6).
+// The paper's efficiency argument: extracting a large collection only to
+// sample it outside the system is wasteful; the sampling function belongs in
+// the engine. Provided: reservoir sampling (one pass, bounded memory),
+// Bernoulli sampling, and rank-based sampling from a B+-tree (uniform
+// without replacement via subtree counts, no scan at all).
+
+#ifndef STATCUBE_SAMPLING_SAMPLING_H_
+#define STATCUBE_SAMPLING_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "statcube/common/rng.h"
+#include "statcube/common/status.h"
+#include "statcube/relational/table.h"
+#include "statcube/storage/btree.h"
+
+namespace statcube {
+
+/// One-pass reservoir sample of `k` rows (all rows equally likely; order not
+/// meaningful). Returns all rows if k >= table size.
+Table ReservoirSample(const Table& input, size_t k, uint64_t seed);
+
+/// Bernoulli sample: keeps each row independently with probability `p`.
+Result<Table> BernoulliSample(const Table& input, double p, uint64_t seed);
+
+/// Uniform sample of `k` distinct keys from a B+-tree using rank selection
+/// on the subtree counts — O(k log n), no traversal of unsampled records.
+template <typename K, typename V, int kMaxKeys>
+std::vector<std::pair<K, V>> BTreeSample(const BPlusTree<K, V, kMaxKeys>& tree,
+                                         size_t k, uint64_t seed) {
+  std::vector<std::pair<K, V>> out;
+  size_t n = tree.size();
+  if (n == 0) return out;
+  if (k > n) k = n;
+  // Floyd's algorithm for k distinct ranks in [0, n).
+  Rng rng(seed);
+  std::vector<size_t> ranks;
+  std::vector<bool> chosen(n, false);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = size_t(rng.Uniform(j + 1));
+    size_t pick = chosen[t] ? j : t;
+    chosen[pick] = true;
+    ranks.push_back(pick);
+  }
+  for (size_t r : ranks) {
+    auto e = tree.SelectByRank(r);
+    out.emplace_back(*e.key, *e.value);
+  }
+  return out;
+}
+
+}  // namespace statcube
+
+#endif  // STATCUBE_SAMPLING_SAMPLING_H_

@@ -1,0 +1,246 @@
+// In-memory B+-tree with per-subtree entry counts.
+//
+// The paper uses a B-tree twice:
+//  * header compression ([EOA81], §6.2, Figure 21) builds a B-tree over the
+//    accumulated (monotonically increasing) run-length sequence so that both
+//    the forward mapping (array position -> stored position) and the inverse
+//    mapping can be answered in O(log n);
+//  * random sampling from B+-trees ([OR95], §5.6) needs rank-based access,
+//    which the per-subtree counts provide (acceptance/rejection free
+//    "select the i-th record" in O(log n)).
+//
+// Keys are kept in sorted order; duplicate keys are rejected. Leaves are
+// linked for ordered scans.
+
+#ifndef STATCUBE_STORAGE_BTREE_H_
+#define STATCUBE_STORAGE_BTREE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace statcube {
+
+/// B+-tree mapping K -> V. K must be less-than comparable.
+template <typename K, typename V, int kMaxKeys = 64>
+class BPlusTree {
+  static_assert(kMaxKeys >= 4, "node fanout too small");
+
+ public:
+  BPlusTree() : root_(std::make_unique<Node>(/*leaf=*/true)) {}
+
+  /// Inserts (key, value). Returns false (no change) if the key exists.
+  bool Insert(const K& key, const V& value) {
+    if (root_->keys.size() == kMaxKeys) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      new_root->count = root_->count;
+      new_root->children.push_back(std::move(root_));
+      SplitChild(new_root.get(), 0);
+      root_ = std::move(new_root);
+    }
+    bool inserted = InsertNonFull(root_.get(), key, value);
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  /// Returns a pointer to the value for `key`, or nullptr.
+  const V* Find(const K& key) const {
+    const Node* n = root_.get();
+    while (true) {
+      size_t i = LowerBoundIndex(n->keys, key);
+      if (n->leaf) {
+        if (i < n->keys.size() && !(key < n->keys[i])) return &n->values[i];
+        return nullptr;
+      }
+      if (i < n->keys.size() && !(key < n->keys[i])) ++i;  // equal separators go right
+      n = n->children[i].get();
+    }
+  }
+
+  /// Entry cursor: key/value of a leaf slot.
+  struct Entry {
+    const K* key = nullptr;
+    const V* value = nullptr;
+    bool valid() const { return key != nullptr; }
+  };
+
+  /// First entry with key >= `key` (empty Entry if none).
+  Entry LowerBound(const K& key) const {
+    const Node* n = root_.get();
+    while (!n->leaf) {
+      size_t i = LowerBoundIndex(n->keys, key);
+      if (i < n->keys.size() && !(key < n->keys[i])) ++i;
+      n = n->children[i].get();
+    }
+    size_t i = LowerBoundIndex(n->keys, key);
+    while (n && i >= n->keys.size()) {
+      n = n->next;
+      i = 0;
+    }
+    if (!n) return {};
+    return {&n->keys[i], &n->values[i]};
+  }
+
+  /// Last entry with key <= `key` (empty Entry if none). This is the
+  /// header-compression primitive: find the run whose accumulated start
+  /// covers a position.
+  Entry FloorEntry(const K& key) const {
+    const Node* n = root_.get();
+    Entry best{};
+    while (true) {
+      // Find the last key in this node that is <= key.
+      size_t i = UpperBoundIndex(n->keys, key);  // first key > key
+      if (n->leaf) {
+        if (i > 0) best = {&n->keys[i - 1], &n->values[i - 1]};
+        return best;
+      }
+      if (i > 0) {
+        // keys[i-1] <= key: remember it as a candidate via the left subtree
+        // max; but simpler: descend into children[i] which holds keys in
+        // (keys[i-1], keys[i]]. A floor may live there or be keys[i-1]'s leaf
+        // copy. Since this is a B+-tree, every key occurs in a leaf, so
+        // descending into children[i] finds it.
+      }
+      n = n->children[i].get();
+    }
+  }
+
+  /// The entry of rank `r` in key order, 0-based. Precondition: r < size().
+  Entry SelectByRank(size_t r) const {
+    assert(r < size_);
+    const Node* n = root_.get();
+    while (!n->leaf) {
+      size_t i = 0;
+      while (r >= n->children[i]->count) {
+        r -= n->children[i]->count;
+        ++i;
+      }
+      n = n->children[i].get();
+    }
+    return {&n->keys[r], &n->values[r]};
+  }
+
+  /// Visits all entries in key order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const Node* n = root_.get();
+    while (!n->leaf) n = n->children.front().get();
+    for (; n; n = n->next)
+      for (size_t i = 0; i < n->keys.size(); ++i) fn(n->keys[i], n->values[i]);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Height of the tree (1 for a lone leaf). Exposed for tests.
+  int Height() const {
+    int h = 1;
+    const Node* n = root_.get();
+    while (!n->leaf) {
+      n = n->children.front().get();
+      ++h;
+    }
+    return h;
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    size_t count = 0;  // total entries in this subtree
+    std::vector<K> keys;
+    std::vector<V> values;                        // leaf only
+    std::vector<std::unique_ptr<Node>> children;  // internal only
+    Node* next = nullptr;                         // leaf chain
+  };
+
+  static size_t LowerBoundIndex(const std::vector<K>& keys, const K& key) {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (keys[mid] < key)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  static size_t UpperBoundIndex(const std::vector<K>& keys, const K& key) {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (key < keys[mid])
+        hi = mid;
+      else
+        lo = mid + 1;
+    }
+    return lo;
+  }
+
+  // Splits the full child `parent->children[i]` in two, hoisting a separator.
+  void SplitChild(Node* parent, size_t i) {
+    Node* child = parent->children[i].get();
+    auto right = std::make_unique<Node>(child->leaf);
+    size_t mid = child->keys.size() / 2;
+
+    if (child->leaf) {
+      right->keys.assign(child->keys.begin() + mid, child->keys.end());
+      right->values.assign(child->values.begin() + mid, child->values.end());
+      child->keys.resize(mid);
+      child->values.resize(mid);
+      right->next = child->next;
+      child->next = right.get();
+      right->count = right->keys.size();
+      child->count = child->keys.size();
+      // Separator: first key of the right leaf (B+-tree style: separator is
+      // duplicated in the leaf).
+      parent->keys.insert(parent->keys.begin() + i, right->keys.front());
+    } else {
+      // Internal: the middle key moves up, children split around it.
+      K sep = child->keys[mid];
+      right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+      child->keys.resize(mid);
+      for (size_t c = mid + 1; c < child->children.size(); ++c)
+        right->children.push_back(std::move(child->children[c]));
+      child->children.resize(mid + 1);
+      right->count = 0;
+      for (auto& c : right->children) right->count += c->count;
+      child->count = 0;
+      for (auto& c : child->children) child->count += c->count;
+      parent->keys.insert(parent->keys.begin() + i, sep);
+    }
+    parent->children.insert(parent->children.begin() + i + 1, std::move(right));
+  }
+
+  bool InsertNonFull(Node* n, const K& key, const V& value) {
+    if (n->leaf) {
+      size_t i = LowerBoundIndex(n->keys, key);
+      if (i < n->keys.size() && !(key < n->keys[i])) return false;  // duplicate
+      n->keys.insert(n->keys.begin() + i, key);
+      n->values.insert(n->values.begin() + i, value);
+      ++n->count;
+      return true;
+    }
+    size_t i = LowerBoundIndex(n->keys, key);
+    if (i < n->keys.size() && !(key < n->keys[i])) ++i;
+    if (n->children[i]->keys.size() == kMaxKeys) {
+      SplitChild(n, i);
+      // The new separator n->keys[i] is the minimum of the right half; keys
+      // >= it belong to the right child.
+      if (!(key < n->keys[i])) ++i;
+    }
+    bool inserted = InsertNonFull(n->children[i].get(), key, value);
+    if (inserted) ++n->count;
+    return inserted;
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_STORAGE_BTREE_H_

@@ -1,0 +1,65 @@
+// Dictionary (category-value) encoding. The paper (§6.1, Figure 19) observes
+// that category attributes have few distinct values — sex, race, state —
+// so the values can be coded in a small number of bits. The Dictionary maps
+// Values to dense codes [0, cardinality) and back.
+
+#ifndef STATCUBE_STORAGE_DICTIONARY_H_
+#define STATCUBE_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "statcube/common/status.h"
+#include "statcube/common/value.h"
+
+namespace statcube {
+
+/// Bidirectional map between Values and dense integer codes.
+class Dictionary {
+ public:
+  /// Returns the code for `v`, inserting it if new.
+  uint32_t Encode(const Value& v) {
+    auto it = code_of_.find(v);
+    if (it != code_of_.end()) return it->second;
+    uint32_t code = static_cast<uint32_t>(values_.size());
+    values_.push_back(v);
+    code_of_.emplace(v, code);
+    return code;
+  }
+
+  /// Returns the code for `v`, or an error if `v` was never inserted.
+  Result<uint32_t> Lookup(const Value& v) const {
+    auto it = code_of_.find(v);
+    if (it == code_of_.end())
+      return Status::NotFound("value not in dictionary: " + v.ToString());
+    return it->second;
+  }
+
+  /// The value for a code. Precondition: code < cardinality().
+  const Value& Decode(uint32_t code) const { return values_[code]; }
+
+  /// Number of distinct values.
+  uint32_t cardinality() const { return static_cast<uint32_t>(values_.size()); }
+
+  /// All values in code order.
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Rough storage footprint of the dictionary itself.
+  size_t ByteSize() const {
+    size_t b = 0;
+    for (const Value& v : values_) {
+      b += sizeof(Value);
+      if (v.type() == ValueType::kString) b += v.AsString().size();
+    }
+    return b;
+  }
+
+ private:
+  std::vector<Value> values_;
+  std::unordered_map<Value, uint32_t> code_of_;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_STORAGE_DICTIONARY_H_

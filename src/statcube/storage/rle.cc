@@ -1,0 +1,33 @@
+#include "statcube/storage/rle.h"
+
+#include <algorithm>
+
+namespace statcube {
+
+void RleVector::BuildPrefix() const {
+  if (prefix_.size() == runs_.size()) return;
+  prefix_.resize(runs_.size());
+  uint64_t acc = 0;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    prefix_[i] = acc;
+    acc += runs_[i].length;
+  }
+}
+
+uint64_t RleVector::Get(uint64_t i) const {
+  BuildPrefix();
+  // Find the last run whose start is <= i.
+  auto it = std::upper_bound(prefix_.begin(), prefix_.end(), i);
+  size_t run = static_cast<size_t>(it - prefix_.begin()) - 1;
+  return runs_[run].value;
+}
+
+std::vector<uint64_t> RleVector::Decode() const {
+  std::vector<uint64_t> out;
+  out.reserve(size_);
+  for (const RleRun& r : runs_)
+    out.insert(out.end(), r.length, r.value);
+  return out;
+}
+
+}  // namespace statcube

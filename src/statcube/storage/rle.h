@@ -1,0 +1,68 @@
+// Run-length encoding of integer sequences. Used twice in the paper:
+// compressing the least-rapidly-varying columns of a transposed file
+// ([WL+85], §6.1, Figure 19) and compressing runs of nulls in a linearized
+// sparse array under "header compression" ([EOA81], §6.2, Figure 21).
+
+#ifndef STATCUBE_STORAGE_RLE_H_
+#define STATCUBE_STORAGE_RLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace statcube {
+
+/// A (value, run length) pair.
+struct RleRun {
+  uint64_t value;
+  uint64_t length;
+  bool operator==(const RleRun&) const = default;
+};
+
+/// Run-length-encoded sequence of uint64 values with positional access.
+class RleVector {
+ public:
+  /// Appends one value, extending the last run if it matches.
+  void PushBack(uint64_t v) {
+    if (!runs_.empty() && runs_.back().value == v) {
+      ++runs_.back().length;
+    } else {
+      runs_.push_back({v, 1});
+    }
+    ++size_;
+  }
+
+  /// Appends a run of `n` copies of `v`.
+  void PushRun(uint64_t v, uint64_t n) {
+    if (n == 0) return;
+    if (!runs_.empty() && runs_.back().value == v) {
+      runs_.back().length += n;
+    } else {
+      runs_.push_back({v, n});
+    }
+    size_ += n;
+  }
+
+  /// Value at logical position i (O(log #runs) via binary search over
+  /// accumulated run boundaries, built lazily).
+  uint64_t Get(uint64_t i) const;
+
+  /// Decodes the whole sequence.
+  std::vector<uint64_t> Decode() const;
+
+  uint64_t size() const { return size_; }
+  const std::vector<RleRun>& runs() const { return runs_; }
+  size_t ByteSize() const { return runs_.size() * sizeof(RleRun); }
+
+ private:
+  void BuildPrefix() const;
+
+  std::vector<RleRun> runs_;
+  uint64_t size_ = 0;
+  // Lazily built exclusive prefix sums of run lengths for positional lookup.
+  mutable std::vector<uint64_t> prefix_;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_STORAGE_RLE_H_

@@ -1,0 +1,253 @@
+#include "statcube/storage/stores.h"
+
+#include <algorithm>
+
+namespace statcube {
+
+namespace {
+
+// Encoded width of one value: 8 bytes for numerics, string length for
+// strings (a disk layout would add a length prefix; close enough for
+// relative comparisons).
+size_t ValueBytes(const Value& v) {
+  if (v.type() == ValueType::kString) return v.AsString().size();
+  return 8;
+}
+
+size_t AvgRowBytes(const Table& t) {
+  if (t.num_rows() == 0) return 0;
+  size_t total = 0;
+  size_t sample = std::min<size_t>(t.num_rows(), 256);
+  for (size_t i = 0; i < sample; ++i)
+    for (const Value& v : t.row(i)) total += ValueBytes(v);
+  return std::max<size_t>(1, total / sample);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- RowFile
+
+RowFileStore::RowFileStore(const Table& table)
+    : schema_(table.schema()),
+      rows_(table.rows()),
+      row_bytes_(AvgRowBytes(table)) {}
+
+Result<double> RowFileStore::SumWhere(const std::vector<EqFilter>& filters,
+                                      const std::string& measure_column) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t midx, schema_.IndexOf(measure_column));
+  std::vector<std::pair<size_t, Value>> fidx;
+  for (const auto& f : filters) {
+    STATCUBE_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(f.column));
+    fidx.emplace_back(idx, f.value);
+  }
+  // A row scan reads the entire relation.
+  counter_.ChargeBytes(rows_.size() * row_bytes_);
+  double sum = 0;
+  for (const Row& row : rows_) {
+    bool match = true;
+    for (const auto& [idx, v] : fidx) {
+      if (row[idx] != v) {
+        match = false;
+        break;
+      }
+    }
+    if (match && row[midx].is_numeric()) sum += row[midx].AsDouble();
+  }
+  return sum;
+}
+
+Result<Row> RowFileStore::GetRow(size_t i) {
+  if (i >= rows_.size()) return Status::OutOfRange("row index");
+  // One row is at most a couple of blocks.
+  counter_.ChargeBytes(row_bytes_);
+  return rows_[i];
+}
+
+size_t RowFileStore::ByteSize() const { return rows_.size() * row_bytes_; }
+
+// -------------------------------------------------------------- Transposed
+
+TransposedStore::TransposedStore(const Table& table)
+    : schema_(table.schema()), num_rows_(table.num_rows()) {
+  size_t ncols = schema_.num_columns();
+  columns_.resize(ncols);
+  column_bytes_.assign(ncols, 0);
+  for (size_t c = 0; c < ncols; ++c) {
+    columns_[c].reserve(num_rows_);
+    for (size_t r = 0; r < num_rows_; ++r) {
+      columns_[c].push_back(table.at(r, c));
+      column_bytes_[c] += ValueBytes(table.at(r, c));
+    }
+  }
+}
+
+Result<double> TransposedStore::SumWhere(const std::vector<EqFilter>& filters,
+                                         const std::string& measure_column) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t midx, schema_.IndexOf(measure_column));
+  std::vector<std::pair<size_t, Value>> fidx;
+  for (const auto& f : filters) {
+    STATCUBE_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(f.column));
+    fidx.emplace_back(idx, f.value);
+  }
+  // Only the mentioned column files are read.
+  counter_.ChargeBytes(column_bytes_[midx]);
+  for (const auto& [idx, v] : fidx) {
+    (void)v;
+    counter_.ChargeBytes(column_bytes_[idx]);
+  }
+  double sum = 0;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    bool match = true;
+    for (const auto& [idx, v] : fidx) {
+      if (columns_[idx][r] != v) {
+        match = false;
+        break;
+      }
+    }
+    if (match && columns_[midx][r].is_numeric())
+      sum += columns_[midx][r].AsDouble();
+  }
+  return sum;
+}
+
+Result<Row> TransposedStore::GetRow(size_t i) {
+  if (i >= num_rows_) return Status::OutOfRange("row index");
+  // The transposed-file penalty: one block touch per column file.
+  counter_.ChargeBlocks(schema_.num_columns());
+  Row row;
+  row.reserve(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c)
+    row.push_back(columns_[c][i]);
+  return row;
+}
+
+size_t TransposedStore::ByteSize() const {
+  size_t b = 0;
+  for (size_t cb : column_bytes_) b += cb;
+  return b;
+}
+
+// ---------------------------------------------------------- Bit-transposed
+
+BitTransposedStore::BitTransposedStore(const Table& table,
+                                       const std::string& measure_column,
+                                       BitTransposedOptions options)
+    : schema_(table.schema()),
+      num_rows_(table.num_rows()),
+      measure_column_(measure_column),
+      options_(options) {
+  auto midx = schema_.IndexOf(measure_column);
+  measure_idx_ = midx.ok() ? *midx : 0;
+
+  size_t ncols = schema_.num_columns();
+  encoded_index_.assign(ncols, -1);
+  measure_.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    const Value& v = table.at(r, measure_idx_);
+    measure_.push_back(v.is_numeric() ? v.AsDouble() : 0.0);
+  }
+
+  for (size_t c = 0; c < ncols; ++c) {
+    if (c == measure_idx_) continue;
+    encoded_index_[c] = static_cast<int>(encoded_.size());
+    encoded_.emplace_back();
+    EncodedColumn& ec = encoded_.back();
+    // First pass: build the dictionary (codes in first-seen order).
+    std::vector<uint32_t> codes;
+    codes.reserve(num_rows_);
+    for (size_t r = 0; r < num_rows_; ++r)
+      codes.push_back(ec.dict.Encode(table.at(r, c)));
+    ec.bits = PackedIntVector::BitsFor(ec.dict.cardinality());
+    ec.planes.assign(ec.bits, BitVector(num_rows_));
+    for (size_t r = 0; r < num_rows_; ++r)
+      for (unsigned b = 0; b < ec.bits; ++b)
+        if (codes[r] & (1u << b)) ec.planes[b].Set(r, true);
+    if (options_.enable_rle)
+      for (uint32_t code : codes) ec.rle.PushBack(code);
+  }
+}
+
+Result<BitVector> BitTransposedStore::SelectBitmap(const std::string& column,
+                                                   const Value& value) {
+  STATCUBE_ASSIGN_OR_RETURN(size_t cidx, schema_.IndexOf(column));
+  if (encoded_index_[cidx] < 0)
+    return Status::InvalidArgument("cannot filter on the measure column");
+  EncodedColumn& ec = encoded_[static_cast<size_t>(encoded_index_[cidx])];
+  auto code = ec.dict.Lookup(value);
+  if (!code.ok()) {
+    // Value never occurs: empty bitmap, no planes read.
+    return BitVector(num_rows_, false);
+  }
+  counter_.ChargeBytes(ec.PlaneBytes());
+  BitVector out(num_rows_, true);
+  for (unsigned b = 0; b < ec.bits; ++b) {
+    BitVector plane = ec.planes[b];
+    if (!((*code >> b) & 1u)) plane.Negate();
+    out.AndWith(plane);
+  }
+  return out;
+}
+
+Result<double> BitTransposedStore::SumWhere(
+    const std::vector<EqFilter>& filters, const std::string& measure_column) {
+  if (measure_column != measure_column_)
+    return Status::InvalidArgument("store was built for measure '" +
+                                   measure_column_ + "'");
+  BitVector match(num_rows_, true);
+  for (const auto& f : filters) {
+    STATCUBE_ASSIGN_OR_RETURN(BitVector bm, SelectBitmap(f.column, f.value));
+    match.AndWith(bm);
+  }
+  // Read the measure column (plain doubles).
+  counter_.ChargeBytes(measure_.size() * sizeof(double));
+  double sum = 0;
+  const auto& words = match.words();
+  for (size_t w = 0; w < words.size(); ++w) {
+    uint64_t bits = words[w];
+    while (bits) {
+      unsigned tz = static_cast<unsigned>(__builtin_ctzll(bits));
+      size_t r = w * 64 + tz;
+      if (r < num_rows_) sum += measure_[r];
+      bits &= bits - 1;
+    }
+  }
+  return sum;
+}
+
+Result<Row> BitTransposedStore::GetRow(size_t i) {
+  if (i >= num_rows_) return Status::OutOfRange("row index");
+  // Touch every plane of every column plus the measure: the same
+  // row-reassembly penalty as the transposed store, amplified by the number
+  // of bit planes.
+  uint64_t planes_touched = 0;
+  for (const auto& ec : encoded_) planes_touched += ec.bits;
+  counter_.ChargeBlocks(planes_touched + 1);
+
+  Row row(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    if (encoded_index_[c] < 0) {
+      row[c] = Value(measure_[i]);
+      continue;
+    }
+    const EncodedColumn& ec = encoded_[static_cast<size_t>(encoded_index_[c])];
+    uint32_t code = 0;
+    for (unsigned b = 0; b < ec.bits; ++b)
+      if (ec.planes[b].Get(i)) code |= (1u << b);
+    row[c] = ec.dict.Decode(code);
+  }
+  return row;
+}
+
+size_t BitTransposedStore::ByteSize() const {
+  size_t b = measure_.size() * sizeof(double);
+  for (const auto& ec : encoded_) {
+    // When RLE is enabled, a real system would store the cheaper encoding.
+    size_t plane_bytes = ec.PlaneBytes() + ec.dict.ByteSize();
+    if (options_.enable_rle)
+      plane_bytes = std::min(plane_bytes, ec.rle.ByteSize() + ec.dict.ByteSize());
+    b += plane_bytes;
+  }
+  return b;
+}
+
+}  // namespace statcube

@@ -1,0 +1,155 @@
+// Physical table layouts from the paper's §6.1 (Figures 18 and 19), all with
+// logical block accounting so benchmarks can report "blocks touched":
+//
+//  * RowFileStore     — the conventional N-ary row layout. Any summary query
+//                       reads every byte of the relation.
+//  * TransposedStore  — one file per column ("vertical partitioning",
+//                       [THC79]). A summary query reads only the columns it
+//                       mentions; fetching a whole row touches every column
+//                       file (the trade-off the paper calls out).
+//  * BitTransposedStore — [WL+85]: category columns are dictionary-encoded to
+//                       ceil(log2(k)) bits and stored as separate bit planes
+//                       (single-bit columns); equality predicates evaluate
+//                       with word-parallel boolean operations on the planes.
+//
+// All three answer the same query shape — SUM(measure) over conjunctive
+// equality filters on category columns — so bench_transposed and
+// bench_bit_transposed can compare them directly.
+
+#ifndef STATCUBE_STORAGE_STORES_H_
+#define STATCUBE_STORAGE_STORES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "statcube/common/block_counter.h"
+#include "statcube/common/status.h"
+#include "statcube/common/value.h"
+#include "statcube/relational/table.h"
+#include "statcube/storage/bitvector.h"
+#include "statcube/storage/dictionary.h"
+#include "statcube/storage/rle.h"
+
+namespace statcube {
+
+/// An equality filter on a named column.
+struct EqFilter {
+  std::string column;
+  Value value;
+};
+
+/// Common interface so benches can treat the layouts uniformly.
+class ColumnarQueryable {
+ public:
+  virtual ~ColumnarQueryable() = default;
+
+  /// SUM(measure_column) over rows satisfying all equality filters.
+  virtual Result<double> SumWhere(const std::vector<EqFilter>& filters,
+                                  const std::string& measure_column) = 0;
+
+  /// Materializes row `i` (schema order).
+  virtual Result<Row> GetRow(size_t i) = 0;
+
+  /// Bytes this layout occupies.
+  virtual size_t ByteSize() const = 0;
+
+  /// Accounting for logical block reads.
+  BlockCounter& counter() { return counter_; }
+
+ protected:
+  BlockCounter counter_;
+};
+
+/// Conventional row (N-ary) layout.
+class RowFileStore : public ColumnarQueryable {
+ public:
+  explicit RowFileStore(const Table& table);
+
+  Result<double> SumWhere(const std::vector<EqFilter>& filters,
+                          const std::string& measure_column) override;
+  Result<Row> GetRow(size_t i) override;
+  size_t ByteSize() const override;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  size_t row_bytes_;  // average encoded width of one row
+};
+
+/// One file per column ([THC79], Figure 18).
+class TransposedStore : public ColumnarQueryable {
+ public:
+  explicit TransposedStore(const Table& table);
+
+  Result<double> SumWhere(const std::vector<EqFilter>& filters,
+                          const std::string& measure_column) override;
+  Result<Row> GetRow(size_t i) override;
+  size_t ByteSize() const override;
+
+ private:
+  Schema schema_;
+  size_t num_rows_;
+  std::vector<std::vector<Value>> columns_;
+  std::vector<size_t> column_bytes_;  // encoded size of each column file
+};
+
+/// Options for the bit-transposed layout.
+struct BitTransposedOptions {
+  /// Additionally keep a run-length encoding of each column's code stream
+  /// and charge the cheaper of (bit planes, RLE) per scan — the [WL+85]
+  /// observation that slowly varying (e.g. sort-leading) columns compress
+  /// dramatically under RLE.
+  bool enable_rle = true;
+};
+
+/// Dictionary-encoded bit-plane layout ([WL+85], Figure 19). The measure
+/// column is kept as a plain vector of doubles; every other column becomes
+/// ceil(log2(cardinality)) bit planes.
+class BitTransposedStore : public ColumnarQueryable {
+ public:
+  BitTransposedStore(const Table& table, const std::string& measure_column,
+                     BitTransposedOptions options = {});
+
+  Result<double> SumWhere(const std::vector<EqFilter>& filters,
+                          const std::string& measure_column) override;
+  Result<Row> GetRow(size_t i) override;
+  size_t ByteSize() const override;
+
+  /// Bitmap of rows where `column == value`, built by ANDing/negating bit
+  /// planes (word-parallel predicate evaluation). Charges the touched
+  /// planes' bytes.
+  Result<BitVector> SelectBitmap(const std::string& column,
+                                 const Value& value);
+
+  /// Compression ratio versus the row layout of the same table.
+  double CompressionVsRowBytes(size_t row_bytes) const {
+    return double(row_bytes) / double(ByteSize());
+  }
+
+ private:
+  struct EncodedColumn {
+    Dictionary dict;
+    unsigned bits = 0;
+    std::vector<BitVector> planes;  // planes[b].Get(row) = bit b of code
+    RleVector rle;                  // optional RLE of the code stream
+    size_t PlaneBytes() const {
+      size_t s = 0;
+      for (const auto& p : planes) s += p.ByteSize();
+      return s;
+    }
+  };
+
+  Schema schema_;
+  size_t num_rows_ = 0;
+  std::string measure_column_;
+  size_t measure_idx_ = 0;
+  std::vector<double> measure_;           // plain doubles
+  std::vector<EncodedColumn> encoded_;    // one per non-measure column
+  std::vector<int> encoded_index_;        // schema col -> index in encoded_ (-1 = measure)
+  BitTransposedOptions options_;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_STORAGE_STORES_H_

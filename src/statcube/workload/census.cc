@@ -1,0 +1,101 @@
+#include "statcube/workload/census.h"
+
+#include "statcube/common/rng.h"
+
+namespace statcube {
+
+namespace {
+
+std::string CountyName(int state, int county) {
+  return "st" + std::to_string(state) + "_co" + std::to_string(county);
+}
+
+}  // namespace
+
+Result<StatisticalObject> MakeCensusWorkload(const CensusOptions& options) {
+  StatisticalObject obj("census");
+
+  Dimension county("county", DimensionKind::kSpatial);
+  ClassificationHierarchy geo("geo", {"county", "state", "region"});
+  for (int s = 0; s < options.num_states; ++s) {
+    for (int c = 0; c < options.counties_per_state; ++c)
+      STATCUBE_RETURN_NOT_OK(
+          geo.Link(0, Value(CountyName(s, c)), Value("st" + std::to_string(s))));
+    int region = options.states_per_region > 0 ? s / options.states_per_region
+                                               : 0;
+    STATCUBE_RETURN_NOT_OK(geo.Link(1, Value("st" + std::to_string(s)),
+                                    Value("region" + std::to_string(region))));
+  }
+  // Counties partition a state and states a region: complete throughout.
+  for (size_t level : {size_t{0}, size_t{1}}) {
+    geo.DeclareComplete(level, "population");
+    geo.DeclareComplete(level, "avg_income");
+  }
+  county.AddHierarchy(geo);
+  STATCUBE_RETURN_NOT_OK(obj.AddDimension(county));
+
+  STATCUBE_RETURN_NOT_OK(obj.AddDimension(Dimension("race")));
+  STATCUBE_RETURN_NOT_OK(obj.AddDimension(Dimension("sex")));
+  STATCUBE_RETURN_NOT_OK(obj.AddDimension(Dimension("age_group")));
+  STATCUBE_RETURN_NOT_OK(
+      obj.AddDimension(Dimension("year", DimensionKind::kTemporal)));
+
+  STATCUBE_RETURN_NOT_OK(obj.AddMeasure(
+      {"population", "", MeasureType::kStock, AggFn::kSum, ""}));
+  STATCUBE_RETURN_NOT_OK(obj.AddMeasure({"avg_income", "dollars",
+                                         MeasureType::kValuePerUnit,
+                                         AggFn::kAvg, "population"}));
+
+  Rng rng(options.seed);
+  for (int s = 0; s < options.num_states; ++s) {
+    for (int c = 0; c < options.counties_per_state; ++c) {
+      for (int r = 0; r < options.num_races; ++r) {
+        for (const char* sex : {"M", "F"}) {
+          for (int a = 0; a < options.num_age_groups; ++a) {
+            for (int y = 0; y < options.num_years; ++y) {
+              int64_t pop = int64_t(100 + rng.Uniform(20000));
+              double income =
+                  a == 0 ? 0.0 : 15000.0 + double(rng.Uniform(70000));
+              STATCUBE_RETURN_NOT_OK(obj.AddCell(
+                  {Value(CountyName(s, c)),
+                   Value("race" + std::to_string(r)), Value(sex),
+                   Value("age" + std::to_string(a)),
+                   Value(int64_t(1990 + y))},
+                  {Value(pop), Value(income)}));
+            }
+          }
+        }
+      }
+    }
+  }
+  return obj;
+}
+
+Result<Table> MakeCensusMicroData(int num_people,
+                                  const CensusOptions& options) {
+  Schema s;
+  s.AddColumn("county", ValueType::kString);
+  s.AddColumn("state", ValueType::kString);
+  s.AddColumn("race", ValueType::kString);
+  s.AddColumn("sex", ValueType::kString);
+  s.AddColumn("age_group", ValueType::kString);
+  s.AddColumn("year", ValueType::kInt64);
+  s.AddColumn("income", ValueType::kInt64);
+  Table t("census_micro", s);
+  Rng rng(options.seed + 1000);
+  for (int i = 0; i < num_people; ++i) {
+    int st = int(rng.Uniform(uint64_t(options.num_states)));
+    int co = int(rng.Uniform(uint64_t(options.counties_per_state)));
+    t.AppendRowUnchecked(
+        {Value(CountyName(st, co)), Value("st" + std::to_string(st)),
+         Value("race" + std::to_string(rng.Uniform(uint64_t(options.num_races)))),
+         Value(rng.Bernoulli(0.5) ? "M" : "F"),
+         Value("age" + std::to_string(
+                           rng.Uniform(uint64_t(options.num_age_groups)))),
+         Value(int64_t(1990 + rng.Uniform(uint64_t(options.num_years)))),
+         Value(int64_t(15000 + rng.Uniform(85000)))});
+  }
+  return t;
+}
+
+}  // namespace statcube

@@ -1,0 +1,46 @@
+// Synthetic census workload (paper §3.1(i)): population and average income
+// by county x race x sex x age group x year, with a geographic
+// classification hierarchy (county -> state) and the structural properties
+// the paper calls out — a stock population measure (no summing over years),
+// an average-income measure weighted by population, and a deep, voluminous
+// geography. Deterministic given the seed; see DESIGN.md's substitution
+// note for why synthetic data preserves the paper's behaviours.
+
+#ifndef STATCUBE_WORKLOAD_CENSUS_H_
+#define STATCUBE_WORKLOAD_CENSUS_H_
+
+#include <cstdint>
+
+#include "statcube/common/status.h"
+#include "statcube/core/statistical_object.h"
+
+namespace statcube {
+
+/// Size knobs for the census generator.
+struct CensusOptions {
+  int num_states = 4;
+  int counties_per_state = 6;
+  /// States per census region; the geography becomes the 3-level
+  /// county -> state -> region hierarchy the paper calls "voluminous".
+  int states_per_region = 2;
+  int num_races = 4;
+  int num_age_groups = 9;
+  int num_years = 3;
+  uint64_t seed = 1;
+};
+
+/// Builds the census statistical object. Dimensions: county (spatial, with
+/// the 3-level geo hierarchy county -> state -> region, each step declared
+/// complete for population), race, sex, age_group, year (temporal).
+/// Measures: population (stock), avg_income (value-per-unit, weighted by
+/// population).
+Result<StatisticalObject> MakeCensusWorkload(const CensusOptions& options = {});
+
+/// The micro-data the object summarizes: one row per person-group sample
+/// (used by privacy and sampling benches). Columns: county, state, race,
+/// sex, age_group, year, income.
+Result<Table> MakeCensusMicroData(int num_people, const CensusOptions& options = {});
+
+}  // namespace statcube
+
+#endif  // STATCUBE_WORKLOAD_CENSUS_H_

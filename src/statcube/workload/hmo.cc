@@ -1,0 +1,120 @@
+#include "statcube/workload/hmo.h"
+
+#include <map>
+
+#include "statcube/common/rng.h"
+
+namespace statcube {
+
+namespace {
+
+// A fixed disease list; some belong to two categories.
+struct DiseaseDef {
+  const char* name;
+  const char* category;
+  const char* second_category;  // nullptr for strictly classified diseases
+};
+
+const DiseaseDef kDiseases[] = {
+    {"lung cancer", "cancer", "respiratory"},
+    {"leukemia", "cancer", nullptr},
+    {"melanoma", "cancer", nullptr},
+    {"asthma", "respiratory", nullptr},
+    {"pneumonia", "respiratory", "infectious"},
+    {"influenza", "infectious", nullptr},
+    {"hepatitis", "infectious", nullptr},
+    {"arthritis", "musculoskeletal", nullptr},
+    {"fracture", "musculoskeletal", nullptr},
+    {"hypertension", "cardiovascular", nullptr},
+    {"stroke", "cardiovascular", nullptr},
+    {"arrhythmia", "cardiovascular", nullptr},
+};
+constexpr int kNumDiseases = int(sizeof(kDiseases) / sizeof(kDiseases[0]));
+
+std::string HospitalName(int h) { return "hosp" + std::to_string(h); }
+std::string MonthName(int m) { return "1996-" + std::to_string(1 + m); }
+
+ClassificationHierarchy MakeDiseaseHierarchy(double multi_fraction, Rng* rng) {
+  ClassificationHierarchy h("by_category", {"disease", "disease_category"});
+  for (const auto& d : kDiseases) {
+    (void)h.Link(0, Value(d.name), Value(d.category));
+    if (d.second_category && rng->Bernoulli(multi_fraction * 4)) {
+      (void)h.Link(0, Value(d.name), Value(d.second_category));
+    }
+  }
+  h.DeclareComplete(0, "cost");
+  h.DeclareComplete(0, "visits");
+  return h;
+}
+
+}  // namespace
+
+Result<StatisticalObject> MakeHmoWorkload(const HmoOptions& options) {
+  StatisticalObject obj("hmo");
+  Rng rng(options.seed);
+
+  Dimension disease("disease");
+  disease.AddHierarchy(
+      MakeDiseaseHierarchy(options.multi_category_fraction, &rng));
+  STATCUBE_RETURN_NOT_OK(obj.AddDimension(disease));
+
+  Dimension hospital("hospital", DimensionKind::kSpatial);
+  ClassificationHierarchy geo("by_city", {"hospital", "city"});
+  for (int h = 0; h < options.num_hospitals; ++h)
+    STATCUBE_RETURN_NOT_OK(geo.Link(
+        0, Value(HospitalName(h)),
+        Value("city" + std::to_string(h % options.num_cities))));
+  geo.DeclareComplete(0, "cost");
+  geo.DeclareComplete(0, "visits");
+  hospital.AddHierarchy(geo);
+  STATCUBE_RETURN_NOT_OK(obj.AddDimension(hospital));
+
+  STATCUBE_RETURN_NOT_OK(
+      obj.AddDimension(Dimension("month", DimensionKind::kTemporal)));
+
+  STATCUBE_RETURN_NOT_OK(
+      obj.AddMeasure({"cost", "dollars", MeasureType::kFlow, AggFn::kSum, ""}));
+  STATCUBE_RETURN_NOT_OK(
+      obj.AddMeasure({"visits", "", MeasureType::kFlow, AggFn::kSum, ""}));
+
+  // Aggregate the visit stream into cells.
+  std::map<Row, std::pair<double, int64_t>> cells;
+  for (int i = 0; i < options.num_visits; ++i) {
+    const auto& d = kDiseases[rng.Uniform(uint64_t(kNumDiseases))];
+    Row coord = {Value(d.name),
+                 Value(HospitalName(
+                     int(rng.Uniform(uint64_t(options.num_hospitals))))),
+                 Value(MonthName(int(rng.Uniform(uint64_t(options.num_months)))))};
+    auto& cell = cells[coord];
+    cell.first += 100.0 + double(rng.Uniform(5000));
+    cell.second += 1;
+  }
+  for (const auto& [coord, cv] : cells)
+    STATCUBE_RETURN_NOT_OK(
+        obj.AddCell(coord, {Value(cv.first), Value(cv.second)}));
+  return obj;
+}
+
+Result<Table> MakeHmoMicroData(const HmoOptions& options) {
+  Schema s;
+  s.AddColumn("patient", ValueType::kString);
+  s.AddColumn("disease", ValueType::kString);
+  s.AddColumn("hospital", ValueType::kString);
+  s.AddColumn("month", ValueType::kString);
+  s.AddColumn("cost", ValueType::kInt64);
+  Table t("hmo_micro", s);
+  Rng rng(options.seed + 5000);
+  for (int i = 0; i < options.num_visits; ++i) {
+    const auto& d = kDiseases[rng.Uniform(uint64_t(kNumDiseases))];
+    t.AppendRowUnchecked(
+        {Value("patient" + std::to_string(rng.Uniform(
+                               uint64_t(options.num_visits / 4 + 1)))),
+         Value(d.name),
+         Value(HospitalName(int(rng.Uniform(uint64_t(options.num_hospitals))))),
+         Value(MonthName(int(rng.Uniform(uint64_t(options.num_months))))),
+         Value(int64_t(100 + rng.Uniform(5000)))});
+  }
+  return t;
+}
+
+}  // namespace statcube

@@ -1,0 +1,39 @@
+// Synthetic HMO workload (paper §3.2(iii)): cost per patient per procedure
+// with the paper's defining complication — the disease classification is
+// NOT a strict hierarchy ("lung cancer" belongs under both "cancer" and
+// "respiratory"), so naive roll-ups double-count. Privacy matters here too;
+// the micro-data feeds the privacy benches.
+
+#ifndef STATCUBE_WORKLOAD_HMO_H_
+#define STATCUBE_WORKLOAD_HMO_H_
+
+#include <cstdint>
+
+#include "statcube/common/status.h"
+#include "statcube/core/statistical_object.h"
+
+namespace statcube {
+
+/// Size knobs for the HMO generator.
+struct HmoOptions {
+  int num_hospitals = 6;
+  int num_cities = 3;
+  int num_months = 6;
+  int num_visits = 4000;
+  /// Fraction of diseases classified under two categories (non-strict).
+  double multi_category_fraction = 0.25;
+  uint64_t seed = 4;
+};
+
+/// Builds the HMO statistical object: cost (flow) and visits (flow) by
+/// disease x hospital x month; disease classified into categories
+/// non-strictly; hospital carries a city hierarchy.
+Result<StatisticalObject> MakeHmoWorkload(const HmoOptions& options = {});
+
+/// Visit-level micro-data (patient, disease, hospital, month, cost) for
+/// privacy experiments.
+Result<Table> MakeHmoMicroData(const HmoOptions& options = {});
+
+}  // namespace statcube
+
+#endif  // STATCUBE_WORKLOAD_HMO_H_

@@ -1,0 +1,193 @@
+#include "statcube/workload/retail.h"
+
+#include "statcube/common/rng.h"
+
+namespace statcube {
+
+namespace {
+
+std::string ProductName(int p) { return "prod" + std::to_string(p); }
+std::string StoreName(int city, int store) {
+  // Store numbers are only unique within a city (ID dependency, §2.2).
+  return "city" + std::to_string(city) + "/s#" + std::to_string(store);
+}
+std::string DayName(int day) {
+  int month = day / 30, dom = day % 30;
+  return "1996-" + std::to_string(1 + month) + "-" + std::to_string(1 + dom);
+}
+std::string MonthName(int day) {
+  return "1996-" + std::to_string(1 + day / 30);
+}
+
+}  // namespace
+
+Result<RetailData> MakeRetailWorkload(const RetailOptions& options) {
+  Rng rng(options.seed);
+
+  // --- dimension metadata -----------------------------------------------
+  // Product: category (grouping) and price range (alternative grouping).
+  std::vector<int> product_category(size_t(options.num_products));
+  std::vector<double> product_price(size_t(options.num_products));
+  for (int p = 0; p < options.num_products; ++p) {
+    product_category[size_t(p)] =
+        int(rng.Uniform(uint64_t(options.num_categories)));
+    product_price[size_t(p)] = 1.0 + double(rng.Uniform(200));
+  }
+  auto price_range = [](double price) {
+    return price < 20 ? "budget" : (price < 80 ? "mid" : "premium");
+  };
+  // Store -> city assignment (round-robin keeps cities non-empty).
+  auto store_city = [&](int s) { return s % options.num_cities; };
+  auto store_num = [&](int s) { return s / options.num_cities; };
+
+  // --- star schema --------------------------------------------------------
+  Schema fact_schema;
+  fact_schema.AddColumn("product_id", ValueType::kInt64);
+  fact_schema.AddColumn("store_id", ValueType::kInt64);
+  fact_schema.AddColumn("day_id", ValueType::kInt64);
+  fact_schema.AddColumn("qty", ValueType::kInt64);
+  fact_schema.AddColumn("amount", ValueType::kDouble);
+  Table fact("sales_fact", fact_schema);
+
+  Schema flat_schema;
+  for (const char* c : {"product", "category", "price_range", "store", "city",
+                        "day", "month", "year"})
+    flat_schema.AddColumn(c, ValueType::kString);
+  flat_schema.AddColumn("qty", ValueType::kInt64);
+  flat_schema.AddColumn("amount", ValueType::kDouble);
+  Table flat("sales_flat", flat_schema);
+
+  StatisticalObject obj("sales");
+  {
+    Dimension product("product");
+    ClassificationHierarchy by_cat("by_category", {"product", "category"});
+    ClassificationHierarchy by_price("by_price_range",
+                                     {"product", "price_range"});
+    for (int p = 0; p < options.num_products; ++p) {
+      STATCUBE_RETURN_NOT_OK(by_cat.Link(
+          0, Value(ProductName(p)),
+          Value("cat" + std::to_string(product_category[size_t(p)]))));
+      STATCUBE_RETURN_NOT_OK(
+          by_price.Link(0, Value(ProductName(p)),
+                        Value(price_range(product_price[size_t(p)]))));
+      STATCUBE_RETURN_NOT_OK(by_cat.SetProperty(
+          0, Value(ProductName(p)), "price", Value(product_price[size_t(p)])));
+    }
+    by_cat.DeclareComplete(0, "qty");
+    by_cat.DeclareComplete(0, "amount");
+    by_price.DeclareComplete(0, "qty");
+    by_price.DeclareComplete(0, "amount");
+    product.AddHierarchy(by_cat);
+    product.AddHierarchy(by_price);
+    STATCUBE_RETURN_NOT_OK(obj.AddDimension(product));
+
+    Dimension store("store", DimensionKind::kSpatial);
+    ClassificationHierarchy geo("by_city", {"store", "city"});
+    for (int s = 0; s < options.num_stores; ++s)
+      STATCUBE_RETURN_NOT_OK(
+          geo.Link(0, Value(StoreName(store_city(s), store_num(s))),
+                   Value("city" + std::to_string(store_city(s)))));
+    geo.set_id_dependent(true);
+    geo.DeclareComplete(0, "qty");
+    geo.DeclareComplete(0, "amount");
+    store.AddHierarchy(geo);
+    STATCUBE_RETURN_NOT_OK(obj.AddDimension(store));
+
+    Dimension day("day", DimensionKind::kTemporal);
+    ClassificationHierarchy cal("calendar", {"day", "month", "year"});
+    for (int d = 0; d < options.num_days; ++d)
+      STATCUBE_RETURN_NOT_OK(
+          cal.Link(0, Value(DayName(d)), Value(MonthName(d))));
+    for (int m = 0; m < (options.num_days + 29) / 30; ++m)
+      STATCUBE_RETURN_NOT_OK(
+          cal.Link(1, Value("1996-" + std::to_string(1 + m)), Value("1996")));
+    cal.set_id_dependent(true);
+    cal.DeclareComplete(0, "qty");
+    cal.DeclareComplete(0, "amount");
+    cal.DeclareComplete(1, "qty");
+    cal.DeclareComplete(1, "amount");
+    day.AddHierarchy(cal);
+    STATCUBE_RETURN_NOT_OK(obj.AddDimension(day));
+
+    STATCUBE_RETURN_NOT_OK(
+        obj.AddMeasure({"qty", "", MeasureType::kFlow, AggFn::kSum, ""}));
+    STATCUBE_RETURN_NOT_OK(obj.AddMeasure(
+        {"amount", "dollars", MeasureType::kFlow, AggFn::kSum, ""}));
+  }
+
+  // --- facts --------------------------------------------------------------
+  for (int i = 0; i < options.num_rows; ++i) {
+    int p = int(rng.Zipf(uint64_t(options.num_products), options.zipf_theta));
+    int s = int(rng.Uniform(uint64_t(options.num_stores)));
+    int d = int(rng.Uniform(uint64_t(options.num_days)));
+    int64_t qty = 1 + int64_t(rng.Uniform(9));
+    double amount = double(qty) * product_price[size_t(p)];
+
+    STATCUBE_RETURN_NOT_OK(fact.AppendRow({Value(int64_t(p)),
+                                           Value(int64_t(s)),
+                                           Value(int64_t(d)), Value(qty),
+                                           Value(amount)}));
+    flat.AppendRowUnchecked(
+        {Value(ProductName(p)),
+         Value("cat" + std::to_string(product_category[size_t(p)])),
+         Value(price_range(product_price[size_t(p)])),
+         Value(StoreName(store_city(s), store_num(s))),
+         Value("city" + std::to_string(store_city(s))), Value(DayName(d)),
+         Value(MonthName(d)), Value("1996"), Value(qty), Value(amount)});
+    STATCUBE_RETURN_NOT_OK(
+        obj.AddCell({Value(ProductName(p)),
+                     Value(StoreName(store_city(s), store_num(s))),
+                     Value(DayName(d))},
+                    {Value(qty), Value(amount)}));
+  }
+
+  // --- dimension tables ----------------------------------------------------
+  StarSchema star(std::move(fact));
+  {
+    Schema ps;
+    ps.AddColumn("product_id", ValueType::kInt64);
+    ps.AddColumn("product", ValueType::kString);
+    ps.AddColumn("category", ValueType::kString);
+    ps.AddColumn("price_range", ValueType::kString);
+    ps.AddColumn("price", ValueType::kDouble);
+    Table products("product", ps);
+    for (int p = 0; p < options.num_products; ++p)
+      products.AppendRowUnchecked(
+          {Value(int64_t(p)), Value(ProductName(p)),
+           Value("cat" + std::to_string(product_category[size_t(p)])),
+           Value(price_range(product_price[size_t(p)])),
+           Value(product_price[size_t(p)])});
+    STATCUBE_RETURN_NOT_OK(star.AddDimension({"product", std::move(products),
+                                              "product_id", "product_id",
+                                              {"category"}}));
+
+    Schema ss;
+    ss.AddColumn("store_id", ValueType::kInt64);
+    ss.AddColumn("store", ValueType::kString);
+    ss.AddColumn("city", ValueType::kString);
+    Table stores("store", ss);
+    for (int s = 0; s < options.num_stores; ++s)
+      stores.AppendRowUnchecked(
+          {Value(int64_t(s)), Value(StoreName(store_city(s), store_num(s))),
+           Value("city" + std::to_string(store_city(s)))});
+    STATCUBE_RETURN_NOT_OK(star.AddDimension(
+        {"store", std::move(stores), "store_id", "store_id", {"city"}}));
+
+    Schema ts;
+    ts.AddColumn("day_id", ValueType::kInt64);
+    ts.AddColumn("day", ValueType::kString);
+    ts.AddColumn("month", ValueType::kString);
+    ts.AddColumn("year", ValueType::kString);
+    Table days("time", ts);
+    for (int d = 0; d < options.num_days; ++d)
+      days.AppendRowUnchecked({Value(int64_t(d)), Value(DayName(d)),
+                               Value(MonthName(d)), Value("1996")});
+    STATCUBE_RETURN_NOT_OK(star.AddDimension(
+        {"time", std::move(days), "day_id", "day_id", {"month", "year"}}));
+  }
+
+  RetailData out{std::move(star), std::move(flat), std::move(obj)};
+  return out;
+}
+
+}  // namespace statcube

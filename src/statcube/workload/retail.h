@@ -1,0 +1,51 @@
+// Synthetic retail sales workload (paper §2.2 / §3.2(i)): a store-chain
+// transaction cube with the paper's structural features — a star schema
+// (Figure 11), an ID-dependent store location hierarchy (city -> store,
+// Figure 2), a multi-level time hierarchy (year -> month -> day), and
+// *multiple classifications over the same dimension* (products by category
+// AND by price range). Zipf-skewed product popularity controls density.
+
+#ifndef STATCUBE_WORKLOAD_RETAIL_H_
+#define STATCUBE_WORKLOAD_RETAIL_H_
+
+#include <cstdint>
+
+#include "statcube/common/status.h"
+#include "statcube/core/statistical_object.h"
+#include "statcube/relational/star_schema.h"
+
+namespace statcube {
+
+/// Size and skew knobs for the retail generator.
+struct RetailOptions {
+  int num_products = 50;
+  int num_categories = 8;
+  int num_stores = 12;
+  int num_cities = 4;
+  int num_days = 60;   ///< spanning months of 30 days
+  int num_rows = 8000; ///< fact transactions
+  double zipf_theta = 0.6;
+  uint64_t seed = 2;
+};
+
+/// The generated workload in its three guises.
+struct RetailData {
+  /// Star schema: fact(product_id, store_id, day_id, qty, amount) plus
+  /// product/store/time dimension tables — the ROLAP representation.
+  StarSchema star;
+  /// The same data denormalized flat: product, category, price_range,
+  /// store, city, day, month, year, qty, amount.
+  Table flat;
+  /// Statistical object over product x store x day with measures qty and
+  /// amount; product carries two classifications (by_category and
+  /// by_price_range), store carries the ID-dependent city hierarchy, day
+  /// the calendar hierarchy.
+  StatisticalObject object;
+};
+
+/// Builds all three representations of one deterministic dataset.
+Result<RetailData> MakeRetailWorkload(const RetailOptions& options = {});
+
+}  // namespace statcube
+
+#endif  // STATCUBE_WORKLOAD_RETAIL_H_

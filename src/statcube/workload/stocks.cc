@@ -1,0 +1,72 @@
+#include "statcube/workload/stocks.h"
+
+#include <cmath>
+
+#include "statcube/common/rng.h"
+
+namespace statcube {
+
+namespace {
+
+std::string StockName(int s) { return "TKR" + std::to_string(s); }
+std::string DayName(int week, int wd) {
+  static const char* kWeekdays[] = {"mon", "tue", "wed", "thu", "fri"};
+  return "w" + std::to_string(week) + "-" + kWeekdays[wd];
+}
+
+}  // namespace
+
+Result<StatisticalObject> MakeStockWorkload(const StockOptions& options) {
+  StatisticalObject obj("stock_market");
+  Rng rng(options.seed);
+
+  Dimension stock("stock");
+  ClassificationHierarchy by_industry("by_industry", {"stock", "industry"});
+  ClassificationHierarchy by_rating("by_rating", {"stock", "rating"});
+  static const char* kRatings[] = {"AAA", "AA", "A", "BBB"};
+  for (int s = 0; s < options.num_stocks; ++s) {
+    STATCUBE_RETURN_NOT_OK(by_industry.Link(
+        0, Value(StockName(s)),
+        Value("ind" +
+              std::to_string(rng.Uniform(uint64_t(options.num_industries))))));
+    STATCUBE_RETURN_NOT_OK(by_rating.Link(0, Value(StockName(s)),
+                                          Value(kRatings[rng.Uniform(4)])));
+  }
+  by_industry.DeclareComplete(0, "volume");
+  by_rating.DeclareComplete(0, "volume");
+  stock.AddHierarchy(by_industry);
+  stock.AddHierarchy(by_rating);
+  STATCUBE_RETURN_NOT_OK(obj.AddDimension(stock));
+
+  Dimension day("day", DimensionKind::kTemporal);
+  ClassificationHierarchy cal("calendar", {"day", "week"});
+  for (int w = 0; w < options.num_weeks; ++w)
+    for (int wd = 0; wd < 5; ++wd)
+      STATCUBE_RETURN_NOT_OK(cal.Link(0, Value(DayName(w, wd)),
+                                      Value("w" + std::to_string(w))));
+  cal.DeclareComplete(0, "volume");
+  day.AddHierarchy(cal);
+  STATCUBE_RETURN_NOT_OK(obj.AddDimension(day));
+
+  STATCUBE_RETURN_NOT_OK(obj.AddMeasure(
+      {"close", "dollars", MeasureType::kStock, AggFn::kAvg, ""}));
+  STATCUBE_RETURN_NOT_OK(obj.AddMeasure(
+      {"volume", "shares", MeasureType::kFlow, AggFn::kSum, ""}));
+
+  // Random-walk prices, bursty volumes.
+  for (int s = 0; s < options.num_stocks; ++s) {
+    double price = 20.0 + double(rng.Uniform(200));
+    for (int w = 0; w < options.num_weeks; ++w) {
+      for (int wd = 0; wd < 5; ++wd) {
+        price = std::max(1.0, price * (1.0 + rng.Gaussian(0.0, 0.02)));
+        int64_t volume = int64_t(1000 + rng.Uniform(100000));
+        STATCUBE_RETURN_NOT_OK(
+            obj.AddCell({Value(StockName(s)), Value(DayName(w, wd))},
+                        {Value(price), Value(volume)}));
+      }
+    }
+  }
+  return obj;
+}
+
+}  // namespace statcube

@@ -1,0 +1,31 @@
+// Synthetic stock-market workload (paper §3.2(ii)): a weekday-only time
+// series of closing prices (a stock/level measure — averaging over time is
+// meaningful, summing is not) and trading volumes (a flow), with multiple
+// classifications over the stock dimension: by industry and by rating.
+
+#ifndef STATCUBE_WORKLOAD_STOCKS_H_
+#define STATCUBE_WORKLOAD_STOCKS_H_
+
+#include <cstdint>
+
+#include "statcube/common/status.h"
+#include "statcube/core/statistical_object.h"
+
+namespace statcube {
+
+/// Size knobs for the stock-market generator.
+struct StockOptions {
+  int num_stocks = 20;
+  int num_industries = 5;
+  int num_weeks = 8;  ///< 5 weekdays each; weekends/holidays absent
+  uint64_t seed = 3;
+};
+
+/// Builds the stock statistical object: close (stock measure, avg) and
+/// volume (flow, sum) by stock x day, day hierarchy day -> week, stock
+/// classified by_industry and by_rating.
+Result<StatisticalObject> MakeStockWorkload(const StockOptions& options = {});
+
+}  // namespace statcube
+
+#endif  // STATCUBE_WORKLOAD_STOCKS_H_

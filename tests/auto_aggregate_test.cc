@@ -1,0 +1,111 @@
+// Tests for automatic aggregation (paper §5.1, Figure 13): the "find the
+// average income of engineers in 1980" query expressed as two circled nodes.
+
+#include "statcube/olap/auto_aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace statcube {
+namespace {
+
+// Average income by sex x year x profession, with per-cell counts so
+// averages aggregate exactly (the paper's sum/count note).
+StatisticalObject MakeIncome() {
+  StatisticalObject obj("avg_income");
+  EXPECT_TRUE(obj.AddDimension(Dimension("sex")).ok());
+  EXPECT_TRUE(
+      obj.AddDimension(Dimension("year", DimensionKind::kTemporal)).ok());
+  Dimension prof("profession");
+  ClassificationHierarchy h("by_class", {"profession", "professional_class"});
+  EXPECT_TRUE(h.Link(0, Value("chemical eng"), Value("engineer")).ok());
+  EXPECT_TRUE(h.Link(0, Value("civil eng"), Value("engineer")).ok());
+  EXPECT_TRUE(h.Link(0, Value("junior sec"), Value("secretary")).ok());
+  prof.AddHierarchy(h);
+  EXPECT_TRUE(obj.AddDimension(prof).ok());
+  EXPECT_TRUE(obj.AddMeasure({"avg_income", "dollars",
+                              MeasureType::kValuePerUnit, AggFn::kAvg,
+                              "count"})
+                  .ok());
+  EXPECT_TRUE(
+      obj.AddMeasure({"count", "", MeasureType::kFlow, AggFn::kSum, ""}).ok());
+
+  // Incomes chosen so the expected values are easy to compute. All cells
+  // have count 1 except one with count 3.
+  auto add = [&](const char* sex, int year, const char* p, double income,
+                 int count) {
+    EXPECT_TRUE(obj.AddCell({Value(sex), Value(year), Value(p)},
+                            {Value(income), Value(count)})
+                    .ok());
+  };
+  add("M", 1980, "chemical eng", 100, 1);
+  add("M", 1980, "civil eng", 200, 3);  // weight 3
+  add("F", 1980, "chemical eng", 300, 1);
+  add("F", 1980, "civil eng", 400, 1);
+  add("M", 1980, "junior sec", 50, 1);
+  add("M", 1981, "chemical eng", 999, 1);
+  return obj;
+}
+
+TEST(AutoAggregateTest, Figure13Query) {
+  auto obj = MakeIncome();
+  // "average income of engineers in 1980": circle year=1980 and the
+  // non-leaf node professional_class=engineer; sex is summarized over.
+  AutoQuery q;
+  q.selections = {{"year", Value(1980)},
+                  {"professional_class", Value("engineer")}};
+  q.measure = "avg_income";
+  auto r = AutoAggregate(obj, q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Weighted mean over the four 1980 engineer cells:
+  // (100*1 + 200*3 + 300*1 + 400*1) / 6 = 1400/6.
+  EXPECT_NEAR(r->value.AsDouble(), 1400.0 / 6.0, 1e-9);
+  // The inferred plan mentions every implied step.
+  std::string plan;
+  for (const auto& s : r->inferred_steps) plan += s + "\n";
+  EXPECT_NE(plan.find("S-aggregate"), std::string::npos);
+  EXPECT_NE(plan.find("S-select"), std::string::npos);
+  EXPECT_NE(plan.find("S-project sex"), std::string::npos);
+}
+
+TEST(AutoAggregateTest, LeafSelection) {
+  auto obj = MakeIncome();
+  AutoQuery q;
+  q.selections = {{"profession", Value("junior sec")}};
+  q.measure = "avg_income";
+  auto r = AutoAggregate(obj, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->value.AsDouble(), 50.0);
+}
+
+TEST(AutoAggregateTest, NoSelectionsGivesGrandSummary) {
+  auto obj = MakeIncome();
+  AutoQuery q;
+  q.measure = "count";
+  auto r = AutoAggregate(obj, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->value.AsDouble(), 8.0);  // 1+3+1+1+1+1
+}
+
+TEST(AutoAggregateTest, EmptySelectionYieldsNull) {
+  auto obj = MakeIncome();
+  AutoQuery q;
+  q.selections = {{"year", Value(1999)}};
+  q.measure = "avg_income";
+  auto r = AutoAggregate(obj, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->value.is_null());
+}
+
+TEST(AutoAggregateTest, UnknownAttributeOrMeasure) {
+  auto obj = MakeIncome();
+  AutoQuery q;
+  q.selections = {{"ghost", Value(1)}};
+  q.measure = "avg_income";
+  EXPECT_FALSE(AutoAggregate(obj, q).ok());
+  q.selections = {};
+  q.measure = "ghost";
+  EXPECT_FALSE(AutoAggregate(obj, q).ok());
+}
+
+}  // namespace
+}  // namespace statcube

@@ -1,0 +1,100 @@
+// Tests for BitVector and PackedIntVector (bit-transposed file substrate).
+
+#include "statcube/storage/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "statcube/common/rng.h"
+
+namespace statcube {
+namespace {
+
+TEST(BitVectorTest, PushAndGet) {
+  BitVector bv;
+  for (int i = 0; i < 200; ++i) bv.PushBack(i % 3 == 0);
+  ASSERT_EQ(bv.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(bv.Get(size_t(i)), i % 3 == 0) << i;
+}
+
+TEST(BitVectorTest, SetAndClear) {
+  BitVector bv(130, false);
+  bv.Set(0, true);
+  bv.Set(64, true);
+  bv.Set(129, true);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(129));
+  EXPECT_FALSE(bv.Get(1));
+  bv.Set(64, false);
+  EXPECT_FALSE(bv.Get(64));
+}
+
+TEST(BitVectorTest, PopCountAndRank) {
+  BitVector bv;
+  for (int i = 0; i < 1000; ++i) bv.PushBack(i % 5 == 0);
+  EXPECT_EQ(bv.PopCount(), 200u);
+  EXPECT_EQ(bv.Rank(0), 0u);
+  EXPECT_EQ(bv.Rank(1), 1u);    // bit 0 is set
+  EXPECT_EQ(bv.Rank(5), 1u);    // bits 0..4: only bit 0
+  EXPECT_EQ(bv.Rank(6), 2u);    // plus bit 5
+  EXPECT_EQ(bv.Rank(1000), 200u);
+}
+
+TEST(BitVectorTest, BooleanOps) {
+  BitVector a(128), b(128);
+  for (size_t i = 0; i < 128; ++i) {
+    a.Set(i, i % 2 == 0);
+    b.Set(i, i % 3 == 0);
+  }
+  BitVector and_v = a;
+  and_v.AndWith(b);
+  BitVector or_v = a;
+  or_v.OrWith(b);
+  for (size_t i = 0; i < 128; ++i) {
+    EXPECT_EQ(and_v.Get(i), (i % 2 == 0) && (i % 3 == 0));
+    EXPECT_EQ(or_v.Get(i), (i % 2 == 0) || (i % 3 == 0));
+  }
+}
+
+TEST(BitVectorTest, NegateKeepsTailZero) {
+  BitVector a(70, false);
+  a.Negate();
+  EXPECT_EQ(a.PopCount(), 70u);  // only logical bits flipped
+  for (size_t i = 0; i < 70; ++i) EXPECT_TRUE(a.Get(i));
+}
+
+TEST(PackedIntVectorTest, BitsFor) {
+  EXPECT_EQ(PackedIntVector::BitsFor(1), 1u);
+  EXPECT_EQ(PackedIntVector::BitsFor(2), 1u);
+  EXPECT_EQ(PackedIntVector::BitsFor(3), 2u);
+  EXPECT_EQ(PackedIntVector::BitsFor(8), 3u);
+  EXPECT_EQ(PackedIntVector::BitsFor(9), 4u);
+  EXPECT_EQ(PackedIntVector::BitsFor(1ull << 33), 33u);
+}
+
+TEST(PackedIntVectorTest, RoundTripVariousWidths) {
+  Rng rng(7);
+  for (unsigned bits : {1u, 3u, 7u, 13u, 31u, 64u}) {
+    PackedIntVector v(bits);
+    std::vector<uint64_t> ref;
+    uint64_t mask = bits == 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+    for (int i = 0; i < 500; ++i) {
+      uint64_t x = rng.Next() & mask;
+      v.PushBack(x);
+      ref.push_back(x);
+    }
+    ASSERT_EQ(v.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i)
+      EXPECT_EQ(v.Get(i), ref[i]) << "bits=" << bits << " i=" << i;
+  }
+}
+
+TEST(PackedIntVectorTest, PackingSavesSpace) {
+  // 2-bit values: packed storage should be ~32x smaller than uint64.
+  PackedIntVector v(2);
+  for (int i = 0; i < 64000; ++i) v.PushBack(uint64_t(i % 4));
+  EXPECT_LE(v.ByteSize(), 64000u * 8 / 30);
+}
+
+}  // namespace
+}  // namespace statcube

@@ -1,0 +1,110 @@
+// Randomized differential tests: the B+-tree against std::map across many
+// seeds and fanouts (the index underpins header compression and sampling,
+// so it gets the heaviest fuzzing).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "statcube/common/rng.h"
+#include "statcube/storage/btree.h"
+
+namespace statcube {
+namespace {
+
+template <int kFanout>
+void FuzzAgainstStdMap(uint64_t seed, int ops) {
+  Rng rng(seed);
+  BPlusTree<uint64_t, uint64_t, kFanout> tree;
+  std::map<uint64_t, uint64_t> ref;
+
+  for (int i = 0; i < ops; ++i) {
+    uint64_t k = rng.Uniform(10000);
+    switch (rng.Uniform(3)) {
+      case 0: {  // insert
+        uint64_t v = rng.Next();
+        bool inserted = tree.Insert(k, v);
+        bool ref_inserted = ref.emplace(k, v).second;
+        ASSERT_EQ(inserted, ref_inserted) << "op " << i;
+        break;
+      }
+      case 1: {  // find
+        const uint64_t* v = tree.Find(k);
+        auto it = ref.find(k);
+        if (it == ref.end()) {
+          ASSERT_EQ(v, nullptr) << "op " << i;
+        } else {
+          ASSERT_NE(v, nullptr) << "op " << i;
+          ASSERT_EQ(*v, it->second);
+        }
+        break;
+      }
+      case 2: {  // floor + lower_bound
+        auto fe = tree.FloorEntry(k);
+        auto it = ref.upper_bound(k);
+        if (it == ref.begin()) {
+          ASSERT_FALSE(fe.valid()) << "op " << i;
+        } else {
+          --it;
+          ASSERT_TRUE(fe.valid()) << "op " << i;
+          ASSERT_EQ(*fe.key, it->first);
+        }
+        auto lb = tree.LowerBound(k);
+        auto it2 = ref.lower_bound(k);
+        if (it2 == ref.end()) {
+          ASSERT_FALSE(lb.valid());
+        } else {
+          ASSERT_TRUE(lb.valid());
+          ASSERT_EQ(*lb.key, it2->first);
+        }
+        break;
+      }
+    }
+  }
+  // Final full sweeps.
+  ASSERT_EQ(tree.size(), ref.size());
+  auto it = ref.begin();
+  tree.ForEach([&](uint64_t k, uint64_t v) {
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  });
+  EXPECT_EQ(it, ref.end());
+  // Rank selection agrees with ordered iteration.
+  size_t r = 0;
+  for (auto& [k, v] : ref) {
+    if (r % 37 == 0) {
+      auto e = tree.SelectByRank(r);
+      ASSERT_TRUE(e.valid());
+      EXPECT_EQ(*e.key, k);
+    }
+    ++r;
+  }
+}
+
+class BTreeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeFuzz, WideFanout) { FuzzAgainstStdMap<64>(GetParam(), 6000); }
+TEST_P(BTreeFuzz, NarrowFanout) { FuzzAgainstStdMap<4>(GetParam(), 3000); }
+TEST_P(BTreeFuzz, MediumFanout) { FuzzAgainstStdMap<9>(GetParam(), 4000); }
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeFuzz,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                           6ull, 7ull, 8ull));
+
+TEST(BTreeFuzzSequential, AscendingAndDescending) {
+  BPlusTree<int, int, 6> asc;
+  for (int i = 0; i < 20000; ++i) ASSERT_TRUE(asc.Insert(i, i));
+  EXPECT_EQ(asc.size(), 20000u);
+  for (int i = 0; i < 20000; i += 777) EXPECT_NE(asc.Find(i), nullptr);
+
+  BPlusTree<int, int, 6> desc;
+  for (int i = 20000; i-- > 0;) ASSERT_TRUE(desc.Insert(i, i));
+  EXPECT_EQ(desc.size(), 20000u);
+  int expect = 0;
+  desc.ForEach([&](int k, int) { EXPECT_EQ(k, expect++); });
+}
+
+}  // namespace
+}  // namespace statcube

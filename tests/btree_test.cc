@@ -1,0 +1,146 @@
+// Tests for the B+-tree: ordering, lookup, floor/lower-bound, rank select.
+
+#include "statcube/storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "statcube/common/rng.h"
+
+namespace statcube {
+namespace {
+
+TEST(BPlusTreeTest, InsertAndFind) {
+  BPlusTree<int, int> t;
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(t.Insert(i * 3, i));
+  EXPECT_EQ(t.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    const int* v = t.Find(i * 3);
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(t.Find(1), nullptr);
+  EXPECT_EQ(t.Find(-5), nullptr);
+  EXPECT_EQ(t.Find(3000), nullptr);
+}
+
+TEST(BPlusTreeTest, RejectsDuplicates) {
+  BPlusTree<int, int> t;
+  EXPECT_TRUE(t.Insert(7, 1));
+  EXPECT_FALSE(t.Insert(7, 2));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.Find(7), 1);
+}
+
+TEST(BPlusTreeTest, RandomOrderInsertStaysSorted) {
+  Rng rng(11);
+  BPlusTree<uint64_t, uint64_t> t;
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t k = rng.Next() % 100000;
+    if (t.Insert(k, k * 2)) keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<uint64_t> visited;
+  t.ForEach([&](uint64_t k, uint64_t v) {
+    visited.push_back(k);
+    EXPECT_EQ(v, k * 2);
+  });
+  EXPECT_EQ(visited, keys);
+}
+
+TEST(BPlusTreeTest, LowerBound) {
+  BPlusTree<int, int> t;
+  for (int i = 0; i < 100; ++i) t.Insert(i * 10, i);
+  auto e = t.LowerBound(35);
+  ASSERT_TRUE(e.valid());
+  EXPECT_EQ(*e.key, 40);
+  e = t.LowerBound(40);
+  ASSERT_TRUE(e.valid());
+  EXPECT_EQ(*e.key, 40);
+  e = t.LowerBound(-100);
+  ASSERT_TRUE(e.valid());
+  EXPECT_EQ(*e.key, 0);
+  e = t.LowerBound(991);
+  EXPECT_FALSE(e.valid());
+}
+
+TEST(BPlusTreeTest, FloorEntry) {
+  BPlusTree<int, int> t;
+  for (int i = 0; i < 100; ++i) t.Insert(i * 10, i);
+  auto e = t.FloorEntry(35);
+  ASSERT_TRUE(e.valid());
+  EXPECT_EQ(*e.key, 30);
+  e = t.FloorEntry(30);
+  ASSERT_TRUE(e.valid());
+  EXPECT_EQ(*e.key, 30);
+  e = t.FloorEntry(100000);
+  ASSERT_TRUE(e.valid());
+  EXPECT_EQ(*e.key, 990);
+  e = t.FloorEntry(-1);
+  EXPECT_FALSE(e.valid());
+}
+
+TEST(BPlusTreeTest, FloorEntryRandomized) {
+  Rng rng(5);
+  BPlusTree<uint64_t, int> t;
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t k = rng.Next() % 1000000;
+    if (t.Insert(k, 0)) keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (int trial = 0; trial < 500; ++trial) {
+    uint64_t q = rng.Next() % 1000000;
+    auto it = std::upper_bound(keys.begin(), keys.end(), q);
+    auto e = t.FloorEntry(q);
+    if (it == keys.begin()) {
+      EXPECT_FALSE(e.valid());
+    } else {
+      ASSERT_TRUE(e.valid());
+      EXPECT_EQ(*e.key, *(it - 1));
+    }
+  }
+}
+
+TEST(BPlusTreeTest, SelectByRank) {
+  Rng rng(13);
+  BPlusTree<uint64_t, uint64_t> t;
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t k = rng.Next();
+    if (t.Insert(k, k)) keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (size_t r = 0; r < keys.size(); r += 97) {
+    auto e = t.SelectByRank(r);
+    ASSERT_TRUE(e.valid());
+    EXPECT_EQ(*e.key, keys[r]) << r;
+  }
+  auto last = t.SelectByRank(keys.size() - 1);
+  EXPECT_EQ(*last.key, keys.back());
+}
+
+TEST(BPlusTreeTest, HeightGrowsLogarithmically) {
+  BPlusTree<int, int, 8> t;  // small fanout to force depth
+  for (int i = 0; i < 10000; ++i) t.Insert(i, i);
+  EXPECT_GE(t.Height(), 3);
+  EXPECT_LE(t.Height(), 8);
+  // Still correct after deep growth.
+  for (int i = 0; i < 10000; i += 1111) EXPECT_NE(t.Find(i), nullptr);
+}
+
+TEST(BPlusTreeTest, StringKeys) {
+  BPlusTree<std::string, int> t;
+  t.Insert("banana", 1);
+  t.Insert("apple", 2);
+  t.Insert("cherry", 3);
+  std::vector<std::string> order;
+  t.ForEach([&](const std::string& k, int) { order.push_back(k); });
+  EXPECT_EQ(order, (std::vector<std::string>{"apple", "banana", "cherry"}));
+}
+
+}  // namespace
+}  // namespace statcube

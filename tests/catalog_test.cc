@@ -1,0 +1,108 @@
+// Tests for the micro/macro/metadata catalog (§3.3.3, §5.7).
+
+#include "statcube/core/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "statcube/olap/homomorphism.h"
+#include "statcube/workload/census.h"
+
+namespace statcube {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog cat;
+  CensusOptions opt;
+  opt.num_states = 2;
+  opt.counties_per_state = 2;
+  auto micro = MakeCensusMicroData(200, opt);
+  EXPECT_TRUE(cat.RegisterMicroData("census_micro", *micro).ok());
+  auto macro = SummarizeMicro(*micro, {"county", "sex"},
+                              {AggFn::kSum, "income", "total_income"});
+  EXPECT_TRUE(cat.RegisterObject("income_by_county_sex", *macro).ok());
+  EXPECT_TRUE(cat.RecordDerivation({"income_by_county_sex",
+                                    {"census_micro"},
+                                    "group-by sum of income"})
+                  .ok());
+  return cat;
+}
+
+TEST(CatalogTest, RegisterAndLookup) {
+  Catalog cat = MakeCatalog();
+  EXPECT_TRUE(cat.Contains("census_micro"));
+  EXPECT_TRUE(cat.Contains("income_by_county_sex"));
+  EXPECT_FALSE(cat.Contains("ghost"));
+  ASSERT_TRUE(cat.MicroData("census_micro").ok());
+  ASSERT_TRUE(cat.Object("income_by_county_sex").ok());
+  EXPECT_FALSE(cat.MicroData("income_by_county_sex").ok());
+  EXPECT_FALSE(cat.Object("census_micro").ok());
+  EXPECT_EQ(cat.ListMicro().size(), 1u);
+  EXPECT_EQ(cat.ListObjects().size(), 1u);
+}
+
+TEST(CatalogTest, DuplicateNamesRejectedAcrossKinds) {
+  Catalog cat = MakeCatalog();
+  Schema s;
+  s.AddColumn("x", ValueType::kInt64);
+  Table t("t", s);
+  EXPECT_EQ(cat.RegisterMicroData("census_micro", t).code(),
+            StatusCode::kAlreadyExists);
+  StatisticalObject o("o");
+  EXPECT_EQ(cat.RegisterObject("census_micro", o).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, DerivationValidation) {
+  Catalog cat = MakeCatalog();
+  EXPECT_EQ(cat.RecordDerivation({"ghost", {"census_micro"}, "m"}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      cat.RecordDerivation({"income_by_county_sex", {"ghost"}, "m"}).code(),
+      StatusCode::kNotFound);
+  EXPECT_EQ(cat.RecordDerivation({"income_by_county_sex", {}, "m"}).code(),
+            StatusCode::kInvalidArgument);
+  // The §5.7 rule: the method must be recorded.
+  EXPECT_EQ(cat.RecordDerivation(
+                   {"income_by_county_sex", {"census_micro"}, ""})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(cat.RecordDerivation({"census_micro", {"census_micro"}, "m"})
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, LineageAndDependents) {
+  Catalog cat = MakeCatalog();
+  // Second-level derivation: roll the object up to states.
+  auto obj = cat.Object("income_by_county_sex");
+  ASSERT_TRUE(obj.ok());
+  StatisticalObject rolled = **obj;  // pretend-rolled; provenance is the point
+  ASSERT_TRUE(cat.RegisterObject("income_by_state", rolled).ok());
+  ASSERT_TRUE(cat.RecordDerivation({"income_by_state",
+                                    {"income_by_county_sex"},
+                                    "roll-up geo county -> state"})
+                  .ok());
+
+  auto lineage = cat.Lineage("income_by_state");
+  ASSERT_TRUE(lineage.ok());
+  ASSERT_EQ(lineage->size(), 2u);
+  // Both methods are on record.
+  std::vector<std::string> methods;
+  for (const auto& d : *lineage) methods.push_back(d.method);
+  EXPECT_NE(std::find(methods.begin(), methods.end(),
+                      "roll-up geo county -> state"),
+            methods.end());
+  EXPECT_NE(std::find(methods.begin(), methods.end(),
+                      "group-by sum of income"),
+            methods.end());
+
+  auto deps = cat.Dependents("census_micro");
+  ASSERT_EQ(deps.size(), 2u);  // both macro datasets refresh on change
+  EXPECT_TRUE(cat.Dependents("income_by_state").empty());
+  EXPECT_FALSE(cat.Lineage("ghost").ok());
+}
+
+}  // namespace
+}  // namespace statcube

@@ -1,0 +1,116 @@
+// Tests for the common kernel: string utilities, block accounting, RNG
+// statistical sanity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "statcube/common/block_counter.h"
+#include "statcube/common/rng.h"
+#include "statcube/common/str_util.h"
+
+namespace statcube {
+namespace {
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, " --> "), "a --> b --> c");
+}
+
+TEST(StrUtilTest, Padding) {
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+}
+
+TEST(StrUtilTest, WithCommas) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(1463883), "1,463,883");
+  EXPECT_EQ(WithCommas(-1234567), "-1,234,567");
+}
+
+TEST(BlockCounterTest, ChargesBytesCeiling) {
+  BlockCounter c(4096);
+  c.ChargeBytes(1);
+  EXPECT_EQ(c.blocks_read(), 1u);
+  c.ChargeBytes(4096);
+  EXPECT_EQ(c.blocks_read(), 2u);
+  c.ChargeBytes(4097);
+  EXPECT_EQ(c.blocks_read(), 4u);
+  EXPECT_EQ(c.bytes_read(), 1u + 4096 + 4097);
+  c.Reset();
+  EXPECT_EQ(c.blocks_read(), 0u);
+}
+
+TEST(BlockCounterTest, ChargesBlocks) {
+  BlockCounter c(512);
+  c.ChargeBlocks(3);
+  EXPECT_EQ(c.blocks_read(), 3u);
+  EXPECT_EQ(c.bytes_read(), 3u * 512);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t u = rng.Uniform(17);
+    EXPECT_LT(u, 17u);
+    int64_t r = rng.UniformRange(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(2);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(double(hits) / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(3);
+  double sum = 0, sum_sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian(10.0, 2.0);
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ZipfSkew) {
+  Rng rng(4);
+  const int n = 50000;
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < n; ++i) ++counts[rng.Zipf(100, 0.8)];
+  // Rank 0 must dominate and the tail must still occur.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], n / 20);
+  int tail = 0;
+  for (int i = 50; i < 100; ++i) tail += counts[i];
+  EXPECT_GT(tail, 0);
+  // theta = 0 degenerates to uniform.
+  Rng u(5);
+  std::vector<int> ucounts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++ucounts[u.Zipf(10, 0.0)];
+  for (int c : ucounts) EXPECT_NEAR(double(c), 1000.0, 200.0);
+}
+
+}  // namespace
+}  // namespace statcube

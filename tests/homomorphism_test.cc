@@ -1,0 +1,146 @@
+// The completeness-by-homomorphism property suite (paper §5.5, Figure 16):
+// for randomized micro-data, statistical-algebra operators on the macro-data
+// produce exactly what summarizing the relationally-transformed micro-data
+// produces.
+
+#include "statcube/olap/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "statcube/common/rng.h"
+#include "statcube/olap/operators.h"
+#include "statcube/relational/expression.h"
+#include "statcube/relational/operators.h"
+
+namespace statcube {
+namespace {
+
+Table MakeMicro(int n, uint64_t seed) {
+  Schema s;
+  s.AddColumn("state", ValueType::kString);
+  s.AddColumn("sex", ValueType::kString);
+  s.AddColumn("age_group", ValueType::kString);
+  s.AddColumn("income", ValueType::kDouble);
+  Table t("people", s);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    t.AppendRowUnchecked(
+        {Value("st" + std::to_string(rng.Uniform(5))),
+         Value(rng.Bernoulli(0.5) ? "M" : "F"),
+         Value("a" + std::to_string(rng.Uniform(4))),
+         Value(double(20000 + rng.Uniform(80000)))});
+  }
+  return t;
+}
+
+class HomomorphismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HomomorphismTest, SSelectCommutesWithSelect) {
+  Table micro = MakeMicro(2000, GetParam());
+  std::vector<std::string> dims = {"state", "sex", "age_group"};
+  AggSpec agg{AggFn::kSum, "income", "total_income"};
+
+  // Left-then-bottom: relational select on micro, then summarize.
+  auto pred = expr::ColumnIn(micro.schema(), "state",
+                             {Value("st1"), Value("st3")});
+  ASSERT_TRUE(pred.ok());
+  Table micro_sel = Select(micro, *pred);
+  auto bottom = SummarizeMicro(micro_sel, dims, agg);
+  ASSERT_TRUE(bottom.ok());
+
+  // Top-then-right: summarize, then S-select on macro.
+  auto macro = SummarizeMicro(micro, dims, agg);
+  ASSERT_TRUE(macro.ok());
+  auto right = SSelect(*macro, "state", {Value("st1"), Value("st3")});
+  ASSERT_TRUE(right.ok());
+
+  auto eq = MacroDataEqual(*bottom, *right, 1e-6);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST_P(HomomorphismTest, SProjectCommutesWithProjectOut) {
+  Table micro = MakeMicro(2000, GetParam() + 100);
+  AggSpec agg{AggFn::kSum, "income", "total_income"};
+
+  // Left: drop the column from the micro-data, then summarize by the rest.
+  auto bottom = SummarizeMicro(micro, {"state", "sex"}, agg);
+  ASSERT_TRUE(bottom.ok());
+
+  // Right: summarize at full granularity, then S-project age_group.
+  auto macro = SummarizeMicro(micro, {"state", "sex", "age_group"}, agg);
+  ASSERT_TRUE(macro.ok());
+  auto right =
+      SProject(*macro, "age_group", {.enforce_summarizability = false});
+  ASSERT_TRUE(right.ok());
+
+  auto eq = MacroDataEqual(*bottom, *right, 1e-6);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST_P(HomomorphismTest, SProjectCommutesForAverage) {
+  // The subtle case: averages only commute because SummarizeMicro carries
+  // the count and the macro S-project forms the weighted mean.
+  Table micro = MakeMicro(1500, GetParam() + 200);
+  AggSpec agg{AggFn::kAvg, "income", "avg_income"};
+
+  auto bottom = SummarizeMicro(micro, {"state"}, agg);
+  ASSERT_TRUE(bottom.ok());
+
+  auto macro = SummarizeMicro(micro, {"state", "sex", "age_group"}, agg);
+  ASSERT_TRUE(macro.ok());
+  auto step1 = SProject(*macro, "sex", {.enforce_summarizability = false});
+  ASSERT_TRUE(step1.ok());
+  auto right =
+      SProject(*step1, "age_group", {.enforce_summarizability = false});
+  ASSERT_TRUE(right.ok());
+
+  auto eq = MacroDataEqual(*bottom, *right, 1e-6);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST_P(HomomorphismTest, SUnionCommutesWithUnion) {
+  Table micro_a = MakeMicro(800, GetParam() + 300);
+  Table micro_b = MakeMicro(900, GetParam() + 400);
+  std::vector<std::string> dims = {"state", "sex"};
+  AggSpec agg{AggFn::kSum, "income", "total_income"};
+
+  auto both = UnionAll(micro_a, micro_b);
+  ASSERT_TRUE(both.ok());
+  auto bottom = SummarizeMicro(*both, dims, agg);
+  ASSERT_TRUE(bottom.ok());
+
+  auto ma = SummarizeMicro(micro_a, dims, agg);
+  auto mb = SummarizeMicro(micro_b, dims, agg);
+  ASSERT_TRUE(ma.ok());
+  ASSERT_TRUE(mb.ok());
+  auto right = SUnion(*ma, *mb);
+  ASSERT_TRUE(right.ok());
+
+  auto eq = MacroDataEqual(*bottom, *right, 1e-6);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HomomorphismTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
+
+TEST(MacroDataEqualTest, DetectsDifferences) {
+  Table micro = MakeMicro(100, 9);
+  AggSpec agg{AggFn::kSum, "income", "t"};
+  auto a = SummarizeMicro(micro, {"state"}, agg);
+  auto b = SummarizeMicro(micro, {"sex"}, agg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto eq = MacroDataEqual(*a, *b);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(*eq);
+  eq = MacroDataEqual(*a, *a);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+}  // namespace
+}  // namespace statcube

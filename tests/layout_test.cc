@@ -1,0 +1,127 @@
+// Tests for the [OOM85] summary-table layout operators (paper §5.2):
+// attribute split/merge between rows and columns, transposition, reordering,
+// and the multi-table split/merge ("pages").
+
+#include "statcube/core/layout.h"
+
+#include <gtest/gtest.h>
+
+namespace statcube {
+namespace {
+
+StatisticalObject MakeObject() {
+  StatisticalObject obj("emp");
+  EXPECT_TRUE(obj.AddDimension(Dimension("state")).ok());
+  EXPECT_TRUE(obj.AddDimension(Dimension("sex")).ok());
+  EXPECT_TRUE(obj.AddDimension(Dimension("year", DimensionKind::kTemporal)).ok());
+  EXPECT_TRUE(
+      obj.AddMeasure({"pop", "", MeasureType::kStock, AggFn::kSum, ""}).ok());
+  int v = 0;
+  for (const char* st : {"CA", "NV"})
+    for (const char* sex : {"M", "F"})
+      for (int y : {1990, 1991})
+        EXPECT_TRUE(
+            obj.AddCell({Value(st), Value(sex), Value(y)}, {Value(v += 5)})
+                .ok());
+  return obj;
+}
+
+TEST(Layout2DTest, CreateValidates) {
+  auto obj = MakeObject();
+  EXPECT_TRUE(Layout2D::Create(obj, {"state", "sex"}, {"year"}).ok());
+  // Missing a dimension.
+  EXPECT_FALSE(Layout2D::Create(obj, {"state"}, {"year"}).ok());
+  // Duplicate.
+  EXPECT_FALSE(Layout2D::Create(obj, {"state", "sex"}, {"sex"}).ok());
+  // Empty side.
+  EXPECT_FALSE(Layout2D::Create(obj, {}, {"state", "sex", "year"}).ok());
+}
+
+TEST(Layout2DTest, AttributeSplitAndMerge) {
+  auto obj = MakeObject();
+  auto layout = Layout2D::Create(obj, {"state"}, {"sex", "year"});
+  ASSERT_TRUE(layout.ok());
+  // Move "sex" to the rows (attribute split).
+  ASSERT_TRUE(layout->MoveToRows("sex").ok());
+  EXPECT_EQ(layout->row_dims(),
+            (std::vector<std::string>{"state", "sex"}));
+  EXPECT_EQ(layout->col_dims(), (std::vector<std::string>{"year"}));
+  // Cannot empty the columns.
+  EXPECT_FALSE(layout->MoveToRows("year").ok());
+  // Move back (attribute merge).
+  ASSERT_TRUE(layout->MoveToColumns("sex").ok());
+  EXPECT_EQ(layout->col_dims(),
+            (std::vector<std::string>{"year", "sex"}));
+  // Not present.
+  EXPECT_FALSE(layout->MoveToColumns("sex").ok());
+}
+
+TEST(Layout2DTest, TransposeAndReorder) {
+  auto obj = MakeObject();
+  auto layout = Layout2D::Create(obj, {"state", "sex"}, {"year"});
+  ASSERT_TRUE(layout.ok());
+  layout->Transpose();
+  EXPECT_EQ(layout->row_dims(), (std::vector<std::string>{"year"}));
+  EXPECT_EQ(layout->col_dims(), (std::vector<std::string>{"state", "sex"}));
+  ASSERT_TRUE(layout->ReorderColumns({"sex", "state"}).ok());
+  EXPECT_EQ(layout->col_dims(), (std::vector<std::string>{"sex", "state"}));
+  EXPECT_FALSE(layout->ReorderColumns({"sex"}).ok());
+  EXPECT_FALSE(layout->ReorderColumns({"sex", "year"}).ok());
+}
+
+TEST(Layout2DTest, RenderProducesEquivalentContentUnderAnyLayout) {
+  auto obj = MakeObject();
+  auto l1 = Layout2D::Create(obj, {"state", "sex"}, {"year"});
+  ASSERT_TRUE(l1.ok());
+  auto r1 = l1->Render(obj, "pop", true);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  auto l2 = *l1;
+  l2.Transpose();
+  auto r2 = l2.Render(obj, "pop", true);
+  ASSERT_TRUE(r2.ok());
+  // Same grand total appears in both renderings (sum of 5..40 step 5 = 180).
+  EXPECT_NE(r1->find("180"), std::string::npos);
+  EXPECT_NE(r2->find("180"), std::string::npos);
+}
+
+TEST(SplitMergeTest, SplitProducesOnePagePerValue) {
+  auto obj = MakeObject();
+  auto pages = SplitByValue(obj, "state");
+  ASSERT_TRUE(pages.ok());
+  ASSERT_EQ(pages->size(), 2u);
+  const auto& ca = pages->at(Value("CA"));
+  EXPECT_EQ(ca.dimensions().size(), 2u);
+  EXPECT_EQ(ca.data().num_rows(), 4u);
+  EXPECT_FALSE(ca.data().schema().Contains("state"));
+}
+
+TEST(SplitMergeTest, MergeInvertsSplit) {
+  auto obj = MakeObject();
+  auto pages = SplitByValue(obj, "state");
+  ASSERT_TRUE(pages.ok());
+  auto merged = MergeByValue(*pages, "state");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->data().num_rows(), obj.data().num_rows());
+  // Cell totals preserved.
+  double t1 = 0, t2 = 0;
+  size_t p1 = *obj.data().schema().IndexOf("pop");
+  size_t p2 = *merged->data().schema().IndexOf("pop");
+  for (const Row& r : obj.data().rows()) t1 += r[p1].AsDouble();
+  for (const Row& r : merged->data().rows()) t2 += r[p2].AsDouble();
+  EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+TEST(SplitMergeTest, Validation) {
+  auto obj = MakeObject();
+  EXPECT_FALSE(SplitByValue(obj, "ghost").ok());
+  StatisticalObject tiny("t");
+  ASSERT_TRUE(tiny.AddDimension(Dimension("only")).ok());
+  ASSERT_TRUE(
+      tiny.AddMeasure({"m", "", MeasureType::kFlow, AggFn::kSum, ""}).ok());
+  ASSERT_TRUE(tiny.AddCell({Value("x")}, {Value(1)}).ok());
+  EXPECT_FALSE(SplitByValue(tiny, "only").ok());
+  EXPECT_FALSE(MergeByValue({}, "d").ok());
+}
+
+}  // namespace
+}  // namespace statcube

@@ -1,0 +1,148 @@
+// Tests for classification matching (paper §5.7, Figure 17) and
+// disaggregation by proxy (§5.3).
+
+#include "statcube/matching/matching.h"
+
+#include <gtest/gtest.h>
+
+namespace statcube {
+namespace {
+
+TEST(RefineTest, IdentityOnMatchingBoundaries) {
+  std::vector<IntervalBucket> src = {{0, 5, 50}, {5, 10, 100}};
+  auto r = RefineToBoundaries(src, {0, 5, 10});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_DOUBLE_EQ((*r)[0].value, 50);
+  EXPECT_DOUBLE_EQ((*r)[1].value, 100);
+}
+
+TEST(RefineTest, SplitsProportionally) {
+  std::vector<IntervalBucket> src = {{0, 10, 100}};
+  auto r = RefineToBoundaries(src, {0, 2, 10});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ((*r)[0].value, 20);  // 2/10 of 100
+  EXPECT_DOUBLE_EQ((*r)[1].value, 80);
+}
+
+TEST(RefineTest, PreservesTotals) {
+  std::vector<IntervalBucket> src = {{0, 5, 37}, {5, 10, 12}, {10, 30, 99}};
+  auto r = RefineToBoundaries(src, {0, 1, 4, 9, 13, 30});
+  ASSERT_TRUE(r.ok());
+  double total = 0;
+  for (const auto& b : *r) total += b.value;
+  EXPECT_NEAR(total, 37 + 12 + 99, 1e-9);
+}
+
+TEST(RefineTest, Validation) {
+  std::vector<IntervalBucket> src = {{0, 10, 1}};
+  EXPECT_FALSE(RefineToBoundaries(src, {0}).ok());
+  EXPECT_FALSE(RefineToBoundaries(src, {10, 0}).ok());
+  EXPECT_FALSE(RefineToBoundaries(src, {2, 10}).ok());  // doesn't cover
+  EXPECT_FALSE(RefineToBoundaries({{5, 5, 1}}, {0, 10}).ok());
+}
+
+TEST(MergeTest, Figure17AgeGroups) {
+  // Database 1: 0-5, 6-10(as 5-10)... use half-open [0,5),[5,10),[10,15),
+  // [15,20). Database 2: [0,1),[1,10),[10,20).
+  std::vector<IntervalBucket> db1 = {
+      {0, 5, 50}, {5, 10, 60}, {10, 15, 70}, {15, 20, 80}};
+  std::vector<IntervalBucket> db2 = {{0, 1, 9}, {1, 10, 81}, {10, 20, 110}};
+  auto merged = MergeIntervalSources(db1, db2);
+  ASSERT_TRUE(merged.ok());
+  // Combined boundaries: 0,1,5,10,15,20.
+  ASSERT_EQ(merged->size(), 5u);
+  double total = 0;
+  for (const auto& b : *merged) total += b.value;
+  EXPECT_NEAR(total, 50 + 60 + 70 + 80 + 9 + 81 + 110, 1e-9);
+  // First bucket [0,1): db1 contributes 50/5, db2 contributes 9.
+  EXPECT_NEAR((*merged)[0].value, 10 + 9, 1e-9);
+}
+
+TEST(CategoryTimelineTest, Figure17Industries) {
+  CategoryTimeline tl;
+  ASSERT_TRUE(tl.AddVersion("1990", {Value("agriculture"),
+                                     Value("automobiles")})
+                  .ok());
+  ASSERT_TRUE(tl.AddVersion("1991", {Value("agriculture"),
+                                     Value("automobiles"), Value("internet")})
+                  .ok());
+  auto added = tl.Added("1990", "1991");
+  ASSERT_TRUE(added.ok());
+  ASSERT_EQ(added->size(), 1u);
+  EXPECT_EQ((*added)[0], Value("internet"));
+  auto removed = tl.Removed("1990", "1991");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(removed->empty());
+  // Surviving categories map by identity.
+  auto m = tl.Map("1990", Value("agriculture"), "1991");
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m->size(), 1u);
+  EXPECT_EQ((*m)[0], Value("agriculture"));
+  // New categories have no backward mapping.
+  EXPECT_FALSE(tl.Map("1991", Value("internet"), "1990").ok());
+}
+
+TEST(CategoryTimelineTest, ExplicitSplitMapping) {
+  CategoryTimeline tl;
+  ASSERT_TRUE(tl.AddVersion("v1", {Value("tech")}).ok());
+  ASSERT_TRUE(
+      tl.AddVersion("v2", {Value("hardware"), Value("software")}).ok());
+  // Without a declared mapping, "tech" is unmappable.
+  EXPECT_FALSE(tl.Map("v1", Value("tech"), "v2").ok());
+  ASSERT_TRUE(tl.DeclareMapping("v1", Value("tech"), "v2",
+                                {Value("hardware"), Value("software")})
+                  .ok());
+  auto m = tl.Map("v1", Value("tech"), "v2");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size(), 2u);
+  // Mapping to a non-category is rejected.
+  EXPECT_FALSE(
+      tl.DeclareMapping("v1", Value("tech"), "v2", {Value("ghost")}).ok());
+}
+
+TEST(CategoryTimelineTest, Validation) {
+  CategoryTimeline tl;
+  ASSERT_TRUE(tl.AddVersion("a", {Value("x")}).ok());
+  EXPECT_FALSE(tl.AddVersion("a", {}).ok());
+  EXPECT_FALSE(tl.Map("ghost", Value("x"), "a").ok());
+  EXPECT_FALSE(tl.Map("a", Value("ghost"), "a").ok());
+}
+
+TEST(ProxyTest, PaperExampleAreaProxy) {
+  // Population known per state; county areas as proxy.
+  std::map<Value, double> totals = {{Value("CA"), 1000.0}};
+  std::vector<ProxyChild> counties = {
+      {Value("co1"), Value("CA"), 30.0},
+      {Value("co2"), Value("CA"), 70.0},
+  };
+  auto est = DisaggregateByProxy(totals, counties);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->at(Value("co1")), 300.0);
+  EXPECT_DOUBLE_EQ(est->at(Value("co2")), 700.0);
+}
+
+TEST(ProxyTest, MultipleParentsAndValidation) {
+  std::map<Value, double> totals = {{Value("CA"), 100.0},
+                                    {Value("NV"), 10.0}};
+  std::vector<ProxyChild> children = {
+      {Value("c1"), Value("CA"), 1.0},
+      {Value("c2"), Value("CA"), 3.0},
+      {Value("n1"), Value("NV"), 2.0},
+  };
+  auto est = DisaggregateByProxy(totals, children);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->at(Value("c1")), 25.0);
+  EXPECT_DOUBLE_EQ(est->at(Value("c2")), 75.0);
+  EXPECT_DOUBLE_EQ(est->at(Value("n1")), 10.0);
+
+  EXPECT_FALSE(
+      DisaggregateByProxy(totals, {{Value("x"), Value("TX"), 1.0}}).ok());
+  EXPECT_FALSE(
+      DisaggregateByProxy(totals, {{Value("x"), Value("CA"), -1.0}}).ok());
+  EXPECT_FALSE(
+      DisaggregateByProxy(totals, {{Value("x"), Value("CA"), 0.0}}).ok());
+}
+
+}  // namespace
+}  // namespace statcube

@@ -1,0 +1,190 @@
+// Tests for the MOLAP cube facade and the array-based simultaneous cube
+// build: both must agree exactly with relational recomputation.
+
+#include "statcube/olap/molap_cube.h"
+
+#include <gtest/gtest.h>
+
+#include "statcube/common/rng.h"
+#include "statcube/olap/cube_build.h"
+#include "statcube/relational/cube_operator.h"
+
+namespace statcube {
+namespace {
+
+StatisticalObject MakeSales(int n, uint64_t seed) {
+  StatisticalObject obj("sales");
+  EXPECT_TRUE(obj.AddDimension(Dimension("product")).ok());
+  EXPECT_TRUE(obj.AddDimension(Dimension("store")).ok());
+  EXPECT_TRUE(
+      obj.AddDimension(Dimension("day", DimensionKind::kTemporal)).ok());
+  EXPECT_TRUE(
+      obj.AddMeasure({"qty", "dollars", MeasureType::kFlow, AggFn::kSum, ""})
+          .ok());
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(obj.AddCell({Value("p" + std::to_string(rng.Uniform(6))),
+                             Value("s" + std::to_string(rng.Uniform(4))),
+                             Value("d" + std::to_string(rng.Uniform(5)))},
+                            {Value(double(1 + rng.Uniform(100)))})
+                    .ok());
+  }
+  return obj;
+}
+
+double ReferenceSum(const StatisticalObject& obj,
+                    const std::vector<EqFilter>& filters) {
+  double sum = 0;
+  for (const Row& r : obj.data().rows()) {
+    bool match = true;
+    for (const auto& f : filters) {
+      size_t idx = *obj.data().schema().IndexOf(f.column);
+      if (r[idx] != f.value) {
+        match = false;
+        break;
+      }
+    }
+    if (match) sum += r[3].AsDouble();
+  }
+  return sum;
+}
+
+TEST(MolapCubeTest, BuildsFullCrossProduct) {
+  auto obj = MakeSales(400, 1);
+  auto cube = MolapCube::Build(obj, "qty");
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->num_dims(), 3u);
+  EXPECT_EQ(cube->array().num_cells(), 6u * 4 * 5);
+  EXPECT_GT(cube->density(), 0.5);  // 400 draws over 120 cells
+}
+
+TEST(MolapCubeTest, SumWhereMatchesReference) {
+  auto obj = MakeSales(500, 2);
+  auto cube = MolapCube::Build(obj, "qty");
+  ASSERT_TRUE(cube.ok());
+  std::vector<std::vector<EqFilter>> cases = {
+      {},
+      {{"product", Value("p1")}},
+      {{"store", Value("s2")}, {"day", Value("d3")}},
+      {{"product", Value("p0")}, {"store", Value("s0")}, {"day", Value("d0")}},
+      {{"product", Value("p_missing")}},
+  };
+  for (const auto& filters : cases) {
+    auto s = cube->SumWhere(filters);
+    ASSERT_TRUE(s.ok());
+    EXPECT_DOUBLE_EQ(*s, ReferenceSum(obj, filters));
+  }
+  EXPECT_FALSE(cube->SumWhere({{"ghost", Value(1)}}).ok());
+}
+
+TEST(MolapCubeTest, SumDiceMatchesReference) {
+  auto obj = MakeSales(500, 3);
+  auto cube = MolapCube::Build(obj, "qty");
+  ASSERT_TRUE(cube.ok());
+  auto s = cube->SumDice({{"product", {Value("p1"), Value("p3")}},
+                          {"day", {Value("d0"), Value("d4")}}});
+  ASSERT_TRUE(s.ok());
+  double ref = 0;
+  for (const Row& r : obj.data().rows()) {
+    bool pm = r[0] == Value("p1") || r[0] == Value("p3");
+    bool dm = r[2] == Value("d0") || r[2] == Value("d4");
+    if (pm && dm) ref += r[3].AsDouble();
+  }
+  EXPECT_DOUBLE_EQ(*s, ref);
+  // Empty selection sums to zero.
+  s = cube->SumDice({{"product", {Value("nope")}}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(*s, 0.0);
+}
+
+TEST(MolapCubeTest, GetCellAndDuplicateAccumulation) {
+  StatisticalObject obj("t");
+  ASSERT_TRUE(obj.AddDimension(Dimension("a")).ok());
+  ASSERT_TRUE(
+      obj.AddMeasure({"m", "", MeasureType::kFlow, AggFn::kSum, ""}).ok());
+  ASSERT_TRUE(obj.AddCell({Value("x")}, {Value(5.0)}).ok());
+  ASSERT_TRUE(obj.AddCell({Value("x")}, {Value(7.0)}).ok());  // duplicate
+  auto cube = MolapCube::Build(obj, "m");
+  ASSERT_TRUE(cube.ok());
+  auto v = cube->GetCell({Value("x")});
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 12.0);
+  v = cube->GetCell({Value("unknown")});
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 0.0);
+}
+
+TEST(ArrayCubeTest, CollapseDimSumsCorrectly) {
+  DenseArray a({2, 3});
+  int v = 0;
+  for (size_t i = 0; i < 2; ++i)
+    for (size_t j = 0; j < 3; ++j) ASSERT_TRUE(a.Set({i, j}, ++v).ok());
+  DenseArray rows = CollapseDim(a, 1);  // sum over columns
+  ASSERT_EQ(rows.shape(), (std::vector<size_t>{2}));
+  EXPECT_DOUBLE_EQ(*rows.Get({0}), 1 + 2 + 3);
+  EXPECT_DOUBLE_EQ(*rows.Get({1}), 4 + 5 + 6);
+  DenseArray cols = CollapseDim(a, 0);
+  ASSERT_EQ(cols.shape(), (std::vector<size_t>{3}));
+  EXPECT_DOUBLE_EQ(*cols.Get({1}), 2 + 5);
+  DenseArray scalar = CollapseDim(rows, 0);
+  EXPECT_DOUBLE_EQ(scalar.GetLinear(0), 21.0);
+}
+
+TEST(ArrayCubeTest, AllGroupingsMatchRelationalCube) {
+  // Build parallel representations of the same data and compare every
+  // grouping of ArrayCubeAll with the CUBE operator's output.
+  Rng rng(11);
+  DenseArray base({3, 4, 2});
+  Schema s;
+  s.AddColumn("a", ValueType::kInt64);
+  s.AddColumn("b", ValueType::kInt64);
+  s.AddColumn("c", ValueType::kInt64);
+  s.AddColumn("v", ValueType::kDouble);
+  Table t("t", s);
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 4; ++j)
+      for (size_t k = 0; k < 2; ++k) {
+        double v = double(rng.Uniform(100));
+        ASSERT_TRUE(base.Set({i, j, k}, v).ok());
+        t.AppendRowUnchecked({Value(int64_t(i)), Value(int64_t(j)),
+                              Value(int64_t(k)), Value(v)});
+      }
+
+  auto arrays = ArrayCubeAll(base);
+  ASSERT_TRUE(arrays.ok());
+  EXPECT_EQ(arrays->size(), 8u);
+
+  auto cube = CubeBy(t, {"a", "b", "c"}, {{AggFn::kSum, "v", "sum"}});
+  ASSERT_TRUE(cube.ok());
+
+  // Check grouping {a} (mask 0b001 = bit0 for dimension a).
+  const DenseArray& by_a = arrays->at(0b001);
+  for (const Row& r : cube->rows()) {
+    if (!r[0].is_all() && r[1].is_all() && r[2].is_all()) {
+      size_t i = size_t(r[0].AsInt64());
+      EXPECT_DOUBLE_EQ(*by_a.Get({i}), r[3].AsDouble());
+    }
+  }
+  // Check grouping {b, c} (bits 1 and 2).
+  const DenseArray& by_bc = arrays->at(0b110);
+  for (const Row& r : cube->rows()) {
+    if (r[0].is_all() && !r[1].is_all() && !r[2].is_all()) {
+      size_t j = size_t(r[1].AsInt64());
+      size_t k = size_t(r[2].AsInt64());
+      EXPECT_DOUBLE_EQ(*by_bc.Get({j, k}), r[4 - 1].AsDouble());
+    }
+  }
+  // Grand total (mask 0).
+  const DenseArray& total = arrays->at(0);
+  double ref = 0;
+  for (const Row& r : t.rows()) ref += r[3].AsDouble();
+  EXPECT_DOUBLE_EQ(total.GetLinear(0), ref);
+}
+
+TEST(ArrayCubeTest, CellCountFormula) {
+  EXPECT_EQ(ArrayCubeCells({2, 3}), (2u * 3) + 2 + 3 + 1);
+  EXPECT_EQ(ArrayCubeCells({}), 1u);
+}
+
+}  // namespace
+}  // namespace statcube

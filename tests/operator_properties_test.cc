@@ -1,0 +1,147 @@
+// Randomized algebraic properties of the S-operators: commutation,
+// composition, and conservation laws that must hold on any statistical
+// object. Complements the example-driven olap_operators_test.
+
+#include <gtest/gtest.h>
+
+#include "statcube/common/rng.h"
+#include "statcube/olap/homomorphism.h"
+#include "statcube/olap/operators.h"
+
+namespace statcube {
+namespace {
+
+// A random 3-d object with a strict 2-level hierarchy on dim "c".
+StatisticalObject MakeRandomObject(uint64_t seed, int cells) {
+  Rng rng(seed);
+  StatisticalObject obj("rand");
+  (void)obj.AddDimension(Dimension("a"));
+  (void)obj.AddDimension(Dimension("b"));
+  Dimension c("c");
+  ClassificationHierarchy h("ch", {"c", "cgroup"});
+  for (int i = 0; i < 12; ++i)
+    (void)h.Link(0, Value("c" + std::to_string(i)),
+                 Value("g" + std::to_string(i % 3)));
+  h.DeclareComplete(0, "m");
+  c.AddHierarchy(h);
+  (void)obj.AddDimension(c);
+  (void)obj.AddMeasure({"m", "", MeasureType::kFlow, AggFn::kSum, ""});
+  for (int i = 0; i < cells; ++i) {
+    (void)obj.AddCell({Value("a" + std::to_string(rng.Uniform(5))),
+                       Value("b" + std::to_string(rng.Uniform(4))),
+                       Value("c" + std::to_string(rng.Uniform(12)))},
+                      {Value(double(rng.Uniform(1000)))});
+  }
+  return obj;
+}
+
+double Total(const StatisticalObject& obj) {
+  size_t m = obj.data().num_columns() - 1;
+  double t = 0;
+  for (const Row& r : obj.data().rows()) t += r[m].AsDouble();
+  return t;
+}
+
+class OperatorProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OperatorProperties, ProjectionOrderIrrelevant) {
+  auto obj = MakeRandomObject(GetParam(), 300);
+  OperatorOptions off{.enforce_summarizability = false};
+  auto ab = SProject(*SProject(obj, "a", off), "b", off);
+  auto ba = SProject(*SProject(obj, "b", off), "a", off);
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  auto eq = MacroDataEqual(*ab, *ba, 1e-9);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST_P(OperatorProperties, SelectThenProjectEqualsProjectThenSelect) {
+  // Selection on a dimension unaffected by the projection commutes.
+  auto obj = MakeRandomObject(GetParam() + 10, 300);
+  OperatorOptions off{.enforce_summarizability = false};
+  std::vector<Value> keep = {Value("a1"), Value("a3")};
+  auto sel_first = SProject(*SSelect(obj, "a", keep), "b", off);
+  auto proj_first = SSelect(*SProject(obj, "b", off), "a", keep);
+  ASSERT_TRUE(sel_first.ok() && proj_first.ok());
+  auto eq = MacroDataEqual(*sel_first, *proj_first, 1e-9);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST_P(OperatorProperties, RollupThenProjectEqualsProjectThenRollup) {
+  auto obj = MakeRandomObject(GetParam() + 20, 300);
+  OperatorOptions off{.enforce_summarizability = false};
+  auto r1 = SProject(*SAggregate(obj, "c", "ch", 1, off), "a", off);
+  auto r2 = SAggregate(*SProject(obj, "a", off), "c", "ch", 1, off);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  auto eq = MacroDataEqual(*r1, *r2, 1e-9);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST_P(OperatorProperties, DiceEqualsSequentialSelect) {
+  auto obj = MakeRandomObject(GetParam() + 30, 300);
+  std::vector<DiceSpec> specs = {
+      {"a", {Value("a0"), Value("a2")}},
+      {"c", {Value("c1"), Value("c5"), Value("c9")}}};
+  auto diced = Dice(obj, specs);
+  auto seq = SSelect(*SSelect(obj, "a", specs[0].values), "c",
+                     specs[1].values);
+  ASSERT_TRUE(diced.ok() && seq.ok());
+  auto eq = MacroDataEqual(*diced, *seq, 1e-9);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST_P(OperatorProperties, StrictRollupConservesFlowTotals) {
+  auto obj = MakeRandomObject(GetParam() + 40, 300);
+  auto rolled = SAggregate(obj, "c", "ch", 1);
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+  EXPECT_NEAR(Total(obj), Total(*rolled), 1e-6);
+  // And projection conserves too.
+  auto projected = SProject(obj, "b");
+  ASSERT_TRUE(projected.ok());
+  EXPECT_NEAR(Total(obj), Total(*projected), 1e-6);
+}
+
+TEST_P(OperatorProperties, SelectIsIdempotent) {
+  auto obj = MakeRandomObject(GetParam() + 50, 200);
+  std::vector<Value> keep = {Value("b0"), Value("b2")};
+  auto once = SSelect(obj, "b", keep);
+  ASSERT_TRUE(once.ok());
+  auto twice = SSelect(*once, "b", keep);
+  ASSERT_TRUE(twice.ok());
+  auto eq = MacroDataEqual(*once, *twice, 1e-9);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST_P(OperatorProperties, UnionIsCommutative) {
+  auto obj1 = MakeRandomObject(GetParam() + 60, 150);
+  auto obj2 = MakeRandomObject(GetParam() + 70, 150);
+  auto u12 = SUnion(obj1, obj2);
+  auto u21 = SUnion(obj2, obj1);
+  ASSERT_TRUE(u12.ok() && u21.ok());
+  auto eq = MacroDataEqual(*u12, *u21, 1e-9);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST_P(OperatorProperties, ConsolidateIsIdempotent) {
+  auto obj = MakeRandomObject(GetParam() + 80, 400);
+  auto once = Consolidate(obj);
+  ASSERT_TRUE(once.ok());
+  auto twice = Consolidate(*once);
+  ASSERT_TRUE(twice.ok());
+  auto eq = MacroDataEqual(*once, *twice, 1e-9);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+  EXPECT_NEAR(Total(obj), Total(*once), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperatorProperties,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                           6ull));
+
+}  // namespace
+}  // namespace statcube

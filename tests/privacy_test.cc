@@ -1,0 +1,246 @@
+// Tests for §7: query-set restriction, the tracker compromise, overlap
+// control, perturbation, suppression.
+
+#include <gtest/gtest.h>
+
+#include "statcube/common/rng.h"
+#include "statcube/privacy/perturbation.h"
+#include "statcube/privacy/protected_db.h"
+#include "statcube/privacy/suppression.h"
+#include "statcube/privacy/tracker.h"
+#include "statcube/relational/aggregate.h"
+
+namespace statcube {
+namespace {
+
+// Employee micro-data mirroring the paper's §7 example: a single employee
+// aged 65, salaries restricted.
+Table MakeEmployees(int n, uint64_t seed) {
+  Schema s;
+  s.AddColumn("name", ValueType::kString);
+  s.AddColumn("sex", ValueType::kString);
+  s.AddColumn("dept", ValueType::kString);
+  s.AddColumn("age", ValueType::kInt64);
+  s.AddColumn("salary", ValueType::kInt64);
+  Table t("employees", s);
+  Rng rng(seed);
+  const char* depts[] = {"eng", "sales", "hr", "ops"};
+  for (int i = 0; i < n - 1; ++i) {
+    t.AppendRowUnchecked({Value("emp" + std::to_string(i)),
+                          Value(rng.Bernoulli(0.6) ? "M" : "F"),
+                          Value(depts[rng.Uniform(4)]),
+                          Value(int64_t(25 + rng.Uniform(35))),  // under 60
+                          Value(int64_t(40000 + rng.Uniform(60000)))});
+  }
+  // The target: the only employee aged 65.
+  t.AppendRowUnchecked(
+      {Value("target"), Value("M"), Value("eng"), Value(65), Value(123456)});
+  return t;
+}
+
+TEST(ProtectedDatabaseTest, RefusesSmallAndLargeQuerySets) {
+  Table micro = MakeEmployees(200, 1);
+  ProtectedDatabase db(micro, {.min_query_set_size = 5});
+  // Singleton query set: refused.
+  auto pred = expr::ColumnEq(micro.schema(), "age", Value(65));
+  ASSERT_TRUE(pred.ok());
+  auto r = db.Query(AggFn::kSum, "salary", *pred);
+  EXPECT_EQ(r.status().code(), StatusCode::kPrivacyRefused);
+  // Complement (everything but the target): also refused — the paper's
+  // "average salary of all employees under 65" attack is blocked.
+  r = db.Query(AggFn::kSum, "salary", expr::Not(*pred));
+  EXPECT_EQ(r.status().code(), StatusCode::kPrivacyRefused);
+  // Legal mid-size query answers.
+  auto male = expr::ColumnEq(micro.schema(), "sex", Value("M"));
+  ASSERT_TRUE(male.ok());
+  r = db.Query(AggFn::kAvg, "salary", *male);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(db.queries_refused(), 2u);
+  EXPECT_EQ(db.queries_answered(), 1u);
+}
+
+TEST(TrackerTest, GeneralTrackerCompromisesSizeRestriction) {
+  // The [DS80] negative result: with only query-set size restriction, the
+  // restricted salary is reconstructed exactly.
+  Table micro = MakeEmployees(200, 2);
+  ProtectedDatabase db(micro, {.min_query_set_size = 10});
+
+  auto tracker = FindGeneralTracker(db, micro.schema(), {"sex", "dept"},
+                                    {{Value("M"), Value("F")},
+                                     {Value("eng"), Value("sales"),
+                                      Value("hr"), Value("ops")}});
+  ASSERT_TRUE(tracker.ok()) << tracker.status().ToString();
+
+  TrackerAttack attack(&db, *tracker);
+  auto is_target = expr::ColumnEq(micro.schema(), "age", Value(65));
+  ASSERT_TRUE(is_target.ok());
+
+  // Count of a singleton set, recovered through legal queries only.
+  auto count = attack.Count(*is_target);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_NEAR(*count, 1.0, 1e-9);
+
+  // The restricted value itself.
+  auto salary = attack.IndividualValue("salary", *is_target);
+  ASSERT_TRUE(salary.ok()) << salary.status().ToString();
+  EXPECT_NEAR(*salary, 123456.0, 1e-6);
+  EXPECT_GT(attack.queries_used(), 0u);
+}
+
+TEST(TrackerTest, IndividualTrackerTwoQueriesPerSecret) {
+  // The target is the only eng employee aged 65: C1 = (dept=eng),
+  // C2 = (age=65). T = C1 AND NOT C2 is large enough to be legal.
+  Table micro = MakeEmployees(200, 8);
+  ProtectedDatabase db(micro, {.min_query_set_size = 10});
+  auto c1 = expr::ColumnEq(micro.schema(), "dept", Value("eng"));
+  auto c2 = expr::ColumnEq(micro.schema(), "age", Value(65));
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  IndividualTrackerAttack attack(&db, *c1, *c2);
+  auto count = attack.Count();
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_NEAR(*count, 1.0, 1e-9);
+  auto salary = attack.Sum("salary");
+  ASSERT_TRUE(salary.ok());
+  EXPECT_NEAR(*salary, 123456.0, 1e-6);
+  EXPECT_EQ(attack.queries_used(), 4u);  // 2 per secret, 2 secrets asked
+}
+
+TEST(TrackerTest, OutputNoiseDegradesTheAttack) {
+  Table micro = MakeEmployees(200, 3);
+  ProtectedDatabase db(micro, {.min_query_set_size = 10,
+                               .output_noise_stddev = 2000.0});
+  // With noisy answers the probe-based finder cannot verify the window;
+  // assume the attacker knows from public statistics that sex=M is a
+  // tracker and constructs it directly.
+  auto male = expr::ColumnEq(micro.schema(), "sex", Value("M"));
+  ASSERT_TRUE(male.ok());
+  GeneralTracker tracker{*male, expr::Not(*male), "sex = M"};
+  TrackerAttack attack(&db, tracker);
+  auto is_target = expr::ColumnEq(micro.schema(), "age", Value(65));
+  ASSERT_TRUE(is_target.ok());
+  auto salary = attack.Sum("salary", *is_target);
+  ASSERT_TRUE(salary.ok());
+  // The reconstruction is off by roughly the combined noise, i.e. it no
+  // longer reveals the exact salary.
+  EXPECT_GT(std::abs(*salary - 123456.0), 100.0);
+}
+
+TEST(TrackerTest, OverlapControlBlocksTheAttackEventually) {
+  Table micro = MakeEmployees(200, 4);
+  ProtectedDatabase db(micro,
+                       {.min_query_set_size = 10, .max_overlap = 20});
+  auto male = expr::ColumnEq(micro.schema(), "sex", Value("M"));
+  ASSERT_TRUE(male.ok());
+  // First query answers; repeating it overlaps itself fully: refused.
+  ASSERT_TRUE(db.Query(AggFn::kCountAll, "", *male).ok());
+  auto again = db.Query(AggFn::kCountAll, "", *male);
+  EXPECT_EQ(again.status().code(), StatusCode::kPrivacyRefused);
+  // And as the paper notes, the database degrades: large disjoint queries
+  // remain, but the tracker's padded queries (which overlap heavily) fail.
+}
+
+TEST(ProtectedDatabaseTest, SampleQueriesApproximate) {
+  Table micro = MakeEmployees(2000, 5);
+  ProtectedDatabase exact_db(micro, {.min_query_set_size = 5});
+  ProtectedDatabase sampled_db(
+      micro, {.min_query_set_size = 5, .sample_rate = 0.3, .seed = 99});
+  auto male = expr::ColumnEq(micro.schema(), "sex", Value("M"));
+  ASSERT_TRUE(male.ok());
+  auto exact = exact_db.Query(AggFn::kSum, "salary", *male);
+  auto approx = sampled_db.Query(AggFn::kSum, "salary", *male);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(approx.ok());
+  // Scaled sample sum is within ~10% of the truth on this size.
+  EXPECT_NEAR(*approx / *exact, 1.0, 0.1);
+  EXPECT_NE(*approx, *exact);
+}
+
+TEST(PerturbationTest, PreservesTotalsButNotIndividuals) {
+  Table micro = MakeEmployees(500, 6);
+  auto perturbed =
+      PerturbInput(micro, {"salary"}, {.noise_stddev = 5000.0, .seed = 3});
+  ASSERT_TRUE(perturbed.ok());
+  auto row_err = MeanAbsoluteRowError(micro, *perturbed, "salary");
+  ASSERT_TRUE(row_err.ok());
+  EXPECT_GT(*row_err, 1000.0);  // individuals well hidden
+  auto tot_err = RelativeTotalError(micro, *perturbed, "salary");
+  ASSERT_TRUE(tot_err.ok());
+  EXPECT_LT(*tot_err, 1e-9);  // statistics intact
+}
+
+TEST(PerturbationTest, WithoutTotalPreservationTotalsDrift) {
+  Table micro = MakeEmployees(500, 7);
+  auto perturbed = PerturbInput(
+      micro, {"salary"},
+      {.noise_stddev = 5000.0, .seed = 3, .preserve_total = false});
+  ASSERT_TRUE(perturbed.ok());
+  auto tot_err = RelativeTotalError(micro, *perturbed, "salary");
+  ASSERT_TRUE(tot_err.ok());
+  EXPECT_GT(*tot_err, 0.0);
+}
+
+TEST(SuppressionTest, PrimarySuppressionHidesSmallCells) {
+  Schema s;
+  s.AddColumn("county", ValueType::kString);
+  s.AddColumn("disease", ValueType::kString);
+  s.AddColumn("count", ValueType::kInt64);
+  Table macro("cases", s);
+  macro.AppendRowUnchecked({Value("c1"), Value("flu"), Value(120)});
+  macro.AppendRowUnchecked({Value("c1"), Value("rare"), Value(2)});
+  macro.AppendRowUnchecked({Value("c2"), Value("flu"), Value(80)});
+  macro.AppendRowUnchecked({Value("c2"), Value("rare"), Value(40)});
+
+  auto r = SuppressCells(macro, {"county", "disease"}, "count", {"count"},
+                         {.count_threshold = 5, .complementary = false});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->primary.size(), 1u);
+  EXPECT_EQ(r->primary[0], 1u);
+  EXPECT_TRUE(r->published.at(1, 2).is_null());
+  EXPECT_FALSE(r->published.at(0, 2).is_null());
+}
+
+TEST(SuppressionTest, ComplementarySuppressionBlocksSubtraction) {
+  // One primary-suppressed cell per line would be recoverable from
+  // marginals; a sibling must also disappear in every line it is alone in.
+  Schema s;
+  s.AddColumn("county", ValueType::kString);
+  s.AddColumn("disease", ValueType::kString);
+  s.AddColumn("count", ValueType::kInt64);
+  Table macro("cases", s);
+  macro.AppendRowUnchecked({Value("c1"), Value("flu"), Value(120)});
+  macro.AppendRowUnchecked({Value("c1"), Value("rare"), Value(2)});
+  macro.AppendRowUnchecked({Value("c2"), Value("flu"), Value(80)});
+  macro.AppendRowUnchecked({Value("c2"), Value("rare"), Value(40)});
+
+  auto r = SuppressCells(macro, {"county", "disease"}, "count", {"count"},
+                         {.count_threshold = 5, .complementary = true});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->primary.size(), 1u);
+  EXPECT_FALSE(r->secondary.empty());
+  // No line may contain exactly one suppressed cell.
+  auto suppressed = [&](size_t row) {
+    return r->published.at(row, 2).is_null();
+  };
+  // County lines.
+  int c1 = suppressed(0) + suppressed(1);
+  int c2 = suppressed(2) + suppressed(3);
+  EXPECT_NE(c1, 1);
+  EXPECT_NE(c2, 1);
+  // Disease lines.
+  int flu = suppressed(0) + suppressed(2);
+  int rare = suppressed(1) + suppressed(3);
+  EXPECT_NE(flu, 1);
+  EXPECT_NE(rare, 1);
+}
+
+TEST(SuppressionTest, ValidatesColumns) {
+  Schema s;
+  s.AddColumn("a", ValueType::kString);
+  s.AddColumn("n", ValueType::kInt64);
+  Table t("t", s);
+  EXPECT_FALSE(SuppressCells(t, {"ghost"}, "n", {"n"}).ok());
+  EXPECT_FALSE(SuppressCells(t, {"a"}, "ghost", {"n"}).ok());
+}
+
+}  // namespace
+}  // namespace statcube

@@ -1,0 +1,145 @@
+// Tests for the concise query language (§5.1): parsing, execution,
+// hierarchy-level inference, error reporting.
+
+#include "statcube/query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "statcube/workload/retail.h"
+
+namespace statcube {
+namespace {
+
+const StatisticalObject& Sales() {
+  static StatisticalObject obj = [] {
+    RetailOptions opt;
+    opt.num_products = 10;
+    opt.num_stores = 4;
+    opt.num_cities = 2;
+    opt.num_days = 10;
+    opt.num_rows = 1000;
+    return MakeRetailWorkload(opt)->object;
+  }();
+  return obj;
+}
+
+TEST(ParseTest, FullQuery) {
+  auto q = ParseQuery(
+      "SELECT sum(amount), avg(qty) BY city WHERE product = 'prod1' AND "
+      "day = '1996-1-3'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->aggs.size(), 2u);
+  EXPECT_EQ(q->aggs[0].fn, AggFn::kSum);
+  EXPECT_EQ(q->aggs[0].column, "amount");
+  EXPECT_EQ(q->aggs[1].fn, AggFn::kAvg);
+  EXPECT_EQ(q->by, (std::vector<std::string>{"city"}));
+  ASSERT_EQ(q->where.size(), 2u);
+  EXPECT_EQ(q->where[0].first, "product");
+  EXPECT_EQ(q->where[0].second, Value("prod1"));
+}
+
+TEST(ParseTest, CountStarAndNumbers) {
+  auto q = ParseQuery("select count() where year = 1996 and price = 19.5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->aggs[0].fn, AggFn::kCountAll);
+  EXPECT_EQ(q->where[0].second, Value(int64_t(1996)));
+  EXPECT_EQ(q->where[1].second, Value(19.5));
+}
+
+TEST(ParseTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("sum(amount)").ok());            // no SELECT
+  EXPECT_FALSE(ParseQuery("SELECT bogus(amount)").ok());   // unknown fn
+  EXPECT_FALSE(ParseQuery("SELECT sum amount").ok());      // missing parens
+  EXPECT_FALSE(ParseQuery("SELECT sum(amount) extra").ok());
+  EXPECT_FALSE(ParseQuery("SELECT sum(amount) WHERE x").ok());
+  EXPECT_FALSE(ParseQuery("SELECT sum(amount) WHERE x = 'unterminated").ok());
+  EXPECT_TRUE(ParseQuery("SELECT count()").ok());  // count() is legal
+}
+
+TEST(ExecuteTest, GroupByDimension) {
+  auto r = Query(Sales(), "SELECT sum(amount) BY store");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 4u);
+  EXPECT_TRUE(r->schema().Contains("sum_amount"));
+}
+
+TEST(ExecuteTest, GroupByHierarchyLevelRollsUp) {
+  // "city" is not a dimension of the object — it is level 1 of the store
+  // hierarchy; the executor rolls up automatically.
+  auto r = Query(Sales(), "SELECT sum(amount) BY city");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 2u);
+  // Totals match the direct store-level query.
+  auto by_store = Query(Sales(), "SELECT sum(amount) BY store");
+  ASSERT_TRUE(by_store.ok());
+  double t1 = 0, t2 = 0;
+  for (const Row& row : r->rows()) t1 += row[1].AsDouble();
+  for (const Row& row : by_store->rows()) t2 += row[1].AsDouble();
+  EXPECT_NEAR(t1, t2, 1e-6);
+}
+
+TEST(ExecuteTest, WhereOnHierarchyLevel) {
+  auto r = Query(Sales(),
+                 "SELECT sum(qty) BY product WHERE category = 'cat1'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Only products of cat1 appear.
+  EXPECT_GT(r->num_rows(), 0u);
+  EXPECT_LT(r->num_rows(), 10u);
+}
+
+TEST(ExecuteTest, LeafAndParentLevelTogether) {
+  // Group by the leaf dimension while filtering on its parent level: the
+  // derived-column strategy must keep both addressable.
+  auto r = Query(Sales(), "SELECT sum(qty) BY store WHERE city = 'city1'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 2u);  // 4 stores over 2 cities
+  for (const Row& row : r->rows())
+    EXPECT_NE(row[0].AsString().find("city1"), std::string::npos);
+}
+
+TEST(ExecuteTest, GlobalAggregate) {
+  auto r = Query(Sales(), "SELECT sum(qty), count()");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_GT(r->at(0, 0).AsDouble(), 0.0);
+}
+
+TEST(ExecuteTest, UnknownIdentifier) {
+  EXPECT_FALSE(Query(Sales(), "SELECT sum(amount) BY ghost").ok());
+  EXPECT_FALSE(Query(Sales(), "SELECT sum(ghost)").ok());
+  EXPECT_FALSE(
+      Query(Sales(), "SELECT sum(amount) WHERE ghost = 'x'").ok());
+}
+
+TEST(ExecuteTest, ByCubeProducesAllRows) {
+  auto r = Query(Sales(), "SELECT sum(amount) BY CUBE(city, day)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // 2 cities x 10 days fully populated: (2+1)*(10+1) = 33 rows.
+  EXPECT_EQ(r->num_rows(), 33u);
+  bool grand = false;
+  for (const Row& row : r->rows())
+    if (row[0].is_all() && row[1].is_all()) grand = true;
+  EXPECT_TRUE(grand);
+  // Syntax errors.
+  EXPECT_FALSE(ParseQuery("SELECT sum(a) BY CUBE x").ok());
+  EXPECT_FALSE(ParseQuery("SELECT sum(a) BY CUBE(x").ok());
+  EXPECT_FALSE(ParseQuery("SELECT sum(a) BY CUBE()").ok());
+}
+
+TEST(ExecuteTest, MatchesManualPipeline) {
+  // The text query equals the hand-built group-by.
+  auto text = Query(Sales(), "SELECT sum(amount) BY day");
+  auto manual = GroupBy(Sales().data(), {"day"},
+                        {{AggFn::kSum, "amount", "sum_amount"}});
+  ASSERT_TRUE(text.ok());
+  ASSERT_TRUE(manual.ok());
+  ASSERT_EQ(text->num_rows(), manual->num_rows());
+  for (size_t i = 0; i < text->num_rows(); ++i) {
+    EXPECT_EQ(text->at(i, 0), manual->at(i, 0));
+    EXPECT_NEAR(text->at(i, 1).AsDouble(), manual->at(i, 1).AsDouble(), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace statcube

@@ -1,0 +1,98 @@
+// Edge-path tests for the 2-D renderer and table printing: multiple column
+// dimensions with spanning headers and marginals (Figure 1's "more than one
+// dimension must be represented by the rows and the columns"), label
+// suppression, truncation.
+
+#include <gtest/gtest.h>
+
+#include "statcube/core/table_render.h"
+
+namespace statcube {
+namespace {
+
+StatisticalObject MakeFourDim() {
+  StatisticalObject obj("pop");
+  for (const char* d : {"state", "sex", "race", "age"})
+    EXPECT_TRUE(obj.AddDimension(Dimension(d)).ok());
+  EXPECT_TRUE(
+      obj.AddMeasure({"n", "", MeasureType::kFlow, AggFn::kSum, ""}).ok());
+  int v = 0;
+  for (const char* st : {"CA", "NV"})
+    for (const char* sex : {"M", "F"})
+      for (const char* race : {"r1", "r2"})
+        for (const char* age : {"young", "old"})
+          EXPECT_TRUE(obj.AddCell(
+                             {Value(st), Value(sex), Value(race), Value(age)},
+                             {Value(++v)})
+                          .ok());
+  return obj;  // values 1..16, total 136
+}
+
+TEST(RenderEdgeTest, TwoColumnDimensionsSpanHeaders) {
+  auto obj = MakeFourDim();
+  Render2DOptions opt;
+  opt.row_dims = {"state", "sex"};
+  opt.col_dims = {"race", "age"};
+  opt.measure = "n";
+  auto out = Render2D(obj, opt);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // Two header lines: race spans, age repeats under each race.
+  EXPECT_NE(out->find("r1"), std::string::npos);
+  EXPECT_NE(out->find("young"), std::string::npos);
+  // Every cell value 1..16 appears.
+  for (int v : {1, 7, 16}) {
+    EXPECT_NE(out->find(std::to_string(v)), std::string::npos) << v;
+  }
+}
+
+TEST(RenderEdgeTest, TwoColumnDimensionsWithMarginals) {
+  auto obj = MakeFourDim();
+  Render2DOptions opt;
+  opt.row_dims = {"state", "sex"};
+  opt.col_dims = {"race", "age"};
+  opt.measure = "n";
+  opt.marginals = true;
+  auto out = Render2D(obj, opt);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // Grand total 1+...+16 = 136.
+  EXPECT_NE(out->find("136"), std::string::npos);
+  EXPECT_NE(out->find("total"), std::string::npos);
+}
+
+TEST(RenderEdgeTest, AverageMeasureRendering) {
+  StatisticalObject obj("inc");
+  ASSERT_TRUE(obj.AddDimension(Dimension("a")).ok());
+  ASSERT_TRUE(obj.AddDimension(Dimension("b")).ok());
+  ASSERT_TRUE(obj.AddMeasure({"avg_income", "dollars",
+                              MeasureType::kValuePerUnit, AggFn::kAvg, ""})
+                  .ok());
+  ASSERT_TRUE(obj.AddCell({Value("a1"), Value("b1")}, {Value(10.0)}).ok());
+  ASSERT_TRUE(obj.AddCell({Value("a1"), Value("b2")}, {Value(30.0)}).ok());
+  Render2DOptions opt;
+  opt.row_dims = {"a"};
+  opt.col_dims = {"b"};
+  opt.measure = "avg_income";
+  opt.marginals = true;
+  auto out = Render2D(obj, opt);
+  ASSERT_TRUE(out.ok());
+  // The marginal uses the avg function: (10+30)/2 = 20.
+  EXPECT_NE(out->find("20"), std::string::npos);
+  EXPECT_NE(out->find("(avg)"), std::string::npos);
+}
+
+TEST(TablePrintTest, TruncationAndAlignment) {
+  Schema s;
+  s.AddColumn("k", ValueType::kString);
+  s.AddColumn("v", ValueType::kInt64);
+  Table t("many", s);
+  for (int i = 0; i < 100; ++i)
+    t.AppendRowUnchecked({Value("key" + std::to_string(i)), Value(i)});
+  std::string out = t.ToString(5);
+  EXPECT_NE(out.find("many (100 rows)"), std::string::npos);
+  EXPECT_NE(out.find("... (95 more rows)"), std::string::npos);
+  EXPECT_NE(out.find("key4"), std::string::npos);
+  EXPECT_EQ(out.find("key5 "), std::string::npos);  // truncated away
+}
+
+}  // namespace
+}  // namespace statcube

@@ -1,0 +1,76 @@
+// Tests for run-length encoding.
+
+#include "statcube/storage/rle.h"
+
+#include <gtest/gtest.h>
+
+#include "statcube/common/rng.h"
+
+namespace statcube {
+namespace {
+
+TEST(RleTest, MergesAdjacentRuns) {
+  RleVector v;
+  v.PushBack(5);
+  v.PushBack(5);
+  v.PushBack(7);
+  v.PushRun(7, 3);
+  ASSERT_EQ(v.runs().size(), 2u);
+  EXPECT_EQ(v.runs()[0], (RleRun{5, 2}));
+  EXPECT_EQ(v.runs()[1], (RleRun{7, 4}));
+  EXPECT_EQ(v.size(), 6u);
+}
+
+TEST(RleTest, GetByPosition) {
+  RleVector v;
+  v.PushRun(1, 10);
+  v.PushRun(2, 1);
+  v.PushRun(3, 5);
+  EXPECT_EQ(v.Get(0), 1u);
+  EXPECT_EQ(v.Get(9), 1u);
+  EXPECT_EQ(v.Get(10), 2u);
+  EXPECT_EQ(v.Get(11), 3u);
+  EXPECT_EQ(v.Get(15), 3u);
+}
+
+TEST(RleTest, DecodeRoundTrip) {
+  Rng rng(3);
+  std::vector<uint64_t> ref;
+  RleVector v;
+  uint64_t cur = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.Bernoulli(0.05)) cur = rng.Uniform(8);
+    ref.push_back(cur);
+    v.PushBack(cur);
+  }
+  EXPECT_EQ(v.Decode(), ref);
+  for (size_t i = 0; i < ref.size(); i += 37) EXPECT_EQ(v.Get(i), ref[i]);
+}
+
+TEST(RleTest, CompressesLongRuns) {
+  RleVector v;
+  for (int i = 0; i < 100000; ++i) v.PushBack(uint64_t(i / 10000));
+  EXPECT_EQ(v.runs().size(), 10u);
+  EXPECT_LT(v.ByteSize(), 100000u * 8 / 100);
+}
+
+TEST(RleTest, EmptyPushRunIgnored) {
+  RleVector v;
+  v.PushRun(9, 0);
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.runs().empty());
+}
+
+TEST(RleTest, GetAfterIncrementalAppends) {
+  // Prefix cache must rebuild when runs change.
+  RleVector v;
+  v.PushRun(1, 3);
+  EXPECT_EQ(v.Get(2), 1u);
+  v.PushRun(2, 3);
+  EXPECT_EQ(v.Get(4), 2u);
+  v.PushBack(2);
+  EXPECT_EQ(v.Get(6), 2u);
+}
+
+}  // namespace
+}  // namespace statcube

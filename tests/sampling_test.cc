@@ -1,0 +1,94 @@
+// Tests for in-engine sampling ([OR95], paper §5.6).
+
+#include "statcube/sampling/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace statcube {
+namespace {
+
+Table MakeNumbers(int n) {
+  Schema s;
+  s.AddColumn("id", ValueType::kInt64);
+  s.AddColumn("v", ValueType::kDouble);
+  Table t("nums", s);
+  for (int i = 0; i < n; ++i)
+    t.AppendRowUnchecked({Value(int64_t(i)), Value(double(i) * 2)});
+  return t;
+}
+
+TEST(ReservoirSampleTest, ExactSizeAndDistinct) {
+  Table t = MakeNumbers(1000);
+  Table s = ReservoirSample(t, 50, 1);
+  EXPECT_EQ(s.num_rows(), 50u);
+  std::set<int64_t> ids;
+  for (const Row& r : s.rows()) ids.insert(r[0].AsInt64());
+  EXPECT_EQ(ids.size(), 50u);  // without replacement
+}
+
+TEST(ReservoirSampleTest, SmallInputReturnsEverything) {
+  Table t = MakeNumbers(10);
+  EXPECT_EQ(ReservoirSample(t, 50, 1).num_rows(), 10u);
+  EXPECT_EQ(ReservoirSample(t, 0, 1).num_rows(), 0u);
+}
+
+TEST(ReservoirSampleTest, ApproximatelyUniform) {
+  // Each of 100 ids should appear in ~10% of 40-of-400 samples... instead,
+  // check mean of sampled ids is near the population mean across seeds.
+  Table t = MakeNumbers(400);
+  double mean_of_means = 0;
+  int trials = 50;
+  for (int seed = 0; seed < trials; ++seed) {
+    Table s = ReservoirSample(t, 40, uint64_t(seed) + 1);
+    double m = 0;
+    for (const Row& r : s.rows()) m += double(r[0].AsInt64());
+    mean_of_means += m / 40.0;
+  }
+  mean_of_means /= trials;
+  EXPECT_NEAR(mean_of_means, 199.5, 15.0);
+}
+
+TEST(BernoulliSampleTest, RateRespected) {
+  Table t = MakeNumbers(10000);
+  auto s = BernoulliSample(t, 0.2, 3);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(double(s->num_rows()), 2000.0, 150.0);
+  EXPECT_FALSE(BernoulliSample(t, 1.5, 3).ok());
+  EXPECT_FALSE(BernoulliSample(t, -0.1, 3).ok());
+  auto all = BernoulliSample(t, 1.0, 3);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), 10000u);
+}
+
+TEST(BTreeSampleTest, DistinctUniformKeys) {
+  BPlusTree<int, int> tree;
+  for (int i = 0; i < 5000; ++i) tree.Insert(i, i * 3);
+  auto sample = BTreeSample(tree, 100, 5);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<int> keys;
+  for (const auto& [k, v] : sample) {
+    EXPECT_EQ(v, k * 3);
+    keys.insert(k);
+  }
+  EXPECT_EQ(keys.size(), 100u);
+  // Rough uniformity: mean key near 2500.
+  double mean = 0;
+  for (int k : keys) mean += k;
+  mean /= 100;
+  EXPECT_NEAR(mean, 2500, 600);
+}
+
+TEST(BTreeSampleTest, EdgeCases) {
+  BPlusTree<int, int> empty;
+  EXPECT_TRUE(BTreeSample(empty, 10, 1).empty());
+  BPlusTree<int, int> three;
+  three.Insert(1, 1);
+  three.Insert(2, 2);
+  three.Insert(3, 3);
+  EXPECT_EQ(BTreeSample(three, 10, 1).size(), 3u);
+}
+
+}  // namespace
+}  // namespace statcube

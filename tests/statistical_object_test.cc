@@ -1,0 +1,125 @@
+// Tests for the StatisticalObject data type: construction, cells, structure
+// description, FromTable.
+
+#include "statcube/core/statistical_object.h"
+
+#include <gtest/gtest.h>
+
+namespace statcube {
+namespace {
+
+StatisticalObject MakeEmployment() {
+  StatisticalObject obj("employment_in_california");
+  EXPECT_TRUE(obj.AddDimension(Dimension("sex")).ok());
+  Dimension year("year", DimensionKind::kTemporal);
+  EXPECT_TRUE(obj.AddDimension(year).ok());
+  Dimension prof("profession");
+  ClassificationHierarchy h("by_class", {"profession", "professional_class"});
+  EXPECT_TRUE(h.Link(0, Value("civil engineer"), Value("engineer")).ok());
+  EXPECT_TRUE(h.Link(0, Value("chemical engineer"), Value("engineer")).ok());
+  EXPECT_TRUE(h.Link(0, Value("junior secretary"), Value("secretary")).ok());
+  prof.AddHierarchy(h);
+  EXPECT_TRUE(obj.AddDimension(prof).ok());
+  EXPECT_TRUE(obj.AddMeasure({"employment", "", MeasureType::kStock,
+                              AggFn::kSum})
+                  .ok());
+  // Some cells.
+  EXPECT_TRUE(obj.AddCell({Value("M"), Value(1991), Value("civil engineer")},
+                          {Value(241100)})
+                  .ok());
+  EXPECT_TRUE(obj.AddCell({Value("M"), Value(1991), Value("chemical engineer")},
+                          {Value(197700)})
+                  .ok());
+  EXPECT_TRUE(obj.AddCell({Value("F"), Value(1991), Value("junior secretary")},
+                          {Value(667300)})
+                  .ok());
+  return obj;
+}
+
+TEST(StatisticalObjectTest, SchemaFollowsStructure) {
+  StatisticalObject obj = MakeEmployment();
+  EXPECT_EQ(obj.data().num_columns(), 4u);
+  EXPECT_EQ(obj.data().schema().column(0).name, "sex");
+  EXPECT_EQ(obj.data().schema().column(3).name, "employment");
+  EXPECT_EQ(obj.data().num_rows(), 3u);
+}
+
+TEST(StatisticalObjectTest, DimensionValueRegistration) {
+  StatisticalObject obj = MakeEmployment();
+  auto sex = obj.DimensionNamed("sex");
+  ASSERT_TRUE(sex.ok());
+  EXPECT_EQ((*sex)->cardinality(), 2u);
+  auto prof = obj.DimensionNamed("profession");
+  ASSERT_TRUE(prof.ok());
+  EXPECT_EQ((*prof)->cardinality(), 3u);
+}
+
+TEST(StatisticalObjectTest, DuplicateNamesRejected) {
+  StatisticalObject obj = MakeEmployment();
+  EXPECT_EQ(obj.AddDimension(Dimension("sex")).code(),
+            StatusCode::kInvalidArgument);  // after cells
+  StatisticalObject fresh("f");
+  ASSERT_TRUE(fresh.AddDimension(Dimension("a")).ok());
+  EXPECT_EQ(fresh.AddDimension(Dimension("a")).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(fresh.AddMeasure({"m", "", MeasureType::kFlow, AggFn::kSum}).ok());
+  EXPECT_EQ(fresh.AddMeasure({"m", "", MeasureType::kFlow, AggFn::kSum}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(StatisticalObjectTest, CellArityChecked) {
+  StatisticalObject obj = MakeEmployment();
+  EXPECT_FALSE(obj.AddCell({Value("M")}, {Value(1)}).ok());
+  EXPECT_FALSE(
+      obj.AddCell({Value("M"), Value(1990), Value("x")}, {}).ok());
+}
+
+TEST(StatisticalObjectTest, LookupErrors) {
+  StatisticalObject obj = MakeEmployment();
+  EXPECT_FALSE(obj.DimensionNamed("ghost").ok());
+  EXPECT_FALSE(obj.MeasureNamed("ghost").ok());
+  EXPECT_FALSE(obj.DimensionIndex("ghost").ok());
+  auto idx = obj.DimensionIndex("year");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+}
+
+TEST(StatisticalObjectTest, DescribeStructureMatchesPaperStyle) {
+  StatisticalObject obj = MakeEmployment();
+  std::string desc = obj.DescribeStructure();
+  EXPECT_NE(desc.find("Summary measure: employment"), std::string::npos);
+  EXPECT_NE(desc.find("Dimensions: sex, year, profession"), std::string::npos);
+  EXPECT_NE(desc.find("professional_class --> profession"), std::string::npos);
+  EXPECT_NE(desc.find("stock"), std::string::npos);
+}
+
+TEST(StatisticalObjectTest, FromTable) {
+  Schema s;
+  s.AddColumn("product", ValueType::kString);
+  s.AddColumn("day", ValueType::kString);
+  s.AddColumn("qty", ValueType::kDouble);
+  Table t("sales", s);
+  ASSERT_TRUE(t.AppendRow({Value("banana"), Value("d1"), Value(3.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("apple"), Value("d1"), Value(5.0)}).ok());
+
+  auto obj = StatisticalObject::FromTable(
+      t, {"product", "day"}, {{"qty", "dollars", MeasureType::kFlow, AggFn::kSum}},
+      {"day"});
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->dimensions().size(), 2u);
+  EXPECT_TRUE(obj->dimensions()[1].is_temporal());
+  EXPECT_FALSE(obj->dimensions()[0].is_temporal());
+  EXPECT_EQ(obj->data().num_rows(), 2u);
+
+  // Missing columns error.
+  EXPECT_FALSE(StatisticalObject::FromTable(
+                   t, {"ghost"}, {{"qty", "", MeasureType::kFlow, AggFn::kSum}})
+                   .ok());
+  EXPECT_FALSE(StatisticalObject::FromTable(
+                   t, {"product"},
+                   {{"ghost", "", MeasureType::kFlow, AggFn::kSum}})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace statcube

@@ -1,0 +1,113 @@
+// Tests for holistic statistics (paper §5.6).
+
+#include "statcube/olap/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "statcube/common/rng.h"
+
+namespace statcube {
+namespace {
+
+TEST(PercentileTest, Basic) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(*Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(*Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(*Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(*Percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(*Percentile(v, 10), 1.4);  // interpolated
+}
+
+TEST(PercentileTest, UnsortedInput) {
+  std::vector<double> v = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(*Percentile(v, 50), 3.0);
+}
+
+TEST(PercentileTest, Validation) {
+  EXPECT_FALSE(Percentile({}, 50).ok());
+  EXPECT_FALSE(Percentile({1.0}, -1).ok());
+  EXPECT_FALSE(Percentile({1.0}, 101).ok());
+  EXPECT_DOUBLE_EQ(*Percentile({7.0}, 50), 7.0);
+}
+
+TEST(MedianTest, EvenCountInterpolates) {
+  EXPECT_DOUBLE_EQ(*Median({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(*Median({1, 2, 3}), 2.0);
+}
+
+TEST(TrimmedMeanTest, DiscardsExtremes) {
+  // 10 values; trimming 10% drops the single min and max.
+  std::vector<double> v = {1000, 2, 3, 4, 5, 6, 7, 8, 9, -1000};
+  auto tm = TrimmedMean(v, 0.1);
+  ASSERT_TRUE(tm.ok());
+  EXPECT_DOUBLE_EQ(*tm, (2 + 3 + 4 + 5 + 6 + 7 + 8 + 9) / 8.0);
+}
+
+TEST(TrimmedMeanTest, ZeroTrimIsMean) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(*TrimmedMean(v, 0.0), 2.5);
+}
+
+TEST(TrimmedMeanTest, Validation) {
+  EXPECT_FALSE(TrimmedMean({}, 0.1).ok());
+  EXPECT_FALSE(TrimmedMean({1, 2}, 0.5).ok());
+  EXPECT_FALSE(TrimmedMean({1, 2}, -0.1).ok());
+}
+
+TEST(MeanStdDevTest, KnownValues) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(*Mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(*StdDev(v), 2.0);
+  EXPECT_FALSE(Mean({}).ok());
+  EXPECT_FALSE(StdDev({}).ok());
+}
+
+TEST(GroupedHolisticTest, MedianPerGroup) {
+  Schema s;
+  s.AddColumn("g", ValueType::kString);
+  s.AddColumn("v", ValueType::kDouble);
+  Table t("t", s);
+  for (double v : {1.0, 2.0, 3.0}) t.AppendRowUnchecked({Value("a"), Value(v)});
+  for (double v : {10.0, 20.0, 30.0, 40.0})
+    t.AppendRowUnchecked({Value("b"), Value(v)});
+  auto r = GroupedHolistic(t, {"g"}, "v", "median");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(r->at(0, 1).AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(r->at(1, 1).AsDouble(), 25.0);
+  EXPECT_EQ(r->schema().column(1).name, "median_v");
+}
+
+TEST(GroupedHolisticTest, PercentileAndTrimSpecs) {
+  Schema s;
+  s.AddColumn("g", ValueType::kString);
+  s.AddColumn("v", ValueType::kDouble);
+  Table t("t", s);
+  for (int i = 1; i <= 10; ++i) t.AppendRowUnchecked({Value("a"), Value(double(i))});
+  auto p = GroupedHolistic(t, {"g"}, "v", "p100");
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->at(0, 1).AsDouble(), 10.0);
+  auto tr = GroupedHolistic(t, {"g"}, "v", "trimmed10");
+  ASSERT_TRUE(tr.ok());
+  EXPECT_DOUBLE_EQ(tr->at(0, 1).AsDouble(), 5.5);  // drops 1 and 10
+  EXPECT_FALSE(GroupedHolistic(t, {"g"}, "v", "bogus").ok());
+  EXPECT_FALSE(GroupedHolistic(t, {"g"}, "v", "p101").ok());
+  EXPECT_FALSE(GroupedHolistic(t, {"g"}, "v", "trimmed50").ok());
+  EXPECT_FALSE(GroupedHolistic(t, {"ghost"}, "v", "median").ok());
+}
+
+TEST(PercentileTest, RobustOnRandomData) {
+  Rng rng(4);
+  std::vector<double> v;
+  for (int i = 0; i < 10001; ++i) v.push_back(double(rng.Uniform(1000000)));
+  auto p50 = Percentile(v, 50);
+  ASSERT_TRUE(p50.ok());
+  // Median of ~uniform[0, 1e6) is near 5e5.
+  EXPECT_NEAR(*p50, 500000, 25000);
+  auto p99 = Percentile(v, 99);
+  ASSERT_TRUE(p99.ok());
+  EXPECT_GT(*p99, *p50);
+}
+
+}  // namespace
+}  // namespace statcube

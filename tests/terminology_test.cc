@@ -1,0 +1,52 @@
+// Tests for the Figure 12 / Figure 14 terminology correspondence.
+
+#include "statcube/core/terminology.h"
+
+#include <gtest/gtest.h>
+
+namespace statcube {
+namespace {
+
+TEST(TerminologyTest, StructuralTableMatchesFigure12) {
+  const auto& t = StructuralTerms();
+  EXPECT_EQ(t.size(), 7u);
+  auto sdb = SdbTermFor("Dimension");
+  ASSERT_TRUE(sdb.ok());
+  EXPECT_EQ(*sdb, "Category Attribute");
+  auto olap = OlapTermFor("Statistical Object");
+  ASSERT_TRUE(olap.ok());
+  EXPECT_EQ(*olap, "Data Cube (fact table)");
+}
+
+TEST(TerminologyTest, OperatorTableMatchesFigure14) {
+  auto sdb = SdbTermFor("Slice");
+  ASSERT_TRUE(sdb.ok());
+  EXPECT_EQ(*sdb, "S-projection");
+  sdb = SdbTermFor("Dice");
+  ASSERT_TRUE(sdb.ok());
+  EXPECT_EQ(*sdb, "S-selection");
+  sdb = SdbTermFor("Roll up (consolidation)");
+  ASSERT_TRUE(sdb.ok());
+  EXPECT_EQ(*sdb, "S-aggregation");
+  sdb = SdbTermFor("Drill down");
+  ASSERT_TRUE(sdb.ok());
+  EXPECT_EQ(*sdb, "S-disaggregation");
+}
+
+TEST(TerminologyTest, RoundTrip) {
+  for (const auto& pair : StructuralTerms()) {
+    auto sdb = SdbTermFor(pair.olap);
+    ASSERT_TRUE(sdb.ok());
+    auto olap = OlapTermFor(*sdb);
+    ASSERT_TRUE(olap.ok());
+    EXPECT_EQ(*olap, pair.olap);
+  }
+}
+
+TEST(TerminologyTest, UnknownTermsError) {
+  EXPECT_FALSE(SdbTermFor("Hypercube").ok());
+  EXPECT_FALSE(OlapTermFor("Nonsense").ok());
+}
+
+}  // namespace
+}  // namespace statcube

@@ -1,0 +1,109 @@
+// Tests for the time-series operations of §3.2(ii): series extraction,
+// moving averages, weekly averages/highs/lows, drawdown.
+
+#include "statcube/olap/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include "statcube/workload/stocks.h"
+
+namespace statcube {
+namespace {
+
+const StatisticalObject& Stocks() {
+  static StatisticalObject obj =
+      *MakeStockWorkload({.num_stocks = 5, .num_weeks = 4});
+  return obj;
+}
+
+TEST(ExtractSeriesTest, OrderedAndComplete) {
+  auto s = ExtractSeries(Stocks(), "stock", Value("TKR0"), "day", "close");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->size(), 20u);  // 4 weeks x 5 weekdays
+  for (size_t i = 1; i < s->size(); ++i)
+    EXPECT_LT((*s)[i - 1].time, (*s)[i].time);
+  for (const auto& p : *s) EXPECT_GT(p.value, 0.0);
+}
+
+TEST(ExtractSeriesTest, Validation) {
+  EXPECT_FALSE(
+      ExtractSeries(Stocks(), "ghost", Value("x"), "day", "close").ok());
+  EXPECT_FALSE(
+      ExtractSeries(Stocks(), "stock", Value("TKR0"), "ghost", "close").ok());
+  EXPECT_FALSE(
+      ExtractSeries(Stocks(), "stock", Value("TKR0"), "day", "ghost").ok());
+  // Unknown entity: empty series, not an error.
+  auto s = ExtractSeries(Stocks(), "stock", Value("TKR99"), "day", "close");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->empty());
+}
+
+TEST(MovingAverageTest, WindowMath) {
+  std::vector<SeriesPoint> s = {{Value("t1"), 2},
+                                {Value("t2"), 4},
+                                {Value("t3"), 6},
+                                {Value("t4"), 8}};
+  auto ma = MovingAverage(s, 2);
+  ASSERT_EQ(ma.size(), 4u);
+  EXPECT_DOUBLE_EQ(ma[0].value, 2);    // partial prefix
+  EXPECT_DOUBLE_EQ(ma[1].value, 3);
+  EXPECT_DOUBLE_EQ(ma[2].value, 5);
+  EXPECT_DOUBLE_EQ(ma[3].value, 7);
+  // window 0 behaves as 1 (identity).
+  auto id = MovingAverage(s, 0);
+  EXPECT_DOUBLE_EQ(id[2].value, 6);
+  // window larger than the series = running mean.
+  auto run = MovingAverage(s, 100);
+  EXPECT_DOUBLE_EQ(run[3].value, 5);
+}
+
+TEST(SummarizeByPeriodTest, WeeklyAvgHighLow) {
+  auto s = ExtractSeries(Stocks(), "stock", Value("TKR1"), "day", "close");
+  ASSERT_TRUE(s.ok());
+  auto weekly = SummarizeByPeriod(Stocks(), "day", "calendar", 1, *s);
+  ASSERT_TRUE(weekly.ok()) << weekly.status().ToString();
+  ASSERT_EQ(weekly->size(), 4u);
+  for (const auto& w : *weekly) {
+    EXPECT_EQ(w.n, 5u);  // 5 weekdays
+    EXPECT_LE(w.low, w.avg);
+    EXPECT_LE(w.avg, w.high);
+  }
+  // Cross-check one week against the raw series.
+  double sum = 0, hi = 0, lo = 1e18;
+  for (size_t i = 0; i < 5; ++i) {  // week w0
+    sum += (*s)[i].value;
+    hi = std::max(hi, (*s)[i].value);
+    lo = std::min(lo, (*s)[i].value);
+  }
+  const auto& w0 = (*weekly)[0];
+  EXPECT_DOUBLE_EQ(w0.avg, sum / 5);
+  EXPECT_DOUBLE_EQ(w0.high, hi);
+  EXPECT_DOUBLE_EQ(w0.low, lo);
+}
+
+TEST(SummarizeByPeriodTest, Validation) {
+  auto s = ExtractSeries(Stocks(), "stock", Value("TKR0"), "day", "close");
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(SummarizeByPeriod(Stocks(), "day", "ghost", 1, *s).ok());
+  EXPECT_FALSE(SummarizeByPeriod(Stocks(), "day", "calendar", 0, *s).ok());
+  EXPECT_FALSE(SummarizeByPeriod(Stocks(), "day", "calendar", 9, *s).ok());
+  // Unmapped timestamp errors.
+  std::vector<SeriesPoint> bogus = {{Value("not-a-day"), 1.0}};
+  EXPECT_FALSE(SummarizeByPeriod(Stocks(), "day", "calendar", 1, bogus).ok());
+}
+
+TEST(MaxDrawdownTest, KnownSeries) {
+  std::vector<SeriesPoint> s = {{Value("a"), 100}, {Value("b"), 120},
+                                {Value("c"), 60},  {Value("d"), 90},
+                                {Value("e"), 130}, {Value("f"), 117}};
+  auto dd = MaxDrawdown(s);
+  ASSERT_TRUE(dd.ok());
+  EXPECT_DOUBLE_EQ(*dd, 0.5);  // 120 -> 60
+  EXPECT_FALSE(MaxDrawdown({}).ok());
+  auto flat = MaxDrawdown({{Value("a"), 5}, {Value("b"), 5}});
+  ASSERT_TRUE(flat.ok());
+  EXPECT_DOUBLE_EQ(*flat, 0.0);
+}
+
+}  // namespace
+}  // namespace statcube

@@ -1,0 +1,98 @@
+// Tests for the Value scalar: typing, total order, hashing, ALL semantics.
+
+#include "statcube/common/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace statcube {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value(int64_t{42}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value::All().type(), ValueType::kAll);
+  EXPECT_TRUE(Value::All().is_all());
+}
+
+TEST(ValueTest, IntImplicitConversion) {
+  Value v(7);
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+  EXPECT_EQ(v.AsInt64(), 7);
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_NE(Value(3), Value(3.5));
+  EXPECT_LT(Value(3), Value(3.5));
+  EXPECT_GT(Value(4), Value(3.9));
+}
+
+TEST(ValueTest, CrossTypeOrder) {
+  // NULL < numeric < string < ALL
+  EXPECT_LT(Value::Null(), Value(0));
+  EXPECT_LT(Value(123456), Value("a"));
+  EXPECT_LT(Value("zzz"), Value::All());
+  EXPECT_LT(Value::Null(), Value::All());
+}
+
+TEST(ValueTest, StringOrder) {
+  EXPECT_LT(Value("apple"), Value("banana"));
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, AllEqualsOnlyAll) {
+  EXPECT_EQ(Value::All(), Value::All());
+  EXPECT_NE(Value::All(), Value("ALL"));
+  EXPECT_NE(Value::All(), Value::Null());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  // equal across representations => equal hashes
+  EXPECT_EQ(Value(3).Hash(), Value(3.0).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value::All().Hash(), Value::All().Hash());
+}
+
+TEST(ValueTest, UnorderedSetUsable) {
+  std::unordered_set<Value> s;
+  s.insert(Value(1));
+  s.insert(Value(1.0));  // duplicate of 1
+  s.insert(Value("a"));
+  s.insert(Value::Null());
+  s.insert(Value::All());
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value::All().ToString(), "ALL");
+}
+
+TEST(RowHashTest, RowsHashAndCompare) {
+  Row a = {Value(1), Value("x")};
+  Row b = {Value(1.0), Value("x")};
+  Row c = {Value(1), Value("y")};
+  EXPECT_TRUE(RowEq{}(a, b));
+  EXPECT_EQ(RowHash{}(a), RowHash{}(b));
+  EXPECT_FALSE(RowEq{}(a, c));
+}
+
+TEST(ValueTest, AsDoublePromotesInt) {
+  EXPECT_DOUBLE_EQ(Value(5).AsDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(Value(5.25).AsDouble(), 5.25);
+}
+
+}  // namespace
+}  // namespace statcube

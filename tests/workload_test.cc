@@ -1,0 +1,206 @@
+// Tests for the workload generators: determinism, structural properties the
+// paper calls out, and cross-representation consistency for retail.
+
+#include <gtest/gtest.h>
+
+#include "statcube/core/summarizability.h"
+#include "statcube/olap/operators.h"
+#include "statcube/workload/census.h"
+#include "statcube/workload/hmo.h"
+#include "statcube/workload/retail.h"
+#include "statcube/workload/stocks.h"
+
+namespace statcube {
+namespace {
+
+TEST(CensusWorkloadTest, StructureAndDeterminism) {
+  auto a = MakeCensusWorkload({});
+  auto b = MakeCensusWorkload({});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->data().num_rows(), b->data().num_rows());
+  EXPECT_EQ(a->data().at(0, 5), b->data().at(0, 5));
+  // 4 states x 6 counties x 4 races x 2 sexes x 9 ages x 3 years cells.
+  EXPECT_EQ(a->data().num_rows(), 4u * 6 * 4 * 2 * 9 * 3);
+  auto county = a->DimensionNamed("county");
+  ASSERT_TRUE(county.ok());
+  EXPECT_EQ((*county)->cardinality(), 24u);
+  EXPECT_EQ((*county)->hierarchies().size(), 1u);
+}
+
+TEST(CensusWorkloadTest, GeoRollupIsSummarizable) {
+  auto obj = MakeCensusWorkload({});
+  ASSERT_TRUE(obj.ok());
+  // Counties partition states; population rolls up legally.
+  auto rep = CheckRollup(*obj, "county", "geo", 0, 1, "population", AggFn::kSum);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_TRUE(rep->summarizable) << rep->ToStatus().ToString();
+  // ... all the way to regions (the 3-level geography).
+  rep = CheckRollup(*obj, "county", "geo", 0, 2, "population", AggFn::kSum);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_TRUE(rep->summarizable) << rep->ToStatus().ToString();
+  // ... but summing population over years is refused.
+  auto over_time = SProject(*obj, "year");
+  EXPECT_EQ(over_time.status().code(), StatusCode::kNotSummarizable);
+}
+
+TEST(CensusWorkloadTest, TwoStepRollupEqualsDirectRegionRollup) {
+  CensusOptions small;
+  small.num_states = 4;
+  small.counties_per_state = 2;
+  small.num_races = 2;
+  small.num_age_groups = 2;
+  small.num_years = 1;
+  auto obj = MakeCensusWorkload(small);
+  ASSERT_TRUE(obj.ok());
+  auto direct = SAggregate(*obj, "county", "geo", 2);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  auto by_state = SAggregate(*obj, "county", "geo", 1);
+  ASSERT_TRUE(by_state.ok());
+  auto two_step = SAggregate(*by_state, "state", "geo", 1,
+                             {.enforce_summarizability = false});
+  ASSERT_TRUE(two_step.ok()) << two_step.status().ToString();
+  EXPECT_EQ(direct->data().num_rows(), two_step->data().num_rows());
+  size_t pi = *direct->data().schema().IndexOf("population");
+  double t1 = 0, t2 = 0;
+  for (const Row& r : direct->data().rows()) t1 += r[pi].AsDouble();
+  for (const Row& r : two_step->data().rows()) t2 += r[pi].AsDouble();
+  EXPECT_NEAR(t1, t2, 1e-6);
+}
+
+TEST(CensusWorkloadTest, MicroDataShape) {
+  auto micro = MakeCensusMicroData(500, {});
+  ASSERT_TRUE(micro.ok());
+  EXPECT_EQ(micro->num_rows(), 500u);
+  EXPECT_EQ(micro->num_columns(), 7u);
+}
+
+TEST(RetailWorkloadTest, RepresentationsAgree) {
+  RetailOptions opt;
+  opt.num_rows = 2000;
+  auto data = MakeRetailWorkload(opt);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->star.fact().num_rows(), 2000u);
+  EXPECT_EQ(data->flat.num_rows(), 2000u);
+
+  // Total qty agrees between star and flat and object.
+  double star_total = 0;
+  size_t qty_idx = *data->star.fact().schema().IndexOf("qty");
+  for (const Row& r : data->star.fact().rows())
+    star_total += r[qty_idx].AsDouble();
+  double flat_total = 0;
+  size_t fq = *data->flat.schema().IndexOf("qty");
+  for (const Row& r : data->flat.rows()) flat_total += r[fq].AsDouble();
+  double obj_total = 0;
+  size_t oq = *data->object.data().schema().IndexOf("qty");
+  for (const Row& r : data->object.data().rows())
+    obj_total += r[oq].AsDouble();
+  EXPECT_DOUBLE_EQ(star_total, flat_total);
+  EXPECT_DOUBLE_EQ(star_total, obj_total);
+
+  // Per-city totals agree between the star schema join path and the
+  // object's hierarchy roll-up path.
+  auto star_by_city =
+      data->star.Aggregate({"city"}, {{AggFn::kSum, "qty", "total"}});
+  ASSERT_TRUE(star_by_city.ok());
+  auto obj_by_city = SAggregate(data->object, "store", "by_city", 1);
+  ASSERT_TRUE(obj_by_city.ok()) << obj_by_city.status().ToString();
+  auto rolled = SProject(*obj_by_city, "product",
+                         {.enforce_summarizability = false});
+  ASSERT_TRUE(rolled.ok());
+  auto rolled2 = SProject(*rolled, "day", {.enforce_summarizability = false});
+  ASSERT_TRUE(rolled2.ok());
+  ASSERT_EQ(rolled2->data().num_rows(), star_by_city->num_rows());
+  size_t cq = *rolled2->data().schema().IndexOf("qty");
+  for (size_t i = 0; i < star_by_city->num_rows(); ++i) {
+    const Value& city = star_by_city->at(i, 0);
+    bool found = false;
+    for (const Row& r : rolled2->data().rows()) {
+      if (r[0] == city) {
+        found = true;
+        EXPECT_DOUBLE_EQ(r[cq].AsDouble(), star_by_city->at(i, 1).AsDouble());
+      }
+    }
+    EXPECT_TRUE(found) << city.ToString();
+  }
+}
+
+TEST(RetailWorkloadTest, MultipleClassificationsOnProduct) {
+  auto data = MakeRetailWorkload({.num_rows = 100});
+  ASSERT_TRUE(data.ok());
+  auto product = data->object.DimensionNamed("product");
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ((*product)->hierarchies().size(), 2u);
+  EXPECT_TRUE((*product)->HierarchyNamed("by_category").ok());
+  EXPECT_TRUE((*product)->HierarchyNamed("by_price_range").ok());
+  // The store hierarchy is ID-dependent (store numbers unique per city).
+  auto store = data->object.DimensionNamed("store");
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE((*store)->hierarchies()[0].id_dependent());
+}
+
+TEST(StockWorkloadTest, WeekdayTimeSeriesAndMeasureTypes) {
+  auto obj = MakeStockWorkload({});
+  ASSERT_TRUE(obj.ok());
+  // 20 stocks x 8 weeks x 5 weekdays.
+  EXPECT_EQ(obj->data().num_rows(), 20u * 8 * 5);
+  auto close = obj->MeasureNamed("close");
+  ASSERT_TRUE(close.ok());
+  EXPECT_EQ((*close)->type, MeasureType::kStock);
+  // Summing closing prices over days is refused; the close measure's
+  // declared function is avg, so SProject itself is legal.
+  auto sum_check = CheckProjectOut(*obj, "day", "close", AggFn::kSum);
+  ASSERT_TRUE(sum_check.ok());
+  EXPECT_FALSE(sum_check->summarizable);
+  auto avg_project = SProject(*obj, "day", {.enforce_summarizability = true});
+  EXPECT_TRUE(avg_project.ok()) << avg_project.status().ToString();
+  auto week_avg = SAggregate(*obj, "day", "calendar", 1,
+                             {.enforce_summarizability = false});
+  ASSERT_TRUE(week_avg.ok());
+  EXPECT_EQ(week_avg->data().num_rows(), 20u * 8);
+}
+
+TEST(StockWorkloadTest, TwoClassificationsOnStocks) {
+  auto obj = MakeStockWorkload({});
+  ASSERT_TRUE(obj.ok());
+  auto stock = obj->DimensionNamed("stock");
+  ASSERT_TRUE(stock.ok());
+  EXPECT_EQ((*stock)->hierarchies().size(), 2u);
+}
+
+TEST(HmoWorkloadTest, NonStrictDiseaseClassification) {
+  auto obj = MakeHmoWorkload({});
+  ASSERT_TRUE(obj.ok());
+  auto disease = obj->DimensionNamed("disease");
+  ASSERT_TRUE(disease.ok());
+  const auto& h = (*disease)->hierarchies()[0];
+  EXPECT_FALSE(h.IsStrict());  // lung cancer et al.
+  // The summarizability checker therefore refuses the roll-up.
+  auto r = SAggregate(*obj, "disease", "by_category", 1);
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSummarizable);
+  // Forcing it demonstrates the double count: the rolled-up total exceeds
+  // the true total.
+  double true_total = 0;
+  size_t ci = *obj->data().schema().IndexOf("cost");
+  for (const Row& row : obj->data().rows()) true_total += row[ci].AsDouble();
+  auto forced = SAggregate(*obj, "disease", "by_category", 1,
+                           {.enforce_summarizability = false});
+  ASSERT_TRUE(forced.ok());
+  double forced_total = 0;
+  size_t fi = *forced->data().schema().IndexOf("cost");
+  for (const Row& row : forced->data().rows())
+    forced_total += row[fi].AsDouble();
+  EXPECT_GT(forced_total, true_total);
+}
+
+TEST(HmoWorkloadTest, MicroDataDeterministic) {
+  auto a = MakeHmoMicroData({});
+  auto b = MakeHmoMicroData({});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(a->at(i, 4), b->at(i, 4));
+}
+
+}  // namespace
+}  // namespace statcube
