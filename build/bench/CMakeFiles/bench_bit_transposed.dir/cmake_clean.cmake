@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bit_transposed.dir/bench_bit_transposed.cc.o"
+  "CMakeFiles/bench_bit_transposed.dir/bench_bit_transposed.cc.o.d"
+  "bench_bit_transposed"
+  "bench_bit_transposed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bit_transposed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

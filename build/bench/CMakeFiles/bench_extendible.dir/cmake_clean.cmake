@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extendible.dir/bench_extendible.cc.o"
+  "CMakeFiles/bench_extendible.dir/bench_extendible.cc.o.d"
+  "bench_extendible"
+  "bench_extendible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extendible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_header_compression.dir/bench_header_compression.cc.o"
+  "CMakeFiles/bench_header_compression.dir/bench_header_compression.cc.o.d"
+  "bench_header_compression"
+  "bench_header_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_header_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linearization.dir/bench_linearization.cc.o"
+  "CMakeFiles/bench_linearization.dir/bench_linearization.cc.o.d"
+  "bench_linearization"
+  "bench_linearization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linearization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

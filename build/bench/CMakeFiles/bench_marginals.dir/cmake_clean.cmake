@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_marginals.dir/bench_marginals.cc.o"
+  "CMakeFiles/bench_marginals.dir/bench_marginals.cc.o.d"
+  "bench_marginals"
+  "bench_marginals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_marginals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

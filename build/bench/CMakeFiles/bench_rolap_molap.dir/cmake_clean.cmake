@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rolap_molap.dir/bench_rolap_molap.cc.o"
+  "CMakeFiles/bench_rolap_molap.dir/bench_rolap_molap.cc.o.d"
+  "bench_rolap_molap"
+  "bench_rolap_molap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rolap_molap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

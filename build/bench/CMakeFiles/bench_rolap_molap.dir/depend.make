@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_rolap_molap.
+# This may be replaced when dependencies are built.

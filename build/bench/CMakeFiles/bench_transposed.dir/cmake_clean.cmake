@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transposed.dir/bench_transposed.cc.o"
+  "CMakeFiles/bench_transposed.dir/bench_transposed.cc.o.d"
+  "bench_transposed"
+  "bench_transposed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transposed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

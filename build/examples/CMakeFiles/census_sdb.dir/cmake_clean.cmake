@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_sdb.dir/census_sdb.cpp.o"
+  "CMakeFiles/census_sdb.dir/census_sdb.cpp.o.d"
+  "census_sdb"
+  "census_sdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_sdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_olap.dir/retail_olap.cpp.o"
+  "CMakeFiles/retail_olap.dir/retail_olap.cpp.o.d"
+  "retail_olap"
+  "retail_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

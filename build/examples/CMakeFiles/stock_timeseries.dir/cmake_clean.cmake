@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_timeseries.dir/stock_timeseries.cpp.o"
+  "CMakeFiles/stock_timeseries.dir/stock_timeseries.cpp.o.d"
+  "stock_timeseries"
+  "stock_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/statcube/common/rng.cc" "src/CMakeFiles/statcube.dir/statcube/common/rng.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/common/rng.cc.o.d"
+  "/root/repo/src/statcube/common/status.cc" "src/CMakeFiles/statcube.dir/statcube/common/status.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/common/status.cc.o.d"
+  "/root/repo/src/statcube/common/str_util.cc" "src/CMakeFiles/statcube.dir/statcube/common/str_util.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/common/str_util.cc.o.d"
+  "/root/repo/src/statcube/common/value.cc" "src/CMakeFiles/statcube.dir/statcube/common/value.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/common/value.cc.o.d"
+  "/root/repo/src/statcube/core/catalog.cc" "src/CMakeFiles/statcube.dir/statcube/core/catalog.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/core/catalog.cc.o.d"
+  "/root/repo/src/statcube/core/classification.cc" "src/CMakeFiles/statcube.dir/statcube/core/classification.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/core/classification.cc.o.d"
+  "/root/repo/src/statcube/core/dimension.cc" "src/CMakeFiles/statcube.dir/statcube/core/dimension.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/core/dimension.cc.o.d"
+  "/root/repo/src/statcube/core/layout.cc" "src/CMakeFiles/statcube.dir/statcube/core/layout.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/core/layout.cc.o.d"
+  "/root/repo/src/statcube/core/measure.cc" "src/CMakeFiles/statcube.dir/statcube/core/measure.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/core/measure.cc.o.d"
+  "/root/repo/src/statcube/core/schema_graph.cc" "src/CMakeFiles/statcube.dir/statcube/core/schema_graph.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/core/schema_graph.cc.o.d"
+  "/root/repo/src/statcube/core/statistical_object.cc" "src/CMakeFiles/statcube.dir/statcube/core/statistical_object.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/core/statistical_object.cc.o.d"
+  "/root/repo/src/statcube/core/summarizability.cc" "src/CMakeFiles/statcube.dir/statcube/core/summarizability.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/core/summarizability.cc.o.d"
+  "/root/repo/src/statcube/core/table_render.cc" "src/CMakeFiles/statcube.dir/statcube/core/table_render.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/core/table_render.cc.o.d"
+  "/root/repo/src/statcube/core/terminology.cc" "src/CMakeFiles/statcube.dir/statcube/core/terminology.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/core/terminology.cc.o.d"
+  "/root/repo/src/statcube/io/csv.cc" "src/CMakeFiles/statcube.dir/statcube/io/csv.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/io/csv.cc.o.d"
+  "/root/repo/src/statcube/matching/matching.cc" "src/CMakeFiles/statcube.dir/statcube/matching/matching.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/matching/matching.cc.o.d"
+  "/root/repo/src/statcube/materialize/greedy.cc" "src/CMakeFiles/statcube.dir/statcube/materialize/greedy.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/materialize/greedy.cc.o.d"
+  "/root/repo/src/statcube/materialize/lattice.cc" "src/CMakeFiles/statcube.dir/statcube/materialize/lattice.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/materialize/lattice.cc.o.d"
+  "/root/repo/src/statcube/materialize/view_store.cc" "src/CMakeFiles/statcube.dir/statcube/materialize/view_store.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/materialize/view_store.cc.o.d"
+  "/root/repo/src/statcube/molap/chunked_array.cc" "src/CMakeFiles/statcube.dir/statcube/molap/chunked_array.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/molap/chunked_array.cc.o.d"
+  "/root/repo/src/statcube/molap/dense_array.cc" "src/CMakeFiles/statcube.dir/statcube/molap/dense_array.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/molap/dense_array.cc.o.d"
+  "/root/repo/src/statcube/molap/extendible_array.cc" "src/CMakeFiles/statcube.dir/statcube/molap/extendible_array.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/molap/extendible_array.cc.o.d"
+  "/root/repo/src/statcube/molap/header_compressed.cc" "src/CMakeFiles/statcube.dir/statcube/molap/header_compressed.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/molap/header_compressed.cc.o.d"
+  "/root/repo/src/statcube/olap/auto_aggregate.cc" "src/CMakeFiles/statcube.dir/statcube/olap/auto_aggregate.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/olap/auto_aggregate.cc.o.d"
+  "/root/repo/src/statcube/olap/backend.cc" "src/CMakeFiles/statcube.dir/statcube/olap/backend.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/olap/backend.cc.o.d"
+  "/root/repo/src/statcube/olap/cube_build.cc" "src/CMakeFiles/statcube.dir/statcube/olap/cube_build.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/olap/cube_build.cc.o.d"
+  "/root/repo/src/statcube/olap/data_cube.cc" "src/CMakeFiles/statcube.dir/statcube/olap/data_cube.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/olap/data_cube.cc.o.d"
+  "/root/repo/src/statcube/olap/homomorphism.cc" "src/CMakeFiles/statcube.dir/statcube/olap/homomorphism.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/olap/homomorphism.cc.o.d"
+  "/root/repo/src/statcube/olap/molap_cube.cc" "src/CMakeFiles/statcube.dir/statcube/olap/molap_cube.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/olap/molap_cube.cc.o.d"
+  "/root/repo/src/statcube/olap/operators.cc" "src/CMakeFiles/statcube.dir/statcube/olap/operators.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/olap/operators.cc.o.d"
+  "/root/repo/src/statcube/olap/sparse_cube.cc" "src/CMakeFiles/statcube.dir/statcube/olap/sparse_cube.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/olap/sparse_cube.cc.o.d"
+  "/root/repo/src/statcube/olap/statistics.cc" "src/CMakeFiles/statcube.dir/statcube/olap/statistics.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/olap/statistics.cc.o.d"
+  "/root/repo/src/statcube/olap/timeseries.cc" "src/CMakeFiles/statcube.dir/statcube/olap/timeseries.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/olap/timeseries.cc.o.d"
+  "/root/repo/src/statcube/privacy/audit.cc" "src/CMakeFiles/statcube.dir/statcube/privacy/audit.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/privacy/audit.cc.o.d"
+  "/root/repo/src/statcube/privacy/perturbation.cc" "src/CMakeFiles/statcube.dir/statcube/privacy/perturbation.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/privacy/perturbation.cc.o.d"
+  "/root/repo/src/statcube/privacy/protected_db.cc" "src/CMakeFiles/statcube.dir/statcube/privacy/protected_db.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/privacy/protected_db.cc.o.d"
+  "/root/repo/src/statcube/privacy/suppression.cc" "src/CMakeFiles/statcube.dir/statcube/privacy/suppression.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/privacy/suppression.cc.o.d"
+  "/root/repo/src/statcube/privacy/tracker.cc" "src/CMakeFiles/statcube.dir/statcube/privacy/tracker.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/privacy/tracker.cc.o.d"
+  "/root/repo/src/statcube/query/parser.cc" "src/CMakeFiles/statcube.dir/statcube/query/parser.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/query/parser.cc.o.d"
+  "/root/repo/src/statcube/relational/aggregate.cc" "src/CMakeFiles/statcube.dir/statcube/relational/aggregate.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/relational/aggregate.cc.o.d"
+  "/root/repo/src/statcube/relational/cube_operator.cc" "src/CMakeFiles/statcube.dir/statcube/relational/cube_operator.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/relational/cube_operator.cc.o.d"
+  "/root/repo/src/statcube/relational/expression.cc" "src/CMakeFiles/statcube.dir/statcube/relational/expression.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/relational/expression.cc.o.d"
+  "/root/repo/src/statcube/relational/join.cc" "src/CMakeFiles/statcube.dir/statcube/relational/join.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/relational/join.cc.o.d"
+  "/root/repo/src/statcube/relational/operators.cc" "src/CMakeFiles/statcube.dir/statcube/relational/operators.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/relational/operators.cc.o.d"
+  "/root/repo/src/statcube/relational/star_schema.cc" "src/CMakeFiles/statcube.dir/statcube/relational/star_schema.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/relational/star_schema.cc.o.d"
+  "/root/repo/src/statcube/relational/table.cc" "src/CMakeFiles/statcube.dir/statcube/relational/table.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/relational/table.cc.o.d"
+  "/root/repo/src/statcube/sampling/sampling.cc" "src/CMakeFiles/statcube.dir/statcube/sampling/sampling.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/sampling/sampling.cc.o.d"
+  "/root/repo/src/statcube/storage/rle.cc" "src/CMakeFiles/statcube.dir/statcube/storage/rle.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/storage/rle.cc.o.d"
+  "/root/repo/src/statcube/storage/stores.cc" "src/CMakeFiles/statcube.dir/statcube/storage/stores.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/storage/stores.cc.o.d"
+  "/root/repo/src/statcube/workload/census.cc" "src/CMakeFiles/statcube.dir/statcube/workload/census.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/workload/census.cc.o.d"
+  "/root/repo/src/statcube/workload/hmo.cc" "src/CMakeFiles/statcube.dir/statcube/workload/hmo.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/workload/hmo.cc.o.d"
+  "/root/repo/src/statcube/workload/retail.cc" "src/CMakeFiles/statcube.dir/statcube/workload/retail.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/workload/retail.cc.o.d"
+  "/root/repo/src/statcube/workload/stocks.cc" "src/CMakeFiles/statcube.dir/statcube/workload/stocks.cc.o" "gcc" "src/CMakeFiles/statcube.dir/statcube/workload/stocks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

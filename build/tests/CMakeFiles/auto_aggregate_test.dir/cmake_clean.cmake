@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_aggregate_test.dir/auto_aggregate_test.cc.o"
+  "CMakeFiles/auto_aggregate_test.dir/auto_aggregate_test.cc.o.d"
+  "auto_aggregate_test"
+  "auto_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_cube_test.dir/data_cube_test.cc.o"
+  "CMakeFiles/data_cube_test.dir/data_cube_test.cc.o.d"
+  "data_cube_test"
+  "data_cube_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_cube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molap_cube_test.dir/molap_cube_test.cc.o"
+  "CMakeFiles/molap_cube_test.dir/molap_cube_test.cc.o.d"
+  "molap_cube_test"
+  "molap_cube_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molap_cube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molap_test.dir/molap_test.cc.o"
+  "CMakeFiles/molap_test.dir/molap_test.cc.o.d"
+  "molap_test"
+  "molap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_operators_test.dir/olap_operators_test.cc.o"
+  "CMakeFiles/olap_operators_test.dir/olap_operators_test.cc.o.d"
+  "olap_operators_test"
+  "olap_operators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_edge_test.dir/render_edge_test.cc.o"
+  "CMakeFiles/render_edge_test.dir/render_edge_test.cc.o.d"
+  "render_edge_test"
+  "render_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

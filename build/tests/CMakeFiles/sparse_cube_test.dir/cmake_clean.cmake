@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_cube_test.dir/sparse_cube_test.cc.o"
+  "CMakeFiles/sparse_cube_test.dir/sparse_cube_test.cc.o.d"
+  "sparse_cube_test"
+  "sparse_cube_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_cube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

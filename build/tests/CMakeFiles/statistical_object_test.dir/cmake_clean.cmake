@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statistical_object_test.dir/statistical_object_test.cc.o"
+  "CMakeFiles/statistical_object_test.dir/statistical_object_test.cc.o.d"
+  "statistical_object_test"
+  "statistical_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statistical_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summarizability_test.dir/summarizability_test.cc.o"
+  "CMakeFiles/summarizability_test.dir/summarizability_test.cc.o.d"
+  "summarizability_test"
+  "summarizability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summarizability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terminology_test.dir/terminology_test.cc.o"
+  "CMakeFiles/terminology_test.dir/terminology_test.cc.o.d"
+  "terminology_test"
+  "terminology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terminology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
