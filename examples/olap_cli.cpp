@@ -2,18 +2,31 @@
 // With no arguments it queries the built-in retail statistical object; pass
 // a path to a file written by ExportObject (statcube/io/csv.h) to query your
 // own data. Reads queries from stdin; with no piped input it runs a
-// scripted demo. Commands: \d describes the object, \e exports it, \q quits.
+// scripted demo. Commands: \d describes the object, \e exports it, \m dumps
+// the metrics registry, \q quits.
 //
-// Run: ./build/examples/olap_cli [object-file]
-//      echo "SELECT sum(amount) BY city" | ./build/examples/olap_cli
+// Observability: `--profile` runs every query under a profile scope and
+// prints the span tree, per-operator row counts, and block I/O after each
+// result; `EXPLAIN PROFILE <query>` does the same for a single query.
+// `--engine=molap|rolap|rolap+bitmap` routes backend-expressible queries
+// (single SUM over dimensions) through that physical organization instead of
+// the relational executor — the §6.6 comparison, one flag apart.
+//
+// Run: ./build/examples/olap_cli [--profile] [--engine=E] [object-file]
+//      echo "EXPLAIN PROFILE SELECT sum(amount) BY city" | ./build/examples/olap_cli
+//
+// Parser/executor errors go to stderr and make the exit code nonzero, so
+// profile output on stdout stays machine-separable from failures.
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "statcube/io/csv.h"
+#include "statcube/obs/metrics.h"
 #include "statcube/query/parser.h"
 #include "statcube/workload/retail.h"
 
@@ -21,23 +34,73 @@ using namespace statcube;
 
 namespace {
 
-void Execute(const StatisticalObject& obj, const std::string& text) {
-  auto result = Query(obj, text);
+struct CliOptions {
+  bool profile = false;
+  QueryEngine engine = QueryEngine::kRelational;
+  std::string object_file;
+};
+
+// Returns false on a parser/executor error (already reported to stderr).
+bool Execute(const StatisticalObject& obj, const std::string& text,
+             const CliOptions& cli) {
+  auto parsed = ParseQuery(text);
+  if (!parsed.ok()) {
+    fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+    return false;
+  }
+  if (cli.profile || parsed->explain_profile) {
+    QueryOptions opt;
+    opt.engine = cli.engine;
+    auto result = QueryProfiled(obj, text, opt);
+    if (!result.ok()) {
+      fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+      return false;
+    }
+    printf("%s\n%s", result->rendered.c_str(),
+           result->profile.ToString().c_str());
+    return true;
+  }
+  auto result = ExecuteQuery(obj, *parsed);
   if (!result.ok()) {
-    printf("error: %s\n", result.status().ToString().c_str());
-    return;
+    fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return false;
   }
   printf("%s\n", result->ToString(25).c_str());
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--profile") {
+      cli.profile = true;
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      auto engine = EngineFromName(arg.substr(strlen("--engine=")));
+      if (!engine.ok()) {
+        fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+        return 1;
+      }
+      cli.engine = *engine;
+    } else if (arg == "--help" || arg == "-h") {
+      printf("usage: olap_cli [--profile] [--engine=relational|molap|rolap|"
+             "rolap+bitmap] [object-file]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 1;
+    } else {
+      cli.object_file = arg;
+    }
+  }
+
   StatisticalObject obj;
-  if (argc > 1) {
-    std::ifstream f(argv[1]);
+  if (!cli.object_file.empty()) {
+    std::ifstream f(cli.object_file);
     if (!f) {
-      fprintf(stderr, "cannot open %s\n", argv[1]);
+      fprintf(stderr, "cannot open %s\n", cli.object_file.c_str());
       return 1;
     }
     std::stringstream buf;
@@ -62,12 +125,15 @@ int main(int argc, char** argv) {
     }
     obj = std::move(data->object);
   }
+  if (cli.profile) obs::SetEnabled(true);
+
   printf("%s\n", obj.DescribeStructure().c_str());
-  printf("Query language: SELECT fn(measure)[, ...] [BY dims | BY CUBE(dims)]"
-         " [WHERE attr = literal [AND ...]]\n"
+  printf("Query language: [EXPLAIN PROFILE] SELECT fn(measure)[, ...]"
+         " [BY dims | BY CUBE(dims)] [WHERE attr = literal [AND ...]]\n"
          "Hierarchy levels (category, price_range, city, month, year) roll"
          " up automatically.\n\n");
 
+  bool any_error = false;
   std::string line;
   bool interactive = false;
   if (std::getline(std::cin, line)) {
@@ -82,8 +148,12 @@ int main(int argc, char** argv) {
         printf("%s", ExportObject(obj).c_str());
         continue;
       }
+      if (line == "\\m") {
+        printf("%s", obs::MetricsRegistry::Global().TextSnapshot().c_str());
+        continue;
+      }
       if (line.empty()) continue;
-      Execute(obj, line);
+      if (!Execute(obj, line, cli)) any_error = true;
     } while (std::getline(std::cin, line));
   }
 
@@ -97,8 +167,8 @@ int main(int argc, char** argv) {
     };
     for (const char* q : demo) {
       printf("statcube> %s\n", q);
-      Execute(obj, q);
+      if (!Execute(obj, q, cli)) any_error = true;
     }
   }
-  return 0;
+  return any_error ? 1 : 0;
 }

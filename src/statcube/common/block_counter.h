@@ -24,7 +24,9 @@ class BlockCounter {
       : block_size_(block_size) {}
 
   /// Charges ceil(bytes / block_size) block reads for a sequential range.
+  /// A zero-byte range charges nothing.
   void ChargeBytes(size_t bytes) {
+    if (bytes == 0) return;
     blocks_read_ += (bytes + block_size_ - 1) / block_size_;
     bytes_read_ += bytes;
   }
@@ -33,6 +35,20 @@ class BlockCounter {
   void ChargeBlocks(uint64_t n) {
     blocks_read_ += n;
     bytes_read_ += n * block_size_;
+  }
+
+  /// Folds another counter's totals into this one — combines per-store
+  /// counters into a query-level total (obs::QueryProfile). Block sizes may
+  /// differ; raw blocks and bytes are summed as-is.
+  void Merge(const BlockCounter& other) {
+    blocks_read_ += other.blocks_read_;
+    bytes_read_ += other.bytes_read_;
+  }
+
+  /// Merge from raw deltas (for callers that snapshot before/after).
+  void MergeRaw(uint64_t blocks, uint64_t bytes) {
+    blocks_read_ += blocks;
+    bytes_read_ += bytes;
   }
 
   void Reset() {

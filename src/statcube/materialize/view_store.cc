@@ -1,6 +1,7 @@
 #include "statcube/materialize/view_store.h"
 
 #include "statcube/materialize/lattice.h"
+#include "statcube/obs/query_profile.h"
 
 namespace statcube {
 
@@ -61,6 +62,7 @@ Result<Table> MaterializedCubeStore::AggregateFrom(const Table& src,
 }
 
 Status MaterializedCubeStore::Materialize(uint32_t mask) {
+  obs::Span span("viewstore.materialize");
   if (mask >= (uint32_t(1) << dims_.size()))
     return Status::OutOfRange("view mask");
   if (views_.count(mask)) return Status::OK();
@@ -77,19 +79,25 @@ Status MaterializedCubeStore::Materialize(uint32_t mask) {
 }
 
 Result<Table> MaterializedCubeStore::Query(uint32_t mask) {
+  obs::Span span("viewstore.query");
   if (mask >= (uint32_t(1) << dims_.size()))
     return Status::OutOfRange("view mask");
   auto it = views_.find(mask);
   if (it != views_.end()) {
     last_rows_scanned_ = it->second.num_rows();
+    obs::RecordViewStoreQuery(mask, /*hit=*/true, int64_t(mask),
+                              last_rows_scanned_);
     return it->second;
   }
   int64_t anc = CheapestAncestor(mask);
   if (anc < 0) {
     last_rows_scanned_ = base_.num_rows();
+    obs::RecordViewStoreQuery(mask, /*hit=*/false, /*ancestor_mask=*/-1,
+                              last_rows_scanned_);
     return GroupBy(base_, DimsOf(mask), aggs_);
   }
   last_rows_scanned_ = views_.at(uint32_t(anc)).num_rows();
+  obs::RecordViewStoreQuery(mask, /*hit=*/false, anc, last_rows_scanned_);
   return AggregateFrom(views_.at(uint32_t(anc)), uint32_t(anc), mask);
 }
 
@@ -152,6 +160,7 @@ Result<uint64_t> MaterializedCubeStore::AppendAndRefresh(
   }
   // Finally append to the base.
   for (const Row& r : new_rows) base_.AppendRowUnchecked(r);
+  obs::RecordViewStoreRefresh(reaggregated);
   return reaggregated;
 }
 

@@ -1,0 +1,184 @@
+#include "statcube/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace statcube::obs {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+bool SetEnabled(bool on) {
+  return internal::g_enabled.exchange(on, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  size_t i = size_t(std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+                    bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> needs C++20 + hardware support; CAS-loop is
+  // portable and this path only runs when observability is enabled.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed))
+    ;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  count_.store(0);
+  sum_.store(0.0);
+}
+
+const std::vector<double>& DefaultLatencyBoundsUs() {
+  static const std::vector<double> kBounds = {
+      1,    2,    5,    10,    20,    50,    100,    200,    500,
+      1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000, 500000,
+      1000000};
+  return kBounds;
+}
+
+// -------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(
+                                bounds.empty() ? DefaultLatencyBoundsUs()
+                                               : bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+namespace {
+
+// Formats a double without trailing zeros ("12", "12.5", "0.001").
+std::string Num(double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// Minimal JSON string escaping for metric names.
+std::string JsonStr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::TextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_)
+    os << name << " " << c->Value() << "\n";
+  for (const auto& [name, g] : gauges_)
+    os << name << " " << Num(g->Value()) << "\n";
+  for (const auto& [name, h] : histograms_) {
+    os << name << ".count " << h->TotalCount() << "\n";
+    os << name << ".sum " << Num(h->Sum()) << "\n";
+    for (size_t i = 0; i < h->bounds().size(); ++i)
+      os << name << ".le_" << Num(h->bounds()[i]) << " " << h->BucketCount(i)
+         << "\n";
+    os << name << ".le_inf " << h->BucketCount(h->bounds().size()) << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonStr(name) << ":" << c->Value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonStr(name) << ":" << Num(g->Value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonStr(name) << ":{\"count\":" << h->TotalCount()
+       << ",\"sum\":" << Num(h->Sum()) << ",\"buckets\":[";
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      if (i) os << ",";
+      os << "{\"le\":" << Num(h->bounds()[i])
+         << ",\"count\":" << h->BucketCount(i) << "}";
+    }
+    if (!h->bounds().empty()) os << ",";
+    os << "{\"le\":\"inf\",\"count\":" << h->BucketCount(h->bounds().size())
+       << "}]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace statcube::obs

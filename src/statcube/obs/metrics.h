@@ -1,0 +1,144 @@
+// Process-wide observability metrics (counters, gauges, fixed-bucket
+// histograms) behind a single runtime gate. The paper's §6 performance
+// arguments are claims about how much work a query does; BlockCounter
+// (common/block_counter.h) measures logical I/O per store, and this registry
+// aggregates that — plus rows, calls, and latencies — across the whole
+// process so benchmarks and the CLI can attribute cost to subsystems.
+//
+// Naming convention: `statcube.<module>.<name>`, e.g.
+// `statcube.viewstore.hits`, `statcube.backend.molap.blocks_read`,
+// `statcube.query.latency_us`.
+//
+// Overhead contract: every instrumentation site is guarded by
+// `obs::Enabled()` — a relaxed atomic load and a branch. When disabled, no
+// allocation, no locking, and no metric mutation happens on any hot path.
+// When enabled, updates are lock-free atomic increments; only the first
+// lookup of a metric name takes the registry mutex.
+
+#ifndef STATCUBE_OBS_METRICS_H_
+#define STATCUBE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace statcube::obs {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// True when observability collection is on. Relaxed load + branch: cheap
+/// enough to call on every operator invocation.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips the global gate (returns the previous value).
+bool SetEnabled(bool on);
+
+/// RAII gate flip: enables (or disables) observability for a scope and
+/// restores the previous state on exit.
+class EnabledScope {
+ public:
+  explicit EnabledScope(bool on) : prev_(SetEnabled(on)) {}
+  ~EnabledScope() { SetEnabled(prev_); }
+  EnabledScope(const EnabledScope&) = delete;
+  EnabledScope& operator=(const EnabledScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. An observation of `v` lands in the first bucket
+/// whose upper bound satisfies `v <= bound`; values above the last bound land
+/// in the implicit overflow bucket. Bucket bounds are fixed at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t TotalCount() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i`; `i == bounds().size()` is the overflow bucket.
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;  // ascending upper bounds
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// 1-2-5 decade ladder from 1 us to 1 s — the default latency bucketing.
+const std::vector<double>& DefaultLatencyBoundsUs();
+
+/// Thread-safe registry of named metrics. Metric objects are created on
+/// first lookup and live for the process lifetime, so callers may cache the
+/// returned references.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bounds` is only consulted on first registration; empty means
+  /// DefaultLatencyBoundsUs().
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds = {});
+
+  /// One metric per line: `name value` (histograms expand to
+  /// `name.count/.sum/.le_<bound>` lines). Sorted by name.
+  std::string TextSnapshot() const;
+
+  /// JSON object with "counters", "gauges", and "histograms" keys.
+  std::string JsonSnapshot() const;
+
+  /// Zeroes every registered metric (the metrics stay registered).
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace statcube::obs
+
+#endif  // STATCUBE_OBS_METRICS_H_

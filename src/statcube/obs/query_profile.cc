@@ -1,0 +1,163 @@
+#include "statcube/obs/query_profile.h"
+
+#include <sstream>
+
+namespace statcube::obs {
+
+namespace internal {
+
+QueryProfile*& ActiveProfileSlot() {
+  thread_local QueryProfile* t_active = nullptr;
+  return t_active;
+}
+
+void RecordOperatorImpl(const char* op, uint64_t rows_in, uint64_t rows_out) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  std::string prefix = std::string("statcube.relational.") + op;
+  reg.GetCounter(prefix + ".calls").Add(1);
+  reg.GetCounter(prefix + ".rows_in").Add(rows_in);
+  reg.GetCounter(prefix + ".rows_out").Add(rows_out);
+  if (QueryProfile* p = ActiveProfileSlot())
+    p->operators.push_back({op, rows_in, rows_out});
+}
+
+void RecordBackendImpl(const std::string& backend, uint64_t blocks,
+                       uint64_t bytes) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  std::string prefix = "statcube.backend." + backend;
+  reg.GetCounter(prefix + ".queries").Add(1);
+  reg.GetCounter(prefix + ".blocks_read").Add(blocks);
+  reg.GetCounter(prefix + ".bytes_read").Add(bytes);
+  if (QueryProfile* p = ActiveProfileSlot()) {
+    p->backend = backend;
+    p->blocks.MergeRaw(blocks, bytes);
+  }
+}
+
+void RecordViewStoreQueryImpl(uint32_t mask, bool hit, int64_t ancestor_mask,
+                              uint64_t rows_scanned) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter(hit ? "statcube.viewstore.hits"
+                     : "statcube.viewstore.misses")
+      .Add(1);
+  reg.GetCounter("statcube.viewstore.rows_scanned").Add(rows_scanned);
+  if (QueryProfile* p = ActiveProfileSlot()) {
+    p->view_events.push_back({mask, hit, ancestor_mask, rows_scanned});
+    if (hit) ++p->view_hits; else ++p->view_misses;
+  }
+}
+
+void RecordViewStoreRefreshImpl(uint64_t reaggregated_rows) {
+  MetricsRegistry::Global()
+      .GetCounter("statcube.viewstore.reagg_rows")
+      .Add(reaggregated_rows);
+  if (QueryProfile* p = ActiveProfileSlot())
+    p->reaggregated_rows += reaggregated_rows;
+}
+
+void RecordPrivacyImpl(bool answered, bool perturbed) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter(answered ? "statcube.privacy.answered"
+                          : "statcube.privacy.refused")
+      .Add(1);
+  if (perturbed) reg.GetCounter("statcube.privacy.perturbed").Add(1);
+}
+
+}  // namespace internal
+
+QueryProfile* ActiveProfile() { return internal::ActiveProfileSlot(); }
+
+ProfileScope::ProfileScope() {
+  prev_profile_ = internal::ActiveProfileSlot();
+  internal::ActiveProfileSlot() = &profile_;
+  prev_trace_ = internal::SwapCurrentTrace(&profile_.trace);
+  if (Enabled()) root_span_ = profile_.trace.BeginSpan("query");
+}
+
+void ProfileScope::Uninstall() {
+  if (!installed_) return;
+  installed_ = false;
+  if (root_span_ >= 0) profile_.trace.EndSpan(root_span_);
+  internal::SwapCurrentTrace(prev_trace_);
+  internal::ActiveProfileSlot() = prev_profile_;
+}
+
+ProfileScope::~ProfileScope() { Uninstall(); }
+
+QueryProfile ProfileScope::Take() {
+  Uninstall();
+  if (Enabled()) {
+    MetricsRegistry::Global()
+        .GetHistogram("statcube.query.latency_us")
+        .Observe(double(profile_.trace.TotalDurationNs()) / 1000.0);
+  }
+  return std::move(profile_);
+}
+
+size_t QueryProfile::NumPhases() const {
+  // Root spans plus their direct children: the "query" root contributes its
+  // phase children; a profile built without the implicit root counts roots.
+  size_t n = 0;
+  for (const SpanRecord& s : trace.spans())
+    if (s.depth <= 1) ++n;
+  return n;
+}
+
+std::string QueryProfile::ToString() const {
+  std::ostringstream os;
+  os << "-- query profile --\n";
+  os << "backend: " << (backend.empty() ? "relational" : backend) << "\n";
+  os << "spans:\n" << trace.TreeString();
+  if (!operators.empty()) {
+    os << "operators:\n";
+    for (const OperatorStats& op : operators)
+      os << "  " << op.op << ": rows_in=" << op.rows_in
+         << " rows_out=" << op.rows_out << "\n";
+  }
+  os << "blocks_read=" << blocks.blocks_read()
+     << " bytes_read=" << blocks.bytes_read() << "\n";
+  if (!view_events.empty()) {
+    os << "view_store: hits=" << view_hits << " misses=" << view_misses;
+    if (reaggregated_rows > 0) os << " reagg_rows=" << reaggregated_rows;
+    os << "\n";
+    for (const ViewStoreEvent& e : view_events) {
+      os << "  mask=" << e.mask << (e.hit ? " hit" : " miss");
+      if (!e.hit)
+        os << " ancestor="
+           << (e.ancestor_mask < 0 ? std::string("base")
+                                   : std::to_string(e.ancestor_mask));
+      os << " rows_scanned=" << e.rows_scanned << "\n";
+    }
+  }
+  os << "result_rows=" << result_rows << "\n";
+  return os.str();
+}
+
+std::string QueryProfile::ToJson() const {
+  std::ostringstream os;
+  os << "{\"backend\":\"" << (backend.empty() ? "relational" : backend)
+     << "\",\"spans\":[";
+  const auto& spans = trace.spans();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"name\":\"" << spans[i].name
+       << "\",\"parent\":" << spans[i].parent
+       << ",\"start_us\":" << double(spans[i].start_ns) / 1000.0
+       << ",\"dur_us\":" << double(spans[i].dur_ns) / 1000.0 << "}";
+  }
+  os << "],\"operators\":[";
+  for (size_t i = 0; i < operators.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"op\":\"" << operators[i].op
+       << "\",\"rows_in\":" << operators[i].rows_in
+       << ",\"rows_out\":" << operators[i].rows_out << "}";
+  }
+  os << "],\"blocks_read\":" << blocks.blocks_read()
+     << ",\"bytes_read\":" << blocks.bytes_read()
+     << ",\"view_hits\":" << view_hits << ",\"view_misses\":" << view_misses
+     << ",\"reaggregated_rows\":" << reaggregated_rows
+     << ",\"result_rows\":" << result_rows << "}";
+  return os.str();
+}
+
+}  // namespace statcube::obs

@@ -1,0 +1,96 @@
+#include "statcube/obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace statcube::obs {
+
+namespace {
+thread_local Trace* t_current_trace = nullptr;
+}  // namespace
+
+namespace internal {
+Trace* SwapCurrentTrace(Trace* t) {
+  Trace* prev = t_current_trace;
+  t_current_trace = t;
+  return prev;
+}
+}  // namespace internal
+
+Trace* CurrentTrace() { return t_current_trace; }
+
+TraceScope::TraceScope() : prev_(internal::SwapCurrentTrace(&trace_)) {}
+TraceScope::~TraceScope() { internal::SwapCurrentTrace(prev_); }
+
+int32_t Trace::BeginSpan(std::string name) {
+  SpanRecord rec;
+  rec.name = std::move(name);
+  rec.parent = stack_.empty() ? -1 : stack_.back();
+  rec.depth = stack_.empty() ? 0 : spans_[size_t(stack_.back())].depth + 1;
+  rec.start_ns = NowNs();
+  int32_t idx = int32_t(spans_.size());
+  spans_.push_back(std::move(rec));
+  stack_.push_back(idx);
+  return idx;
+}
+
+void Trace::EndSpan(int32_t idx) {
+  if (idx < 0 || size_t(idx) >= spans_.size()) return;
+  SpanRecord& rec = spans_[size_t(idx)];
+  if (!rec.open) return;
+  rec.dur_ns = NowNs() - rec.start_ns;
+  rec.open = false;
+  // Scopes close in LIFO order; tolerate out-of-order closes by popping
+  // through (an open parent whose child outlived it would otherwise pin the
+  // stack).
+  while (!stack_.empty()) {
+    int32_t top = stack_.back();
+    stack_.pop_back();
+    if (top == idx) break;
+  }
+}
+
+uint64_t Trace::TotalDurationNs() const {
+  uint64_t total = 0;
+  for (const SpanRecord& s : spans_)
+    if (s.parent < 0) total += s.dur_ns;
+  return total;
+}
+
+namespace {
+std::string FmtDurUs(uint64_t ns) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.1f us", double(ns) / 1000.0);
+  return buf;
+}
+}  // namespace
+
+std::string Trace::TreeString() const {
+  std::ostringstream os;
+  for (const SpanRecord& s : spans_) {
+    for (int32_t d = 0; d < s.depth; ++d) os << "  ";
+    os << (s.depth > 0 ? "- " : "") << s.name;
+    size_t width = size_t(s.depth) * 2 + (s.depth > 0 ? 2 : 0) + s.name.size();
+    for (size_t p = width; p < 40; ++p) os << ' ';
+    os << " " << FmtDurUs(s.dur_ns);
+    if (s.open) os << " (open)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string Trace::ChromeTraceJson() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRecord& s = spans_[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << s.name << "\",\"ph\":\"X\",\"ts\":"
+       << double(s.start_ns) / 1000.0 << ",\"dur\":"
+       << double(s.dur_ns) / 1000.0 << ",\"pid\":1,\"tid\":1}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace statcube::obs

@@ -1,0 +1,118 @@
+// Per-query tracing: RAII `Span` scopes on a monotonic clock that build a
+// span tree (parse → plan → rollup → execute → render), renderable as an
+// ASCII tree or exportable as Chrome `trace_event` JSON (load chrome://tracing
+// or https://ui.perfetto.dev on the output).
+//
+// A `Trace` is installed per-thread by `TraceScope` (usually indirectly via
+// `ProfileScope`, query_profile.h); `Span` constructors attach to the current
+// thread's trace. When observability is disabled or no trace is installed, a
+// Span is a no-op: one relaxed load and a branch, no allocation.
+
+#ifndef STATCUBE_OBS_TRACE_H_
+#define STATCUBE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "statcube/obs/metrics.h"
+
+namespace statcube::obs {
+
+/// One completed (or still-open) span. Times are nanoseconds relative to the
+/// owning trace's origin.
+struct SpanRecord {
+  std::string name;
+  int32_t parent = -1;  ///< index into the trace's span vector; -1 = root
+  int32_t depth = 0;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  bool open = true;
+};
+
+/// An append-only span tree for one query (or any other unit of work).
+/// Spans are stored in open order; nesting comes from an internal stack, so
+/// interleaved RAII scopes on one thread reconstruct the call tree exactly.
+class Trace {
+ public:
+  Trace() : origin_(std::chrono::steady_clock::now()) {}
+
+  int32_t BeginSpan(std::string name);
+  void EndSpan(int32_t idx);
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Total nanoseconds covered by root spans.
+  uint64_t TotalDurationNs() const;
+
+  /// Indented ASCII tree with per-span durations.
+  std::string TreeString() const;
+
+  /// Chrome trace_event JSON ("traceEvents" array of complete "X" events).
+  std::string ChromeTraceJson() const;
+
+ private:
+  uint64_t NowNs() const {
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - origin_)
+                        .count());
+  }
+
+  std::chrono::steady_clock::time_point origin_;
+  std::vector<SpanRecord> spans_;
+  std::vector<int32_t> stack_;  // indexes of currently-open spans
+};
+
+/// The trace installed on this thread, or nullptr.
+Trace* CurrentTrace();
+
+/// Installs a fresh Trace as the thread's current trace for the scope's
+/// lifetime (restores the previous one on exit, so scopes nest).
+class TraceScope {
+ public:
+  TraceScope();
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  Trace& trace() { return trace_; }
+
+ private:
+  Trace trace_;
+  Trace* prev_;
+};
+
+/// RAII span: attaches to the current thread's trace when observability is
+/// enabled, otherwise does nothing.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (!Enabled()) return;
+    trace_ = CurrentTrace();
+    if (trace_ != nullptr) idx_ = trace_->BeginSpan(name);
+  }
+  explicit Span(std::string name) {
+    if (!Enabled()) return;
+    trace_ = CurrentTrace();
+    if (trace_ != nullptr) idx_ = trace_->BeginSpan(std::move(name));
+  }
+  ~Span() {
+    if (trace_ != nullptr) trace_->EndSpan(idx_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Trace* trace_ = nullptr;
+  int32_t idx_ = -1;
+};
+
+namespace internal {
+// Used by TraceScope/ProfileScope to install an externally-owned trace.
+Trace* SwapCurrentTrace(Trace* t);
+}  // namespace internal
+
+}  // namespace statcube::obs
+
+#endif  // STATCUBE_OBS_TRACE_H_

@@ -2,11 +2,14 @@
 
 #include <map>
 
+#include "statcube/obs/trace.h"
+
 namespace statcube {
 
 Result<AutoResult> AutoAggregate(const StatisticalObject& obj,
                                  const AutoQuery& query,
                                  const OperatorOptions& options) {
+  obs::Span span("auto_aggregate");
   STATCUBE_RETURN_NOT_OK(obj.MeasureNamed(query.measure).status());
   AutoResult result;
 

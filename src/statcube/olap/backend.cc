@@ -3,12 +3,36 @@
 #include <algorithm>
 #include <map>
 
+#include "statcube/obs/query_profile.h"
 #include "statcube/olap/molap_cube.h"
 #include "statcube/relational/aggregate.h"
 
 namespace statcube {
 
 namespace {
+
+// Snapshots a backend's BlockCounter around an answer and reports the delta
+// (plus the backend's identity) to the active profile and registry.
+class BackendObsScope {
+ public:
+  BackendObsScope(const std::string& backend, BlockCounter& counter)
+      : enabled_(obs::Enabled()),
+        backend_(enabled_ ? backend : std::string()),
+        counter_(counter),
+        blocks0_(enabled_ ? counter.blocks_read() : 0),
+        bytes0_(enabled_ ? counter.bytes_read() : 0) {}
+  ~BackendObsScope() {
+    if (!enabled_) return;
+    obs::RecordBackend(backend_, counter_.blocks_read() - blocks0_,
+                       counter_.bytes_read() - bytes0_);
+  }
+
+ private:
+  bool enabled_;
+  std::string backend_;
+  BlockCounter& counter_;
+  uint64_t blocks0_, bytes0_;
+};
 
 // ------------------------------------------------------------------ MOLAP
 
@@ -23,10 +47,14 @@ class MolapBackend : public CubeBackend {
   std::string name() const override { return "molap"; }
 
   Result<double> Sum(const std::vector<EqFilter>& filters) override {
+    obs::Span span("backend.sum:molap");
+    BackendObsScope scope(name(), cube_.counter());
     return cube_.SumWhere(filters);
   }
 
   Result<Table> GroupBySum(const CubeQuery& query) override {
+    obs::Span span("backend.groupby:molap");
+    BackendObsScope scope(name(), cube_.counter());
     // Enumerate group coordinates from the dimension metadata; each group
     // is a slab sum over the array.
     std::vector<size_t> gidx;
@@ -95,11 +123,16 @@ class RolapBackend : public CubeBackend {
   }
 
   Result<double> Sum(const std::vector<EqFilter>& filters) override {
+    obs::Span span(options_.build_bitmap_indexes ? "backend.sum:rolap+bitmap"
+                                                 : "backend.sum:rolap");
+    BackendObsScope scope(name(), counter_);
     if (options_.build_bitmap_indexes) return SumIndexed(filters);
     return SumScan(filters);
   }
 
   Result<Table> GroupBySum(const CubeQuery& query) override {
+    obs::Span span("backend.groupby:rolap");
+    BackendObsScope scope(name(), counter_);
     // Filter then relational group-by over the cell table.
     STATCUBE_ASSIGN_OR_RETURN(std::vector<size_t> fidx, FilterIdx(query.filters));
     Table filtered(table_.name(), table_.schema());
@@ -114,6 +147,8 @@ class RolapBackend : public CubeBackend {
       }
       if (match) filtered.AppendRowUnchecked(r);
     }
+    obs::RecordOperator("backend.filter_scan", table_.num_rows(),
+                        filtered.num_rows());
     std::string measure = table_.schema().column(measure_idx_).name;
     STATCUBE_ASSIGN_OR_RETURN(
         Table out,

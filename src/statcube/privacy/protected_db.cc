@@ -1,5 +1,7 @@
 #include "statcube/privacy/protected_db.h"
 
+#include "statcube/obs/query_profile.h"
+
 namespace statcube {
 
 ProtectedDatabase::ProtectedDatabase(Table micro, PrivacyPolicy policy)
@@ -27,6 +29,7 @@ Result<double> ProtectedDatabase::Aggregate(AggFn fn,
 
 Result<double> ProtectedDatabase::Query(AggFn fn, const std::string& column,
                                         const RowPredicate& pred) {
+  obs::Span span("privacy.query");
   // Materialize the query set.
   BitVector set(micro_.num_rows(), false);
   size_t size = 0;
@@ -41,6 +44,7 @@ Result<double> ProtectedDatabase::Query(AggFn fn, const std::string& column,
   size_t n = micro_.num_rows();
   if (size < k || size + k > n) {
     ++refused_;
+    obs::RecordPrivacy(/*answered=*/false);
     return Status::PrivacyRefused(
         "query set size " + std::to_string(size) + " outside [" +
         std::to_string(k) + ", " + std::to_string(n - k) + "]");
@@ -52,6 +56,7 @@ Result<double> ProtectedDatabase::Query(AggFn fn, const std::string& column,
       inter.AndWith(prev);
       if (inter.PopCount() > policy_.max_overlap) {
         ++refused_;
+        obs::RecordPrivacy(/*answered=*/false);
         return Status::PrivacyRefused(
             "query set overlaps a previous query in " +
             std::to_string(inter.PopCount()) + " rows (max " +
@@ -84,10 +89,12 @@ Result<double> ProtectedDatabase::Query(AggFn fn, const std::string& column,
     STATCUBE_ASSIGN_OR_RETURN(answer, Aggregate(fn, column, set));
   }
 
+  bool perturbed = policy_.output_noise_stddev > 0 || policy_.sample_rate < 1.0;
   if (policy_.output_noise_stddev > 0)
     answer += rng_.Gaussian(0.0, policy_.output_noise_stddev);
 
   ++answered_;
+  obs::RecordPrivacy(/*answered=*/true, perturbed);
   return answer;
 }
 

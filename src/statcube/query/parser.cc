@@ -95,11 +95,21 @@ Result<AggFn> AggFnFromName(const std::string& name) {
 }  // namespace
 
 Result<ParsedQuery> ParseQuery(const std::string& text) {
+  obs::Span span("parse");
   Lexer lex(text);
   ParsedQuery q;
 
   STATCUBE_ASSIGN_OR_RETURN(Token tok, lex.Next());
-  if (tok.kind != TokKind::kIdent || Lower(tok.text) != "select")
+  std::string kw = tok.kind == TokKind::kIdent ? Lower(tok.text) : "";
+  if (kw == "explain") {
+    STATCUBE_ASSIGN_OR_RETURN(tok, lex.Next());
+    if (tok.kind != TokKind::kIdent || Lower(tok.text) != "profile")
+      return Status::InvalidArgument("expected PROFILE after EXPLAIN");
+    q.explain_profile = true;
+    STATCUBE_ASSIGN_OR_RETURN(tok, lex.Next());
+    kw = tok.kind == TokKind::kIdent ? Lower(tok.text) : "";
+  }
+  if (kw != "select")
     return Status::InvalidArgument("query must start with SELECT");
 
   // Aggregates.
@@ -210,45 +220,51 @@ Result<Table> ExecuteQuery(const StatisticalObject& obj,
   for (const auto& [attr, v] : query.where) referenced.insert(attr);
 
   Table data = obj.data();
-  for (const auto& attr : referenced) {
-    if (obj.DimensionNamed(attr).ok()) continue;  // plain dimension
-    if (data.schema().Contains(attr)) continue;   // measure or derived
-    // Find a hierarchy level with this name on some dimension.
-    bool resolved = false;
-    for (const auto& d : obj.dimensions()) {
-      auto lv = d.LevelNamed(attr);
-      if (!lv.ok() || lv->second == 0) continue;
-      const ClassificationHierarchy* hier = lv->first;
-      size_t level = lv->second;
-      // A non-strict path would assign several ancestors to one cell;
-      // refuse rather than silently double-count.
-      for (size_t step = 0; step < level; ++step) {
-        if (!hier->IsStrictAt(step))
-          return Status::NotSummarizable(
-              "attribute '" + attr + "' reached through non-strict "
-              "hierarchy '" + hier->name() + "'");
+  {
+    obs::Span plan_span("plan");
+    for (const auto& attr : referenced) {
+      if (obj.DimensionNamed(attr).ok()) continue;  // plain dimension
+      if (data.schema().Contains(attr)) continue;   // measure or derived
+      // Find a hierarchy level with this name on some dimension.
+      bool resolved = false;
+      for (const auto& d : obj.dimensions()) {
+        auto lv = d.LevelNamed(attr);
+        if (!lv.ok() || lv->second == 0) continue;
+        obs::Span rollup_span("rollup:" + attr);
+        const ClassificationHierarchy* hier = lv->first;
+        size_t level = lv->second;
+        // A non-strict path would assign several ancestors to one cell;
+        // refuse rather than silently double-count.
+        for (size_t step = 0; step < level; ++step) {
+          if (!hier->IsStrictAt(step))
+            return Status::NotSummarizable(
+                "attribute '" + attr + "' reached through non-strict "
+                "hierarchy '" + hier->name() + "'");
+        }
+        STATCUBE_ASSIGN_OR_RETURN(size_t leaf_idx,
+                                  data.schema().IndexOf(d.name()));
+        Schema s2 = data.schema();
+        s2.AddColumn(attr, ValueType::kString);
+        Table derived(data.name(), s2);
+        for (const Row& r : data.rows()) {
+          STATCUBE_ASSIGN_OR_RETURN(std::vector<Value> anc,
+                                    hier->Ancestors(0, r[leaf_idx], level));
+          Row r2 = r;
+          r2.push_back(anc.empty() ? Value::Null() : anc.front());
+          derived.AppendRowUnchecked(std::move(r2));
+        }
+        obs::RecordOperator("rollup", data.num_rows(), derived.num_rows());
+        data = std::move(derived);
+        resolved = true;
+        break;
       }
-      STATCUBE_ASSIGN_OR_RETURN(size_t leaf_idx,
-                                data.schema().IndexOf(d.name()));
-      Schema s2 = data.schema();
-      s2.AddColumn(attr, ValueType::kString);
-      Table derived(data.name(), s2);
-      for (const Row& r : data.rows()) {
-        STATCUBE_ASSIGN_OR_RETURN(std::vector<Value> anc,
-                                  hier->Ancestors(0, r[leaf_idx], level));
-        Row r2 = r;
-        r2.push_back(anc.empty() ? Value::Null() : anc.front());
-        derived.AppendRowUnchecked(std::move(r2));
-      }
-      data = std::move(derived);
-      resolved = true;
-      break;
+      if (!resolved)
+        return Status::NotFound("no dimension, level or measure named '" +
+                                attr + "'");
     }
-    if (!resolved)
-      return Status::NotFound("no dimension, level or measure named '" +
-                              attr + "'");
   }
   if (!query.where.empty()) {
+    obs::Span filter_span("filter");
     std::vector<RowPredicate> preds;
     for (const auto& [attr, v] : query.where) {
       STATCUBE_ASSIGN_OR_RETURN(RowPredicate p,
@@ -262,6 +278,7 @@ Result<Table> ExecuteQuery(const StatisticalObject& obj,
   std::vector<AggSpec> aggs = query.aggs;
   for (auto& a : aggs)
     if (a.output_name.empty()) a.output_name = a.EffectiveName();
+  obs::Span agg_span("aggregate");
   if (query.cube) return CubeBy(data, query.by, aggs);
   return GroupBy(data, query.by, aggs);
 }

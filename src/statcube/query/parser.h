@@ -2,7 +2,7 @@
 // §5.1 point that explicit statistical-object semantics "permit the use of
 // very concise query languages". Grammar (case-insensitive keywords):
 //
-//   query   := SELECT aggs [BY dims] [WHERE conds]
+//   query   := [EXPLAIN PROFILE] SELECT aggs [BY dims] [WHERE conds]
 //   aggs    := agg (',' agg)*
 //   agg     := FN '(' ident ')'          FN in {SUM, COUNT, AVG, MIN, MAX}
 //   dims    := ident (',' ident)*
@@ -26,6 +26,8 @@
 
 #include "statcube/common/status.h"
 #include "statcube/core/statistical_object.h"
+#include "statcube/obs/query_profile.h"
+#include "statcube/olap/backend.h"
 #include "statcube/relational/aggregate.h"
 
 namespace statcube {
@@ -38,6 +40,9 @@ struct ParsedQuery {
   /// extension, paper §5.4).
   bool cube = false;
   std::vector<std::pair<std::string, Value>> where;
+  /// EXPLAIN PROFILE prefix: the caller should execute under a ProfileScope
+  /// and show the profile alongside the result (olap_cli does).
+  bool explain_profile = false;
 };
 
 /// Parses the query text (syntax only).
@@ -52,6 +57,49 @@ Result<Table> ExecuteQuery(const StatisticalObject& obj,
 
 /// Parse + execute.
 Result<Table> Query(const StatisticalObject& obj, const std::string& text);
+
+/// Executes a parsed query through a CubeBackend (§6.6: the same textual
+/// query served by either physical organization). Only backend-expressible
+/// queries are accepted — exactly one SUM aggregate over the backend's
+/// measure, BY plain dimensions (no CUBE), WHERE equalities on dimensions;
+/// anything else returns Unimplemented so callers can fall back to
+/// ExecuteQuery.
+Result<Table> ExecuteQueryOnBackend(const StatisticalObject& obj,
+                                    const ParsedQuery& query,
+                                    CubeBackend& backend);
+
+/// Which execution engine QueryProfiled routes through.
+enum class QueryEngine { kRelational, kMolap, kRolap, kRolapBitmap };
+
+/// Name as accepted by EngineFromName / printed in profiles.
+const char* QueryEngineName(QueryEngine engine);
+
+/// Parses "relational" / "molap" / "rolap" / "rolap+bitmap".
+Result<QueryEngine> EngineFromName(const std::string& name);
+
+struct QueryOptions {
+  QueryEngine engine = QueryEngine::kRelational;
+  /// Rows shown by the render phase of QueryProfiled.
+  size_t render_limit = 25;
+};
+
+/// A query result with its profile (and the table already rendered, so the
+/// render phase is part of the measured span tree).
+struct ProfiledQuery {
+  Table table;
+  std::string rendered;
+  obs::QueryProfile profile;
+};
+
+/// Parse + execute + render with full observability: enables obs for the
+/// call, collects the span tree (parse → plan → rollup → execute → render),
+/// per-operator row counts, and block I/O. Cube-engine options build the
+/// backend per call (visible as a backend.build span) and fall back to the
+/// relational path — noted in profile.backend — when the query is not
+/// backend-expressible.
+Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
+                                    const std::string& text,
+                                    const QueryOptions& options = {});
 
 }  // namespace statcube
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "statcube/common/str_util.h"
+#include "statcube/obs/query_profile.h"
 
 namespace statcube {
 
@@ -129,10 +130,13 @@ Table StatesToTable(const std::string& name,
 Result<Table> GroupBy(const Table& input,
                       const std::vector<std::string>& group_cols,
                       const std::vector<AggSpec>& aggs) {
+  obs::Span span("op.groupby");
   STATCUBE_ASSIGN_OR_RETURN(GroupedStates states,
                             GroupByStates(input, group_cols, aggs));
-  return StatesToTable(input.name() + "_by_" + Join(group_cols, "_"),
-                       group_cols, aggs, states);
+  Table out = StatesToTable(input.name() + "_by_" + Join(group_cols, "_"),
+                            group_cols, aggs, states);
+  obs::RecordOperator("groupby", input.num_rows(), out.num_rows());
+  return out;
 }
 
 }  // namespace statcube

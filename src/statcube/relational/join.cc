@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "statcube/common/value.h"
+#include "statcube/obs/query_profile.h"
 
 namespace statcube {
 
@@ -12,6 +13,7 @@ namespace {
 Result<Table> HashJoinImpl(const Table& left, const std::string& left_key,
                            const Table& right, const std::string& right_key,
                            bool keep_unmatched_left) {
+  obs::Span span("op.join");
   STATCUBE_ASSIGN_OR_RETURN(size_t lkey, left.schema().IndexOf(left_key));
   STATCUBE_ASSIGN_OR_RETURN(size_t rkey, right.schema().IndexOf(right_key));
 
@@ -50,6 +52,8 @@ Result<Table> HashJoinImpl(const Table& left, const std::string& left_key,
       out.AppendRowUnchecked(std::move(r));
     }
   }
+  obs::RecordOperator("join", left.num_rows() + right.num_rows(),
+                      out.num_rows());
   return out;
 }
 

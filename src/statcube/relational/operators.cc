@@ -2,12 +2,16 @@
 
 #include <unordered_set>
 
+#include "statcube/obs/query_profile.h"
+
 namespace statcube {
 
 Table Select(const Table& input, const RowPredicate& pred) {
+  obs::Span span("op.select");
   Table out(input.name() + "_sel", input.schema());
   for (const Row& row : input.rows())
     if (pred(row)) out.AppendRowUnchecked(row);
+  obs::RecordOperator("select", input.num_rows(), out.num_rows());
   return out;
 }
 
@@ -26,6 +30,7 @@ Result<Table> Project(const Table& input,
     for (size_t i : idx) r.push_back(row[i]);
     out.AppendRowUnchecked(std::move(r));
   }
+  obs::RecordOperator("project", input.num_rows(), out.num_rows());
   return out;
 }
 
@@ -34,6 +39,7 @@ Table Distinct(const Table& input) {
   std::unordered_set<Row, RowHash, RowEq> seen;
   for (const Row& row : input.rows())
     if (seen.insert(row).second) out.AppendRowUnchecked(row);
+  obs::RecordOperator("distinct", input.num_rows(), out.num_rows());
   return out;
 }
 

@@ -7,6 +7,8 @@
 #include "statcube/materialize/greedy.h"
 #include "statcube/materialize/lattice.h"
 #include "statcube/materialize/view_store.h"
+#include "statcube/obs/metrics.h"
+#include "statcube/obs/query_profile.h"
 
 namespace statcube {
 namespace {
@@ -230,6 +232,45 @@ TEST(ViewStoreTest, ValidatesMasks) {
   ASSERT_TRUE(store.ok());
   EXPECT_FALSE(store->Materialize(99).ok());
   EXPECT_FALSE(store->Query(99).ok());
+}
+
+TEST(ViewStoreTest, ObservabilityCountsHitsMissesAndRefreshRows) {
+  obs::EnabledScope on(true);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.Reset();
+
+  auto store = MaterializedCubeStore::Create(
+      MakeBase(1000, 11), {"product", "location", "day"},
+      {{AggFn::kSum, "sales", "total"}});
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Materialize(0b011).ok());
+
+  obs::ProfileScope scope;
+  ASSERT_TRUE(store->Query(0b011).ok());  // exact view: hit
+  ASSERT_TRUE(store->Query(0b001).ok());  // from {product, location}: miss
+  ASSERT_TRUE(store->Query(0b100).ok());  // not derivable: miss, from base
+  obs::QueryProfile p = scope.Take();
+
+  EXPECT_EQ(reg.GetCounter("statcube.viewstore.hits").Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("statcube.viewstore.misses").Value(), 2u);
+  EXPECT_EQ(p.view_hits, 1u);
+  EXPECT_EQ(p.view_misses, 2u);
+  ASSERT_EQ(p.view_events.size(), 3u);
+  EXPECT_TRUE(p.view_events[0].hit);
+  EXPECT_EQ(p.view_events[1].ancestor_mask, 0b011);
+  EXPECT_EQ(p.view_events[2].ancestor_mask, -1);  // base table
+
+  // Incremental refresh reports re-aggregated rows.
+  std::vector<Row> delta = {{Value("p1"), Value("l1"), Value("d1"),
+                             Value(int64_t(5))}};
+  auto reagg = store->AppendAndRefresh(delta);
+  ASSERT_TRUE(reagg.ok());
+  EXPECT_EQ(reg.GetCounter("statcube.viewstore.reagg_rows").Value(), *reagg);
+
+  // The JSON snapshot carries the counters (acceptance criterion).
+  std::string json = reg.JsonSnapshot();
+  EXPECT_NE(json.find("\"statcube.viewstore.hits\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"statcube.viewstore.misses\":2"), std::string::npos);
 }
 
 }  // namespace

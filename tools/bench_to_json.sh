@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite with --benchmark_format=json so PRs can record
+# BENCH_*.json trajectory files and compare runs over time.
+#
+# Usage: tools/bench_to_json.sh [name-filter]
+#   BUILD_DIR (default: build)      where the bench binaries live
+#   OUT_DIR   (default: bench_json) where BENCH_<name>.json files go
+#   BENCH_ARGS                      extra args for every binary, e.g.
+#                                   BENCH_ARGS=--benchmark_min_time=0.05
+#
+# Example: BENCH_ARGS=--benchmark_min_time=0.05 tools/bench_to_json.sh rolap
+
+set -euo pipefail
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT_DIR=${OUT_DIR:-bench_json}
+FILTER=${1:-}
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+
+ran=0
+for bin in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  if [ -n "$FILTER" ] && [[ "$name" != *"$FILTER"* ]]; then
+    continue
+  fi
+  out="$OUT_DIR/BENCH_${name}.json"
+  echo "running $name -> $out"
+  # shellcheck disable=SC2086
+  "$bin" --benchmark_format=json --benchmark_out="$out" \
+         --benchmark_out_format=json ${BENCH_ARGS:-} > /dev/null
+  ran=$((ran + 1))
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "error: no benchmark matched filter '$FILTER'" >&2
+  exit 1
+fi
+echo "wrote $ran benchmark JSON file(s) to $OUT_DIR/"
