@@ -3,7 +3,7 @@
 // a path to a file written by ExportObject (statcube/io/csv.h) to query your
 // own data. Reads queries from stdin; with no piped input it runs a
 // scripted demo. Commands: \d describes the object, \e exports it, \m dumps
-// the metrics registry, \q quits.
+// the metrics registry, \p dumps the flight recorder as JSON, \q quits.
 //
 // Observability: `--profile` runs every query under a profile scope and
 // prints the span tree, per-operator row counts, and block I/O after each
@@ -12,20 +12,33 @@
 // (single SUM over dimensions) through that physical organization instead of
 // the relational executor — the §6.6 comparison, one flag apart.
 //
-// Run: ./build/examples/olap_cli [--profile] [--engine=E] [object-file]
+// Serving: `--serve=PORT` runs the embedded stats server for the session's
+// lifetime (and implies --profile, so every query is recorded), so
+// `curl localhost:PORT/metrics` (or /profiles, /varz, /healthz)
+// works while you type queries; `--slow-query-us=N` makes any profiled query
+// slower than N microseconds emit one structured slow-query log line to
+// stderr. Profiled queries land in the flight recorder either way (`\p`
+// dumps it). For an always-on serving demo see examples/stats_server.cpp.
+//
+// Run: ./build/examples/olap_cli [--profile] [--engine=E] [--serve=PORT]
+//          [--slow-query-us=N] [object-file]
 //      echo "EXPLAIN PROFILE SELECT sum(amount) BY city" | ./build/examples/olap_cli
 //
 // Parser/executor errors go to stderr and make the exit code nonzero, so
 // profile output on stdout stays machine-separable from failures.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "statcube/io/csv.h"
+#include "statcube/obs/flight_recorder.h"
+#include "statcube/obs/http_server.h"
 #include "statcube/obs/metrics.h"
 #include "statcube/query/parser.h"
 #include "statcube/workload/retail.h"
@@ -37,6 +50,8 @@ namespace {
 struct CliOptions {
   bool profile = false;
   QueryEngine engine = QueryEngine::kRelational;
+  int serve_port = -1;          // --serve=PORT; -1 = no server
+  long slow_query_us = -1;      // --slow-query-us=N; -1 = leave default
   std::string object_file;
 };
 
@@ -84,9 +99,22 @@ int main(int argc, char** argv) {
         return 1;
       }
       cli.engine = *engine;
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      cli.serve_port = atoi(arg.c_str() + strlen("--serve="));
+      if (cli.serve_port < 0 || cli.serve_port > 65535) {
+        fprintf(stderr, "bad --serve port %s\n", arg.c_str());
+        return 1;
+      }
+    } else if (arg.rfind("--slow-query-us=", 0) == 0) {
+      cli.slow_query_us = atol(arg.c_str() + strlen("--slow-query-us="));
+      if (cli.slow_query_us < 0) {
+        fprintf(stderr, "bad --slow-query-us value %s\n", arg.c_str());
+        return 1;
+      }
     } else if (arg == "--help" || arg == "-h") {
       printf("usage: olap_cli [--profile] [--engine=relational|molap|rolap|"
-             "rolap+bitmap] [object-file]\n");
+             "rolap+bitmap] [--serve=PORT] [--slow-query-us=N] "
+             "[object-file]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       fprintf(stderr, "unknown flag %s\n", arg.c_str());
@@ -126,8 +154,29 @@ int main(int argc, char** argv) {
     obj = std::move(data->object);
   }
   if (cli.profile) obs::SetEnabled(true);
+  if (cli.slow_query_us >= 0)
+    obs::FlightRecorder::Global().SetSlowQueryThresholdUs(
+        uint64_t(cli.slow_query_us));
 
-  printf("%s\n", obj.DescribeStructure().c_str());
+  std::optional<obs::StatsServer> server;
+  if (cli.serve_port >= 0) {
+    // A stats server without stats is useless: enable instrumentation and
+    // profile every query, or /profiles stays empty and --slow-query-us
+    // can never fire.
+    obs::SetEnabled(true);
+    cli.profile = true;
+    obs::StatsServerOptions sopt;
+    sopt.port = uint16_t(cli.serve_port);
+    server.emplace(sopt);
+    auto started = server->Start();
+    if (!started.ok()) {
+      fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    printf("stats server on http://localhost:%u  "
+           "(/metrics /varz /profiles /healthz)\n\n",
+           unsigned(server->port()));
+  }
   printf("Query language: [EXPLAIN PROFILE] SELECT fn(measure)[, ...]"
          " [BY dims | BY CUBE(dims)] [WHERE attr = literal [AND ...]]\n"
          "Hierarchy levels (category, price_range, city, month, year) roll"
@@ -150,6 +199,10 @@ int main(int argc, char** argv) {
       }
       if (line == "\\m") {
         printf("%s", obs::MetricsRegistry::Global().TextSnapshot().c_str());
+        continue;
+      }
+      if (line == "\\p") {
+        printf("%s\n", obs::FlightRecorder::Global().ToJson().c_str());
         continue;
       }
       if (line.empty()) continue;

@@ -1,0 +1,37 @@
+// Prometheus text-exposition (format version 0.0.4) rendering of the
+// MetricsRegistry, for the embedded stats server's GET /metrics endpoint
+// (http_server.h). Gray et al.'s CUBE paper and the source paper's §6.6 both
+// argue aggregate-query cost is workload-dependent; continuously scraping
+// per-backend counters and latency histograms is how that argument becomes
+// operable against a running server.
+//
+// Mapping from registry names to Prometheus names: every character outside
+// [a-zA-Z0-9_:] becomes '_', so `statcube.query.latency_us` exports as
+// `statcube_query_latency_us`. Histograms render the standard triplet
+// (`*_bucket{le="..."}` with CUMULATIVE counts and a final le="+Inf",
+// `*_sum`, `*_count`) plus derived `*_p50` / `*_p95` / `*_p99` gauges from
+// Histogram::Percentile so dashboards get quantiles without PromQL.
+
+#ifndef STATCUBE_OBS_EXPORTER_H_
+#define STATCUBE_OBS_EXPORTER_H_
+
+#include <string>
+
+#include "statcube/obs/metrics.h"
+
+namespace statcube::obs {
+
+/// Sanitizes a registry metric name into a valid Prometheus metric name.
+std::string PrometheusName(const std::string& name);
+
+/// Renders the registry in Prometheus text exposition format v0.0.4:
+/// `# TYPE` comment per metric, counters/gauges as single samples,
+/// histograms as cumulative buckets + sum + count + percentile gauges.
+std::string PrometheusSnapshot(const MetricsRegistry& registry);
+
+/// PrometheusSnapshot(MetricsRegistry::Global()).
+std::string PrometheusSnapshot();
+
+}  // namespace statcube::obs
+
+#endif  // STATCUBE_OBS_EXPORTER_H_

@@ -1,0 +1,119 @@
+#include "statcube/obs/flight_recorder.h"
+
+#include <sstream>
+
+#include "statcube/obs/json.h"
+#include "statcube/obs/log.h"
+
+namespace statcube::obs {
+
+std::string RecordedProfile::ToJson() const {
+  std::ostringstream os;
+  os << "{\"id\":" << id << ",\"query\":" << JsonStr(query)
+     << ",\"latency_us\":" << latency_us
+     << ",\"slow\":" << (slow ? "true" : "false")
+     << ",\"profile\":" << profile.ToJson() << "}";
+  return os.str();
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+uint64_t FlightRecorder::Record(const QueryProfile& profile,
+                                const std::string& query) {
+  RecordedProfile rec;
+  rec.query = query;
+  rec.latency_us = profile.trace.TotalDurationNs() / 1000;
+  rec.profile = profile;
+
+  uint64_t threshold;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rec.id = next_id_++;
+    threshold = slow_threshold_us_;
+    rec.slow = threshold > 0 && rec.latency_us >= threshold;
+    ring_.push_back(rec);  // copy stays for the log event below
+    if (ring_.size() > capacity_) ring_.pop_front();
+  }
+
+  if (Enabled())
+    MetricsRegistry::Global().GetCounter("statcube.recorder.recorded").Add(1);
+  if (rec.slow) {
+    if (Enabled())
+      MetricsRegistry::Global().GetCounter("statcube.recorder.slow").Add(1);
+    LogEvent(LogLevel::kWarn, "slow_query")
+        .Int("profile_id", int64_t(rec.id))
+        .Int("latency_us", int64_t(rec.latency_us))
+        .Int("threshold_us", int64_t(threshold))
+        .Str("backend", rec.profile.backend.empty() ? "relational"
+                                                    : rec.profile.backend)
+        .Int("result_rows", int64_t(rec.profile.result_rows))
+        .Int("blocks_read", int64_t(rec.profile.blocks.blocks_read()))
+        .Str("query", rec.query)
+        .Emit();
+  }
+  return rec.id;
+}
+
+std::vector<RecordedProfile> FlightRecorder::Snapshot(size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = ring_.size();
+  size_t take = (limit == 0 || limit > n) ? n : limit;
+  return std::vector<RecordedProfile>(ring_.end() - ptrdiff_t(take),
+                                      ring_.end());
+}
+
+std::optional<RecordedProfile> FlightRecorder::Get(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const RecordedProfile& rec : ring_)
+    if (rec.id == id) return rec;
+  return std::nullopt;
+}
+
+std::string FlightRecorder::ToJson(size_t limit) const {
+  std::vector<RecordedProfile> entries = Snapshot(limit);
+  uint64_t total, threshold;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total = next_id_ - 1;
+    threshold = slow_threshold_us_;
+  }
+  std::ostringstream os;
+  os << "{\"capacity\":" << capacity_ << ",\"recorded\":" << total
+     << ",\"slow_query_threshold_us\":" << threshold << ",\"profiles\":[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i) os << ",";
+    os << entries[i].ToJson();
+  }
+  os << "]}";
+  return os.str();
+}
+
+uint64_t FlightRecorder::SetSlowQueryThresholdUs(uint64_t us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t prev = slow_threshold_us_;
+  slow_threshold_us_ = us;
+  return prev;
+}
+
+uint64_t FlightRecorder::SlowQueryThresholdUs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_threshold_us_;
+}
+
+uint64_t FlightRecorder::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+}  // namespace statcube::obs

@@ -1,0 +1,91 @@
+// Flight recorder: a fixed-capacity ring buffer retaining the last N
+// completed QueryProfiles, so "what did the slow queries look like?" is
+// answerable after the fact — from the REPL, from GET /profiles on the
+// stats server, or from a debugger — without having had profiling output
+// enabled ahead of time.
+//
+// Every profile recorded gets a process-monotonic id; ids never repeat, so
+// a scraper polling /profiles can detect both new entries and how many it
+// missed. Recording a profile whose total latency meets the slow-query
+// threshold additionally promotes it to the structured log (log.h) as one
+// "slow_query" event — exactly one line per offending query, subject to the
+// log's token-bucket rate limit.
+//
+// Concurrency: one mutex guards the ring. Record() copies the profile in;
+// Snapshot()/Get() copy profiles out. Profiles are a few KB; this is far
+// off the query hot path (one Record per *profiled* query, after the
+// result is rendered).
+
+#ifndef STATCUBE_OBS_FLIGHT_RECORDER_H_
+#define STATCUBE_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "statcube/obs/query_profile.h"
+
+namespace statcube::obs {
+
+/// One retained profile with its identity and summary fields.
+struct RecordedProfile {
+  uint64_t id = 0;          ///< process-monotonic, starts at 1
+  std::string query;        ///< query text, may be empty
+  uint64_t latency_us = 0;  ///< root-span total from the trace
+  bool slow = false;        ///< met the threshold at record time
+  QueryProfile profile;
+
+  /// JSON object: id, query, latency_us, slow, and the full profile.
+  std::string ToJson() const;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 128;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+  /// The process-wide recorder fed by QueryProfiled.
+  static FlightRecorder& Global();
+
+  /// Retains a copy of `profile` (evicting the oldest entry at capacity)
+  /// and returns its id. Queries at or above the slow threshold emit one
+  /// "slow_query" log event.
+  uint64_t Record(const QueryProfile& profile, const std::string& query = "");
+
+  /// Last `limit` entries, oldest first (0 = all retained).
+  std::vector<RecordedProfile> Snapshot(size_t limit = 0) const;
+
+  /// The entry with the given id, if still retained.
+  std::optional<RecordedProfile> Get(uint64_t id) const;
+
+  /// JSON: {"capacity":N,"recorded":total,"slow_query_threshold_us":T,
+  /// "profiles":[...]} with entries oldest first.
+  std::string ToJson(size_t limit = 0) const;
+
+  /// Queries with latency >= `us` are flagged slow and logged; 0 disables
+  /// (the default). Returns the previous threshold.
+  uint64_t SetSlowQueryThresholdUs(uint64_t us);
+  uint64_t SlowQueryThresholdUs() const;
+
+  size_t capacity() const { return capacity_; }
+  /// Total profiles ever recorded (>= retained count).
+  uint64_t TotalRecorded() const;
+
+  /// Drops all retained entries (ids keep advancing).
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<RecordedProfile> ring_;
+  uint64_t next_id_ = 1;
+  uint64_t slow_threshold_us_ = 0;
+};
+
+}  // namespace statcube::obs
+
+#endif  // STATCUBE_OBS_FLIGHT_RECORDER_H_

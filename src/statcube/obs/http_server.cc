@@ -1,0 +1,387 @@
+#include "statcube/obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "statcube/obs/exporter.h"
+#include "statcube/obs/flight_recorder.h"
+#include "statcube/obs/json.h"
+#include "statcube/obs/log.h"
+#include "statcube/obs/metrics.h"
+
+namespace statcube::obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+
+const char* StatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+void SetSocketTimeouts(int fd, int read_ms, int write_ms) {
+  timeval rtv{read_ms / 1000, (read_ms % 1000) * 1000};
+  timeval wtv{write_ms / 1000, (write_ms % 1000) * 1000};
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rtv, sizeof(rtv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &wtv, sizeof(wtv));
+}
+
+// Writes the whole buffer; returns false on error/timeout. MSG_NOSIGNAL so
+// a client that hung up yields EPIPE instead of killing the process.
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += size_t(n);
+  }
+  return true;
+}
+
+void WriteResponse(int fd, const HttpResponse& resp, bool head_only) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << resp.status << " " << StatusText(resp.status)
+     << "\r\nContent-Type: " << resp.content_type
+     << "\r\nContent-Length: " << resp.body.size()
+     << "\r\nConnection: close\r\n\r\n";
+  std::string out = os.str();
+  if (!head_only) out += resp.body;
+  WriteAll(fd, out);
+}
+
+HttpResponse SimpleResponse(int status, const std::string& body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = body;
+  return resp;
+}
+
+}  // namespace
+
+StatsServer::StatsServer(StatsServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.max_queued < 1) options_.max_queued = 1;
+  if (!options_.register_default_endpoints) return;
+
+  Handle("/healthz", [](const HttpRequest&) {
+    return SimpleResponse(200, "ok\n");
+  });
+  Handle("/metrics", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = PrometheusSnapshot();
+    return resp;
+  });
+  Handle("/varz", [this](const HttpRequest&) {
+    double uptime = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start_time_)
+                        .count();
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    std::ostringstream os;
+    os << "{\"uptime_s\":" << JsonNum(uptime)
+       << ",\"requests_served\":" << requests_served_.load()
+       << ",\"log_dropped\":" << LogDroppedCount()
+       << ",\"profiles_recorded\":" << FlightRecorder::Global().TotalRecorded()
+       << ",\"metrics\":" << MetricsRegistry::Global().JsonSnapshot() << "}";
+    resp.body = os.str();
+    return resp;
+  });
+  Handle("/profiles", [](const HttpRequest& req) {
+    size_t limit = 0;  // 0 = everything retained
+    if (req.query.rfind("limit=", 0) == 0)
+      limit = size_t(strtoul(req.query.c_str() + 6, nullptr, 10));
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = FlightRecorder::Global().ToJson(limit);
+    return resp;
+  });
+  Handle("/profiles/", [](const HttpRequest& req) {
+    const std::string id_str = req.path.substr(strlen("/profiles/"));
+    char* end = nullptr;
+    uint64_t id = strtoull(id_str.c_str(), &end, 10);
+    if (id_str.empty() || end == nullptr || *end != '\0')
+      return SimpleResponse(400, "bad profile id\n");
+    auto rec = FlightRecorder::Global().Get(id);
+    if (!rec) return SimpleResponse(404, "profile not retained\n");
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = rec->ToJson();
+    return resp;
+  }, /*prefix=*/true);
+}
+
+StatsServer::~StatsServer() { Stop(); }
+
+void StatsServer::Handle(const std::string& path, HttpHandler handler,
+                         bool prefix) {
+  (prefix ? prefix_ : exact_).emplace_back(path, std::move(handler));
+}
+
+Status StatsServer::Start() {
+  if (running_.load()) return Status::Internal("stats server already running");
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    return Status::Internal(std::string("socket: ") + strerror(errno));
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(options_.port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::Internal(std::string("bind port ") +
+                                std::to_string(options_.port) + ": " +
+                                strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (listen(listen_fd_, 64) < 0) {
+    Status s = Status::Internal(std::string("listen: ") + strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_.store(ntohs(addr.sin_port));
+
+  if (pipe(wake_pipe_) < 0) {
+    Status s = Status::Internal(std::string("pipe: ") + strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+
+  start_time_ = std::chrono::steady_clock::now();
+  requests_served_.store(0);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    shutting_down_ = false;
+  }
+  running_.store(true);
+  for (int i = 0; i < options_.num_workers; ++i)
+    workers_.emplace_back(&StatsServer::WorkerLoop, this);
+  acceptor_ = std::thread(&StatsServer::AcceptLoop, this);
+
+  LogEvent(LogLevel::kInfo, "stats_server_started")
+      .Int("port", port_.load())
+      .Int("workers", options_.num_workers)
+      .Emit();
+  return Status::OK();
+}
+
+void StatsServer::Stop() {
+  if (!running_.exchange(false)) return;
+
+  // Wake the acceptor out of poll() via the self-pipe; it then stops
+  // accepting and exits. shutdown() unblocks any in-flight accept too.
+  char byte = 'x';
+  ssize_t ignored = write(wake_pipe_[1], &byte, 1);
+  (void)ignored;
+  shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  close(wake_pipe_[0]);
+  close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+
+  // Tell workers to drain: anything still queued is answered 503.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    shutting_down_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+
+  std::deque<int> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    leftovers.swap(pending_);
+  }
+  for (int fd : leftovers) {
+    WriteResponse(fd, SimpleResponse(503, "shutting down\n"), false);
+    close(fd);
+  }
+
+  LogEvent(LogLevel::kInfo, "stats_server_stopped")
+      .Int("requests_served", int64_t(requests_served_.load()))
+      .Emit();
+}
+
+void StatsServer::AcceptLoop() {
+  while (running_.load()) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    int rc = poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // Stop() wrote the self-pipe
+    if ((fds[0].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listen socket shut down
+    }
+    bool queued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (int(pending_.size()) < options_.max_queued) {
+        pending_.push_back(fd);
+        queued = true;
+      }
+    }
+    if (queued) {
+      queue_cv_.notify_one();
+    } else {
+      // Bounded queue full: shed load instead of buffering unboundedly.
+      WriteResponse(fd, SimpleResponse(503, "overloaded\n"), false);
+      close(fd);
+      if (Enabled())
+        MetricsRegistry::Global().GetCounter("statcube.http.shed").Add(1);
+    }
+  }
+}
+
+void StatsServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return shutting_down_ || !pending_.empty(); });
+      if (!pending_.empty()) {
+        fd = pending_.front();
+        pending_.pop_front();
+      } else if (shutting_down_) {
+        return;
+      }
+    }
+    if (fd >= 0) ServeConnection(fd);
+  }
+}
+
+void StatsServer::ServeConnection(int fd) {
+  SetSocketTimeouts(fd, options_.read_timeout_ms, options_.write_timeout_ms);
+
+  // Read until the end of headers (we serve GET/HEAD only — no bodies).
+  std::string raw;
+  char buf[2048];
+  bool complete = false, timed_out = false;
+  while (raw.size() < kMaxRequestBytes) {
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      timed_out = (errno == EAGAIN || errno == EWOULDBLOCK);
+      break;
+    }
+    if (n == 0) break;  // client closed
+    raw.append(buf, size_t(n));
+    if (raw.find("\r\n\r\n") != std::string::npos ||
+        raw.find("\n\n") != std::string::npos) {
+      complete = true;
+      break;
+    }
+  }
+  if (!complete) {
+    if (timed_out) WriteResponse(fd, SimpleResponse(408, "timeout\n"), false);
+    else if (!raw.empty())
+      WriteResponse(fd, SimpleResponse(400, "truncated request\n"), false);
+    close(fd);
+    return;
+  }
+
+  // Request line: METHOD SP target SP version.
+  size_t eol = raw.find_first_of("\r\n");
+  std::string line = raw.substr(0, eol);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    WriteResponse(fd, SimpleResponse(400, "malformed request line\n"), false);
+    close(fd);
+    return;
+  }
+  HttpRequest req;
+  req.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  size_t qmark = target.find('?');
+  req.path = target.substr(0, qmark);
+  if (qmark != std::string::npos) req.query = target.substr(qmark + 1);
+
+  HttpResponse resp;
+  bool head_only = req.method == "HEAD";
+  if (req.method != "GET" && req.method != "HEAD") {
+    resp = SimpleResponse(405, "only GET and HEAD are served\n");
+  } else {
+    // Exact match beats prefix; among prefixes the longest wins.
+    const HttpHandler* handler = nullptr;
+    for (const auto& [path, h] : exact_)
+      if (path == req.path) handler = &h;
+    if (handler == nullptr) {
+      size_t best = 0;
+      for (const auto& [prefix, h] : prefix_)
+        if (req.path.rfind(prefix, 0) == 0 && prefix.size() >= best) {
+          handler = &h;
+          best = prefix.size();
+        }
+    }
+    if (handler == nullptr) {
+      resp = SimpleResponse(404, "no such endpoint\n");
+    } else {
+      try {
+        resp = (*handler)(req);
+      } catch (const std::exception& e) {
+        resp = SimpleResponse(500, std::string("handler error: ") + e.what() +
+                                       "\n");
+      } catch (...) {
+        resp = SimpleResponse(500, "handler error\n");
+      }
+    }
+  }
+
+  WriteResponse(fd, resp, head_only);
+  close(fd);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  if (Enabled()) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    reg.GetCounter("statcube.http.requests").Add(1);
+    if (resp.status >= 400)
+      reg.GetCounter("statcube.http.errors").Add(1);
+  }
+}
+
+}  // namespace statcube::obs

@@ -1,0 +1,120 @@
+// Embedded HTTP/1.1 stats server over raw POSIX sockets — no third-party
+// dependency, because the only job is serving small text/JSON snapshots to
+// scrapers and humans with curl. Architecture: one acceptor thread blocks
+// in poll() on the listen socket plus a self-pipe; accepted connections go
+// into a bounded queue drained by a small fixed pool of worker threads
+// (serving a snapshot is cheap; the pool exists so one stalled client
+// cannot block the scraper). Stop() writes the self-pipe, closes the listen
+// socket, and joins every thread — safe to call from any thread, idempotent.
+//
+// Built-in endpoints (all GET; HEAD answers headers-only):
+//   /metrics         Prometheus text exposition v0.0.4 (obs/exporter.h)
+//   /healthz         "ok\n", 200 — liveness for load balancers
+//   /varz            JSON: uptime, request counts, MetricsRegistry snapshot
+//   /profiles        flight-recorder ring as JSON, oldest first
+//   /profiles/<id>   one retained profile by id (404 once evicted)
+//
+// Additional handlers can be registered before Start(). Connections are
+// serviced one request each (Connection: close); a client that does not
+// deliver a full request within the read timeout is dropped with 408.
+
+#ifndef STATCUBE_OBS_HTTP_SERVER_H_
+#define STATCUBE_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "statcube/common/status.h"
+
+namespace statcube::obs {
+
+/// A parsed request as seen by handlers.
+struct HttpRequest {
+  std::string method;  ///< "GET", "HEAD", ...
+  std::string path;    ///< decoded path, no query string
+  std::string query;   ///< raw query string after '?', may be empty
+};
+
+/// What a handler sends back. Default: 200 text/plain empty body.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct StatsServerOptions {
+  uint16_t port = 0;        ///< 0 = kernel-assigned (see StatsServer::port())
+  int num_workers = 4;      ///< connection-handling threads
+  int max_queued = 64;      ///< accepted-but-unserviced connection cap;
+                            ///< beyond it, new connections are closed
+  int read_timeout_ms = 5000;   ///< full request must arrive within this
+  int write_timeout_ms = 5000;  ///< response write timeout
+  bool register_default_endpoints = true;  ///< the endpoint table above
+};
+
+class StatsServer {
+ public:
+  explicit StatsServer(StatsServerOptions options = {});
+  ~StatsServer();  // calls Stop()
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Exact-path handler ("/metrics") or, with `prefix = true`, a subtree
+  /// handler ("/profiles/" receives every path below it). Must be called
+  /// before Start(). Longest match wins; exact beats prefix.
+  void Handle(const std::string& path, HttpHandler handler,
+              bool prefix = false);
+
+  /// Binds 0.0.0.0:<port>, spawns the acceptor and workers. Fails if the
+  /// port is taken or the server already runs.
+  Status Start();
+
+  /// Shuts down: stops accepting, drains queued connections with 503,
+  /// joins all threads. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+  /// The bound port (useful with options.port = 0). 0 before Start().
+  uint16_t port() const { return port_.load(); }
+  /// Requests fully served since Start().
+  uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  StatsServerOptions options_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint16_t> port_{0};
+  std::atomic<uint64_t> requests_served_{0};
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop() wakes the acceptor
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+  bool shutting_down_ = false;
+
+  std::vector<std::pair<std::string, HttpHandler>> exact_;
+  std::vector<std::pair<std::string, HttpHandler>> prefix_;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace statcube::obs
+
+#endif  // STATCUBE_OBS_HTTP_SERVER_H_

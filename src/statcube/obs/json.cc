@@ -1,0 +1,44 @@
+#include "statcube/obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace statcube::obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonStr(const std::string& s) {
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+std::string JsonNum(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace statcube::obs

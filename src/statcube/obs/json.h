@@ -1,0 +1,29 @@
+// Shared JSON string escaping for every obs serializer. metrics.cc's
+// JsonSnapshot, trace.cc's Chrome export, flight_recorder.cc, and log.cc all
+// emit JSON containing caller-controlled strings (metric names, span names,
+// log fields, query text); one escaper here keeps them all producing valid
+// JSON for quotes, backslashes, and control characters instead of three
+// drifting copies.
+
+#ifndef STATCUBE_OBS_JSON_H_
+#define STATCUBE_OBS_JSON_H_
+
+#include <string>
+
+namespace statcube::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal: `"` and `\` are
+/// backslash-escaped, `\n`/`\t`/`\r`/`\b`/`\f` use their short forms, and
+/// any other byte < 0x20 becomes `\u00XX`. Does not add surrounding quotes.
+std::string JsonEscape(const std::string& s);
+
+/// `JsonEscape` with surrounding double quotes — a complete JSON string.
+std::string JsonStr(const std::string& s);
+
+/// Formats a double as a JSON number without trailing zeros ("12", "12.5",
+/// "0.001"); non-finite values (which JSON cannot represent) become 0.
+std::string JsonNum(double v);
+
+}  // namespace statcube::obs
+
+#endif  // STATCUBE_OBS_JSON_H_

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "statcube/obs/json.h"
+
 namespace statcube::obs {
 
 namespace internal {
@@ -32,6 +34,28 @@ void Histogram::Observe(double v) {
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed))
     ;
+}
+
+double Histogram::Percentile(double q) const {
+  uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based); walk cumulative counts.
+  uint64_t rank = uint64_t(q * double(total));
+  if (rank < 1) rank = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    uint64_t in_bucket = BucketCount(i);
+    if (cum + in_bucket >= rank) {
+      double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      double hi = bounds_[i];
+      if (in_bucket == 0) return hi;
+      return lo + (hi - lo) * double(rank - cum) / double(in_bucket);
+    }
+    cum += in_bucket;
+  }
+  // Overflow bucket: no finite upper bound, clamp to the last finite one.
+  return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
 void Histogram::Reset() {
@@ -86,37 +110,8 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 namespace {
-
 // Formats a double without trailing zeros ("12", "12.5", "0.001").
-std::string Num(double v) {
-  char buf[64];
-  snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
-}
-
-// Minimal JSON string escaping for metric names.
-std::string JsonStr(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
+std::string Num(double v) { return JsonNum(v); }
 }  // namespace
 
 std::string MetricsRegistry::TextSnapshot() const {
@@ -129,10 +124,14 @@ std::string MetricsRegistry::TextSnapshot() const {
   for (const auto& [name, h] : histograms_) {
     os << name << ".count " << h->TotalCount() << "\n";
     os << name << ".sum " << Num(h->Sum()) << "\n";
-    for (size_t i = 0; i < h->bounds().size(); ++i)
-      os << name << ".le_" << Num(h->bounds()[i]) << " " << h->BucketCount(i)
-         << "\n";
-    os << name << ".le_inf " << h->BucketCount(h->bounds().size()) << "\n";
+    // le_ lines are cumulative (Prometheus convention; see metrics.h).
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      cum += h->BucketCount(i);
+      os << name << ".le_" << Num(h->bounds()[i]) << " " << cum << "\n";
+    }
+    cum += h->BucketCount(h->bounds().size());
+    os << name << ".le_inf " << cum << "\n";
   }
   return os.str();
 }
@@ -172,6 +171,20 @@ std::string MetricsRegistry::JsonSnapshot() const {
   }
   os << "}}";
   return os.str();
+}
+
+void MetricsRegistry::Visit(
+    const std::function<void(const std::string&, const Counter&)>& counter_fn,
+    const std::function<void(const std::string&, const Gauge&)>& gauge_fn,
+    const std::function<void(const std::string&, const Histogram&)>&
+        histogram_fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counter_fn)
+    for (const auto& [name, c] : counters_) counter_fn(name, *c);
+  if (gauge_fn)
+    for (const auto& [name, g] : gauges_) gauge_fn(name, *g);
+  if (histogram_fn)
+    for (const auto& [name, h] : histograms_) histogram_fn(name, *h);
 }
 
 void MetricsRegistry::Reset() {

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -90,10 +91,17 @@ class Histogram {
   }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
   const std::vector<double>& bounds() const { return bounds_; }
-  /// Count in bucket `i`; `i == bounds().size()` is the overflow bucket.
+  /// Count in bucket `i` alone (NOT cumulative); `i == bounds().size()` is
+  /// the overflow bucket.
   uint64_t BucketCount(size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+  /// Estimated value at quantile `q` in [0, 1] by linear interpolation
+  /// within the bucket containing the q-th observation (the standard
+  /// Prometheus histogram_quantile estimate). Returns 0 with no
+  /// observations; quantiles landing in the overflow bucket clamp to the
+  /// last finite bound. Feeds the exporter's p50/p95/p99 gauges.
+  double Percentile(double q) const;
   void Reset();
 
  private:
@@ -122,10 +130,31 @@ class MetricsRegistry {
 
   /// One metric per line: `name value` (histograms expand to
   /// `name.count/.sum/.le_<bound>` lines). Sorted by name.
+  ///
+  /// Histogram `le_<bound>` lines are CUMULATIVE: each counts observations
+  /// <= that bound, so `le_inf` always equals `count`. This matches
+  /// Prometheus histogram semantics and the /metrics exporter
+  /// (obs/exporter.h); a scraper can diff any two snapshots line-by-line.
   std::string TextSnapshot() const;
 
   /// JSON object with "counters", "gauges", and "histograms" keys.
+  ///
+  /// Unlike TextSnapshot, histogram buckets here are PER-BUCKET (each
+  /// "count" is that bucket alone, not cumulative) — JSON consumers want
+  /// the raw distribution for plotting; cumulative sums are trivially
+  /// recovered with a running total.
   std::string JsonSnapshot() const;
+
+  /// Calls the given callbacks for every registered metric, in name order
+  /// per kind, while holding the registry mutex (callbacks must not call
+  /// back into the registry). Null callbacks skip that kind. This is how
+  /// external renderers (obs/exporter.h) iterate without the registry
+  /// knowing their format.
+  void Visit(
+      const std::function<void(const std::string&, const Counter&)>& counter_fn,
+      const std::function<void(const std::string&, const Gauge&)>& gauge_fn,
+      const std::function<void(const std::string&, const Histogram&)>&
+          histogram_fn) const;
 
   /// Zeroes every registered metric (the metrics stay registered).
   void Reset();

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "statcube/obs/json.h"
+
 namespace statcube::obs {
 
 namespace internal {
@@ -135,21 +137,22 @@ std::string QueryProfile::ToString() const {
 
 std::string QueryProfile::ToJson() const {
   std::ostringstream os;
-  os << "{\"backend\":\"" << (backend.empty() ? "relational" : backend)
-     << "\",\"spans\":[";
+  os << "{\"backend\":"
+     << JsonStr(backend.empty() ? std::string("relational") : backend)
+     << ",\"spans\":[";
   const auto& spans = trace.spans();
   for (size_t i = 0; i < spans.size(); ++i) {
     if (i) os << ",";
-    os << "{\"name\":\"" << spans[i].name
-       << "\",\"parent\":" << spans[i].parent
+    os << "{\"name\":" << JsonStr(spans[i].name)
+       << ",\"parent\":" << spans[i].parent
        << ",\"start_us\":" << double(spans[i].start_ns) / 1000.0
        << ",\"dur_us\":" << double(spans[i].dur_ns) / 1000.0 << "}";
   }
   os << "],\"operators\":[";
   for (size_t i = 0; i < operators.size(); ++i) {
     if (i) os << ",";
-    os << "{\"op\":\"" << operators[i].op
-       << "\",\"rows_in\":" << operators[i].rows_in
+    os << "{\"op\":" << JsonStr(operators[i].op)
+       << ",\"rows_in\":" << operators[i].rows_in
        << ",\"rows_out\":" << operators[i].rows_out << "}";
   }
   os << "],\"blocks_read\":" << blocks.blocks_read()

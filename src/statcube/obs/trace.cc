@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "statcube/obs/json.h"
+
 namespace statcube::obs {
 
 namespace {
@@ -85,7 +87,7 @@ std::string Trace::ChromeTraceJson() const {
   for (size_t i = 0; i < spans_.size(); ++i) {
     const SpanRecord& s = spans_[i];
     if (i) os << ",";
-    os << "{\"name\":\"" << s.name << "\",\"ph\":\"X\",\"ts\":"
+    os << "{\"name\":" << JsonStr(s.name) << ",\"ph\":\"X\",\"ts\":"
        << double(s.start_ns) / 1000.0 << ",\"dur\":"
        << double(s.dur_ns) / 1000.0 << ",\"pid\":1,\"tid\":1}";
   }

@@ -81,6 +81,10 @@ struct QueryOptions {
   QueryEngine engine = QueryEngine::kRelational;
   /// Rows shown by the render phase of QueryProfiled.
   size_t render_limit = 25;
+  /// Retain the completed profile in obs::FlightRecorder::Global() (and
+  /// emit a slow_query log line past its threshold). Off for callers that
+  /// must not perturb the recorder (A/B benchmarks, recorder tests).
+  bool record = true;
 };
 
 /// A query result with its profile (and the table already rendered, so the
@@ -89,6 +93,8 @@ struct ProfiledQuery {
   Table table;
   std::string rendered;
   obs::QueryProfile profile;
+  /// Flight-recorder id of the retained profile (0 if recording was off).
+  uint64_t profile_id = 0;
 };
 
 /// Parse + execute + render with full observability: enables obs for the

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "statcube/obs/flight_recorder.h"
 #include "statcube/query/parser.h"
 
 namespace statcube {
@@ -128,6 +129,11 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
   pq.profile = scope.Take();
   pq.profile.result_rows = pq.table.num_rows();
   if (pq.profile.backend.empty()) pq.profile.backend = "relational";
+  // Retain the completed profile in the flight recorder so /profiles (and
+  // post-hoc debugging) can see it; queries over the slow threshold emit
+  // one structured slow_query log line from inside Record.
+  if (options.record)
+    pq.profile_id = obs::FlightRecorder::Global().Record(pq.profile, text);
   return pq;
 }
 

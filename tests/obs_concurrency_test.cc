@@ -1,0 +1,220 @@
+// Concurrency hammering for the serving layer, designed to run under TSan
+// (see the thread-sanitize CI job): writer threads pound counters,
+// histograms, the flight recorder, and the structured log while scraper
+// threads loop over /metrics and /profiles through a real socket. Asserts
+// no torn snapshots — counter reads observed by the scraper are monotone
+// run-to-run — and that final totals account for every write.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_checker.h"
+#include "statcube/obs/exporter.h"
+#include "statcube/obs/flight_recorder.h"
+#include "statcube/obs/http_server.h"
+#include "statcube/obs/log.h"
+#include "statcube/obs/metrics.h"
+#include "statcube/obs/query_profile.h"
+
+namespace statcube {
+namespace {
+
+std::string HttpGet(uint16_t port, const std::string& target) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(fd);
+    return "";
+  }
+  std::string req =
+      "GET " + target + " HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < req.size()) {
+    ssize_t n = send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      close(fd);
+      return "";
+    }
+    off += size_t(n);
+  }
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) resp.append(buf, size_t(n));
+  close(fd);
+  return resp;
+}
+
+// Extracts `name value` from a Prometheus body; -1 if absent.
+int64_t MetricValue(const std::string& body, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = body.find(name + " ", pos)) != std::string::npos) {
+    // Must be at line start to avoid matching a name prefix.
+    if (pos != 0 && body[pos - 1] != '\n') {
+      ++pos;
+      continue;
+    }
+    return atoll(body.c_str() + pos + name.size() + 1);
+  }
+  return -1;
+}
+
+TEST(ObsConcurrencyTest, WritersAndScrapersDontTearSnapshots) {
+  constexpr int kWriters = 4;
+  constexpr int kScrapers = 2;
+  constexpr int kIncrementsPerWriter = 20000;
+  constexpr int kProfilesPerWriter = 200;
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.Reset();
+  obs::EnabledScope on(true);
+  obs::FlightRecorder recorder(64);
+  recorder.SetSlowQueryThresholdUs(0);
+
+  // Quiet sink: the log must survive concurrent emission, but stderr spam
+  // helps nobody.
+  auto prev_sink = obs::SetLogSink([](const std::string&) {});
+  obs::SetLogRateLimit(1e6, 1e6);
+
+  obs::StatsServerOptions opt;
+  opt.port = 0;
+  opt.num_workers = 2;
+  obs::StatsServer server(opt);
+  // /recorder serves the local (test-owned) recorder so the scrape hits the
+  // same object the writers pound.
+  server.Handle("/recorder", [&recorder](const obs::HttpRequest&) {
+    obs::HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = recorder.ToJson();
+    return resp;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<int> writers_done{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      obs::Counter& hammered = reg.GetCounter("statcube.test.hammered");
+      obs::Histogram& lat =
+          reg.GetHistogram("statcube.test.conc_lat", {10, 100, 1000});
+      for (int i = 0; i < kIncrementsPerWriter; ++i) {
+        hammered.Add(1);
+        lat.Observe(double(i % 2000));
+        if (i % (kIncrementsPerWriter / kProfilesPerWriter) == 0) {
+          obs::ProfileScope scope;
+          obs::RecordBackend(w % 2 == 0 ? "molap" : "rolap", 1, 4096);
+          recorder.Record(scope.Take(), "hammer query " + std::to_string(w));
+          obs::LogEvent(obs::LogLevel::kInfo, "hammer")
+              .Int("writer", w)
+              .Int("i", i)
+              .Emit();
+        }
+      }
+      writers_done.fetch_add(1);
+    });
+  }
+
+  // Scrapers loop until writers finish; every observed value of the
+  // hammered counter must be monotone (no torn/backwards reads) and every
+  // /recorder body must be valid JSON.
+  std::vector<std::thread> scrapers;
+  std::atomic<bool> failed{false};
+  for (int s = 0; s < kScrapers; ++s) {
+    scrapers.emplace_back([&] {
+      int64_t last_seen = -1;
+      while (!done.load()) {
+        std::string metrics = HttpGet(server.port(), "/metrics");
+        if (!metrics.empty()) {
+          int64_t v = MetricValue(metrics, "statcube_test_hammered");
+          if (v >= 0) {
+            if (v < last_seen) failed.store(true);
+            last_seen = v;
+          }
+        }
+        std::string rec_body = HttpGet(server.port(), "/recorder");
+        size_t body_at = rec_body.find("\r\n\r\n");
+        if (body_at != std::string::npos &&
+            !JsonChecker(rec_body.substr(body_at + 4)).Valid())
+          failed.store(true);
+      }
+    });
+  }
+
+  for (std::thread& t : writers) t.join();
+  done.store(true);
+  for (std::thread& t : scrapers) t.join();
+
+  EXPECT_FALSE(failed.load()) << "torn snapshot observed";
+
+  // Final accounting: nothing lost under contention.
+  EXPECT_EQ(reg.GetCounter("statcube.test.hammered").Value(),
+            uint64_t(kWriters) * kIncrementsPerWriter);
+  obs::Histogram& lat =
+      reg.GetHistogram("statcube.test.conc_lat", {10, 100, 1000});
+  EXPECT_EQ(lat.TotalCount(), uint64_t(kWriters) * kIncrementsPerWriter);
+  uint64_t bucket_sum = 0;
+  for (size_t i = 0; i <= lat.bounds().size(); ++i)
+    bucket_sum += lat.BucketCount(i);
+  EXPECT_EQ(bucket_sum, lat.TotalCount());
+  EXPECT_EQ(recorder.TotalRecorded(),
+            uint64_t(kWriters) * kProfilesPerWriter);
+  // One final scrape after quiescence parses and carries the exact totals.
+  std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_EQ(MetricValue(metrics, "statcube_test_hammered"),
+            int64_t(kWriters) * kIncrementsPerWriter);
+
+  server.Stop();
+  obs::SetLogRateLimit(100, 50);
+  obs::SetLogSink(std::move(prev_sink));
+  reg.Reset();
+}
+
+// Parallel ProfileScopes on different threads stay isolated (thread-local
+// active profile) while feeding one shared recorder.
+TEST(ObsConcurrencyTest, ParallelProfileScopesStayThreadLocal) {
+  obs::EnabledScope on(true);
+  obs::FlightRecorder recorder(256);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<bool> mixed{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::string mine = "backend" + std::to_string(t);
+      for (int i = 0; i < 100; ++i) {
+        obs::ProfileScope scope;
+        obs::RecordBackend(mine, 1, 1);
+        obs::QueryProfile p = scope.Take();
+        if (p.backend != mine) mixed.store(true);
+        recorder.Record(p, mine);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_FALSE(mixed.load()) << "profile leaked across threads";
+  EXPECT_EQ(recorder.TotalRecorded(), uint64_t(kThreads) * 100);
+  // Ids densely cover [1, total] — no duplicates under contention.
+  auto entries = recorder.Snapshot();
+  ASSERT_EQ(entries.size(), 256u);
+  for (size_t i = 1; i < entries.size(); ++i)
+    EXPECT_EQ(entries[i].id, entries[i - 1].id + 1);
+}
+
+}  // namespace
+}  // namespace statcube

@@ -8,6 +8,7 @@
 #include <cctype>
 #include <string>
 
+#include "json_checker.h"
 #include "statcube/obs/metrics.h"
 #include "statcube/obs/query_profile.h"
 #include "statcube/obs/trace.h"
@@ -17,101 +18,6 @@
 
 namespace statcube {
 namespace {
-
-// ------------------------------------------------- minimal JSON validator
-// Recursive-descent syntax check; enough to assert snapshots are real JSON.
-
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& s) : s_(s) {}
-
-  bool Valid() {
-    SkipWs();
-    if (!Value()) return false;
-    SkipWs();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool Value() {
-    if (pos_ >= s_.size()) return false;
-    char c = s_[pos_];
-    if (c == '{') return Object();
-    if (c == '[') return Array();
-    if (c == '"') return String();
-    if (c == 't') return Literal("true");
-    if (c == 'f') return Literal("false");
-    if (c == 'n') return Literal("null");
-    return Number();
-  }
-  bool Object() {
-    ++pos_;  // '{'
-    SkipWs();
-    if (Peek() == '}') { ++pos_; return true; }
-    while (true) {
-      SkipWs();
-      if (!String()) return false;
-      SkipWs();
-      if (Peek() != ':') return false;
-      ++pos_;
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') { ++pos_; continue; }
-      if (Peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool Array() {
-    ++pos_;  // '['
-    SkipWs();
-    if (Peek() == ']') { ++pos_; return true; }
-    while (true) {
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') { ++pos_; continue; }
-      if (Peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool String() {
-    if (Peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') ++pos_;
-      ++pos_;
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-  bool Number() {
-    size_t start = pos_;
-    if (Peek() == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-'))
-      ++pos_;
-    return pos_ > start;
-  }
-  bool Literal(const char* lit) {
-    size_t n = strlen(lit);
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-  void SkipWs() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])))
-      ++pos_;
-  }
-
-  const std::string& s_;
-  size_t pos_ = 0;
-};
 
 // --------------------------------------------------------------- metrics
 
@@ -146,6 +52,51 @@ TEST(MetricsTest, HistogramBucketBoundaries) {
   h.Reset();
   EXPECT_EQ(h.TotalCount(), 0u);
   EXPECT_EQ(h.BucketCount(3), 0u);
+}
+
+TEST(MetricsTest, TextSnapshotHistogramBucketsAreCumulative) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.Reset();
+  obs::Histogram& h = reg.GetHistogram("statcube.test.cumhist", {1, 10, 100});
+  h.Observe(0.5);
+  h.Observe(5);
+  h.Observe(50);
+  h.Observe(500);  // overflow
+  // Per-bucket counts are 1,1,1,1 — the text snapshot must accumulate.
+  std::string text = reg.TextSnapshot();
+  EXPECT_NE(text.find("statcube.test.cumhist.le_1 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("statcube.test.cumhist.le_10 2"), std::string::npos);
+  EXPECT_NE(text.find("statcube.test.cumhist.le_100 3"), std::string::npos);
+  // le_inf equals count — the cumulative invariant.
+  EXPECT_NE(text.find("statcube.test.cumhist.le_inf 4"), std::string::npos);
+  EXPECT_NE(text.find("statcube.test.cumhist.count 4"), std::string::npos);
+  // JsonSnapshot stays per-bucket (documented in metrics.h).
+  std::string json = reg.JsonSnapshot();
+  EXPECT_NE(json.find("{\"le\":1,\"count\":1}"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"le\":10,\"count\":1}"), std::string::npos);
+  reg.Reset();
+}
+
+TEST(MetricsTest, PercentileInterpolatesWithinBuckets) {
+  obs::Histogram h({10, 100, 1000});
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);  // empty
+  for (int i = 0; i < 90; ++i) h.Observe(5);     // bucket (0,10]
+  for (int i = 0; i < 10; ++i) h.Observe(500);   // bucket (100,1000]
+  // p50 falls among the first 90 observations: inside (0, 10].
+  double p50 = h.Percentile(0.50);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 10.0);
+  // p95 falls among the last 10: inside (100, 1000].
+  double p95 = h.Percentile(0.95);
+  EXPECT_GT(p95, 100.0);
+  EXPECT_LE(p95, 1000.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.Percentile(0.5), h.Percentile(0.99));
+  // Overflow observations clamp to the last finite bound.
+  obs::Histogram over({10});
+  over.Observe(1e9);
+  EXPECT_DOUBLE_EQ(over.Percentile(0.99), 10.0);
 }
 
 TEST(MetricsTest, HistogramBoundsAreSorted) {
@@ -220,8 +171,9 @@ TEST(TraceTest, SpanTreeNestingAndOrdering) {
   // All closed; children start no earlier than parents.
   for (const auto& s : spans) {
     EXPECT_FALSE(s.open) << s.name;
-    if (s.parent >= 0)
+    if (s.parent >= 0) {
       EXPECT_GE(s.start_ns, spans[size_t(s.parent)].start_ns);
+    }
   }
   // Renderings mention every span.
   std::string tree = scope.trace().TreeString();
