@@ -12,6 +12,13 @@
 // (single SUM over dimensions) through that physical organization instead of
 // the relational executor — the §6.6 comparison, one flag apart.
 //
+// Parallelism: `--threads=N` executes queries on N workers through the
+// morsel-parallel kernels (statcube/exec); results are bit-identical to
+// serial execution at any thread count. The default comes from the
+// STATCUBE_THREADS environment variable, falling back to the hardware
+// concurrency; `--threads=1` forces the serial operators. The worker pool is
+// built at startup, so /varz shows statcube.exec.pool_size immediately.
+//
 // Serving: `--serve=PORT` runs the embedded stats server for the session's
 // lifetime (and implies --profile, so every query is recorded), so
 // `curl localhost:PORT/metrics` (or /profiles, /varz, /healthz)
@@ -20,8 +27,8 @@
 // stderr. Profiled queries land in the flight recorder either way (`\p`
 // dumps it). For an always-on serving demo see examples/stats_server.cpp.
 //
-// Run: ./build/examples/olap_cli [--profile] [--engine=E] [--serve=PORT]
-//          [--slow-query-us=N] [object-file]
+// Run: ./build/examples/olap_cli [--profile] [--engine=E] [--threads=N]
+//          [--serve=PORT] [--slow-query-us=N] [object-file]
 //      echo "EXPLAIN PROFILE SELECT sum(amount) BY city" | ./build/examples/olap_cli
 //
 // Parser/executor errors go to stderr and make the exit code nonzero, so
@@ -36,6 +43,7 @@
 #include <sstream>
 #include <string>
 
+#include "statcube/exec/task_scheduler.h"
 #include "statcube/io/csv.h"
 #include "statcube/obs/flight_recorder.h"
 #include "statcube/obs/http_server.h"
@@ -50,6 +58,7 @@ namespace {
 struct CliOptions {
   bool profile = false;
   QueryEngine engine = QueryEngine::kRelational;
+  int threads = exec::DefaultThreads();  // --threads=N / STATCUBE_THREADS
   int serve_port = -1;          // --serve=PORT; -1 = no server
   long slow_query_us = -1;      // --slow-query-us=N; -1 = leave default
   std::string object_file;
@@ -66,6 +75,7 @@ bool Execute(const StatisticalObject& obj, const std::string& text,
   if (cli.profile || parsed->explain_profile) {
     QueryOptions opt;
     opt.engine = cli.engine;
+    opt.threads = cli.threads;
     auto result = QueryProfiled(obj, text, opt);
     if (!result.ok()) {
       fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
@@ -75,7 +85,9 @@ bool Execute(const StatisticalObject& obj, const std::string& text,
            result->profile.ToString().c_str());
     return true;
   }
-  auto result = ExecuteQuery(obj, *parsed);
+  auto result = cli.threads != 1
+                    ? ExecuteQueryParallel(obj, *parsed, cli.threads)
+                    : ExecuteQuery(obj, *parsed);
   if (!result.ok()) {
     fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return false;
@@ -99,6 +111,13 @@ int main(int argc, char** argv) {
         return 1;
       }
       cli.engine = *engine;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      cli.threads = atoi(arg.c_str() + strlen("--threads="));
+      if (cli.threads < 1 || cli.threads > exec::kMaxThreads) {
+        fprintf(stderr, "bad --threads value %s (1..%d)\n", arg.c_str(),
+                exec::kMaxThreads);
+        return 1;
+      }
     } else if (arg.rfind("--serve=", 0) == 0) {
       cli.serve_port = atoi(arg.c_str() + strlen("--serve="));
       if (cli.serve_port < 0 || cli.serve_port > 65535) {
@@ -113,8 +132,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--help" || arg == "-h") {
       printf("usage: olap_cli [--profile] [--engine=relational|molap|rolap|"
-             "rolap+bitmap] [--serve=PORT] [--slow-query-us=N] "
-             "[object-file]\n");
+             "rolap+bitmap] [--threads=N] [--serve=PORT] [--slow-query-us=N] "
+             "[object-file]\n"
+             "  --threads=N   execute on N workers (default: "
+             "STATCUBE_THREADS or hardware concurrency; 1 = serial)\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       fprintf(stderr, "unknown flag %s\n", arg.c_str());
@@ -153,6 +174,10 @@ int main(int argc, char** argv) {
     }
     obj = std::move(data->object);
   }
+  // Build the worker pool up front: query latency stays flat from the first
+  // query, and the pool-size gauge is in /varz before any query runs.
+  if (cli.threads > 1) exec::TaskScheduler::Global().EnsureThreads(cli.threads);
+
   if (cli.profile) obs::SetEnabled(true);
   if (cli.slow_query_us >= 0)
     obs::FlightRecorder::Global().SetSlowQueryThresholdUs(

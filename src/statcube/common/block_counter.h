@@ -5,10 +5,17 @@
 // configurable block size; benchmarks report blocks touched alongside wall
 // time. This is the substitution documented in DESIGN.md for the paper's
 // secondary/tertiary storage.
+//
+// Counters are relaxed atomics so parallel operator kernels (statcube/exec)
+// can charge one shared per-store counter from many workers; totals are
+// sums of the same charges in any interleaving, so parallel and serial
+// execution account identically. Copying snapshots the current totals
+// (QueryProfile embeds and copies counters).
 
 #ifndef STATCUBE_COMMON_BLOCK_COUNTER_H_
 #define STATCUBE_COMMON_BLOCK_COUNTER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -23,47 +30,63 @@ class BlockCounter {
   explicit BlockCounter(size_t block_size = kDefaultBlockSize)
       : block_size_(block_size) {}
 
+  BlockCounter(const BlockCounter& other)
+      : block_size_(other.block_size_),
+        blocks_read_(other.blocks_read()),
+        bytes_read_(other.bytes_read()) {}
+
+  BlockCounter& operator=(const BlockCounter& other) {
+    block_size_ = other.block_size_;
+    blocks_read_.store(other.blocks_read(), std::memory_order_relaxed);
+    bytes_read_.store(other.bytes_read(), std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Charges ceil(bytes / block_size) block reads for a sequential range.
   /// A zero-byte range charges nothing.
   void ChargeBytes(size_t bytes) {
     if (bytes == 0) return;
-    blocks_read_ += (bytes + block_size_ - 1) / block_size_;
-    bytes_read_ += bytes;
+    blocks_read_.fetch_add((bytes + block_size_ - 1) / block_size_,
+                           std::memory_order_relaxed);
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
   }
 
   /// Charges `n` individual block touches (random access pattern).
   void ChargeBlocks(uint64_t n) {
-    blocks_read_ += n;
-    bytes_read_ += n * block_size_;
+    blocks_read_.fetch_add(n, std::memory_order_relaxed);
+    bytes_read_.fetch_add(n * block_size_, std::memory_order_relaxed);
   }
 
   /// Folds another counter's totals into this one — combines per-store
   /// counters into a query-level total (obs::QueryProfile). Block sizes may
   /// differ; raw blocks and bytes are summed as-is.
   void Merge(const BlockCounter& other) {
-    blocks_read_ += other.blocks_read_;
-    bytes_read_ += other.bytes_read_;
+    MergeRaw(other.blocks_read(), other.bytes_read());
   }
 
   /// Merge from raw deltas (for callers that snapshot before/after).
   void MergeRaw(uint64_t blocks, uint64_t bytes) {
-    blocks_read_ += blocks;
-    bytes_read_ += bytes;
+    blocks_read_.fetch_add(blocks, std::memory_order_relaxed);
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
   }
 
   void Reset() {
-    blocks_read_ = 0;
-    bytes_read_ = 0;
+    blocks_read_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
   }
 
-  uint64_t blocks_read() const { return blocks_read_; }
-  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t blocks_read() const {
+    return blocks_read_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
   size_t block_size() const { return block_size_; }
 
  private:
   size_t block_size_;
-  uint64_t blocks_read_ = 0;
-  uint64_t bytes_read_ = 0;
+  std::atomic<uint64_t> blocks_read_{0};
+  std::atomic<uint64_t> bytes_read_{0};
 };
 
 }  // namespace statcube

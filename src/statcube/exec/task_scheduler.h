@@ -1,0 +1,213 @@
+// Morsel-driven parallel execution: a dependency-free task scheduler in the
+// style of [LBKN14]'s morsel-driven parallelism (see PAPERS.md). The paper's
+// §6.6 ROLAP-vs-MOLAP debate and [GB+96]'s CUBE cost model are throughput
+// arguments; this module is what lets the engine use more than one core to
+// make them measurable.
+//
+// Architecture:
+//  * A fixed pool of worker threads (`TaskScheduler`), each owning a deque.
+//    Workers pop their own deque LIFO (cache-warm) and steal FIFO from other
+//    workers when idle (the classic work-stealing discipline).
+//  * `TaskGroup` — a fork/join scope: `Run` submits tasks, `Wait` blocks
+//    until all complete while *helping* (the waiting thread executes queued
+//    tasks instead of idling), which is what makes nested parallelism and a
+//    1-thread pool deadlock-free.
+//  * `ParallelFor` — the morsel loop: [0, n) is cut into fixed-size morsels
+//    (boundaries depend only on `morsel_size`, never on the thread count),
+//    runner tasks claim morsel indexes from a shared counter, and the body
+//    runs once per morsel. Results keyed by morsel index can therefore be
+//    combined in a canonical order — the determinism hook the parallel
+//    kernels (parallel_kernels.h) build on.
+//  * Cooperative cancellation: a `CancellationToken` checked between
+//    morsels/tasks; the first exception thrown by any task cancels the rest
+//    of its group and is rethrown from `Wait`/`ParallelFor` on the caller.
+//
+// Observability: the scheduler registers counters/gauges in
+// obs::MetricsRegistry (statcube.exec.*: tasks, steals, morsels, queue
+// depth, worker busy time, pool size) and, when the *calling* thread owns a
+// trace, wraps each morsel batch it executes itself in an obs::Span so
+// query profiles show the parallel phases. Worker threads have no installed
+// trace, so their Spans are no-ops by construction — the existing obs
+// layering is untouched.
+
+#ifndef STATCUBE_EXEC_TASK_SCHEDULER_H_
+#define STATCUBE_EXEC_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace statcube::exec {
+
+/// Number of hardware threads (>= 1 even when the runtime reports 0).
+int HardwareThreads();
+
+/// Default pool size: the STATCUBE_THREADS environment variable when set to
+/// a positive integer (clamped to kMaxThreads), otherwise HardwareThreads().
+int DefaultThreads();
+
+/// Hard cap on pool size (deque slots are preallocated up to this).
+inline constexpr int kMaxThreads = 64;
+
+/// Default morsel size for row-oriented ParallelFor loops. Chosen so a
+/// morsel of typical Rows (a few hundred bytes each) stays around the L2
+/// cache while still yielding enough morsels to balance 8 workers on the
+/// benchmark workloads; see DESIGN.md §6.
+inline constexpr size_t kDefaultMorselRows = 2048;
+
+/// Shared cooperative-cancellation flag. Copies observe the same flag.
+class CancellationToken {
+ public:
+  CancellationToken()
+      : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { cancelled_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+/// Fixed thread pool with per-worker deques and work stealing.
+///
+/// Thread-safety: all public methods are safe to call from any thread,
+/// including from inside tasks (nested submission goes to the submitting
+/// worker's own deque).
+class TaskScheduler {
+ public:
+  using Task = std::function<void()>;
+
+  /// `num_threads` <= 0 means DefaultThreads(). The pool can later grow up
+  /// to kMaxThreads via EnsureThreads; it never shrinks.
+  explicit TaskScheduler(int num_threads = 0);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Current number of worker threads (>= 1).
+  int num_threads() const {
+    return active_workers_.load(std::memory_order_acquire);
+  }
+
+  /// Grows the pool to at least `n` workers (clamped to kMaxThreads).
+  /// Lets an explicit `--threads=8` request oversubscribe a small machine —
+  /// the CI 2-core cap and the thread-sweep benches rely on this.
+  void EnsureThreads(int n);
+
+  /// The process-wide pool, lazily built with DefaultThreads() workers.
+  static TaskScheduler& Global();
+
+  /// Runs one queued task on the calling thread if any is available
+  /// (own deque first for workers, then stealing). Returns false when every
+  /// deque is empty. This is the "help" primitive TaskGroup::Wait uses.
+  bool RunOneTask();
+
+ private:
+  friend class TaskGroup;
+
+  // One worker's state. Deques are preallocated for kMaxThreads so growing
+  // the pool never reallocates under readers.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  /// Enqueues a task: a pool worker pushes to its own deque (LIFO end);
+  /// other threads round-robin across workers.
+  void Submit(Task task);
+
+  void WorkerLoop(int id);
+  bool PopOrSteal(int self_id, Task* out);  // self deque back, others front
+  void SpawnLocked(int id);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;  // kMaxThreads slots
+  std::vector<std::thread> threads_;
+  std::mutex grow_mu_;                 // guards threads_ growth
+  std::atomic<int> active_workers_{0};
+  std::atomic<uint64_t> rr_next_{0};   // round-robin submit cursor
+  std::atomic<uint64_t> pending_{0};   // queued, not yet started
+  std::atomic<bool> stop_{false};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+};
+
+/// Fork/join scope over one scheduler. `Wait` helps run queued tasks (from
+/// any group — helping is global, which keeps nesting deadlock-free),
+/// rethrows the first exception any task threw, and cancels the group's
+/// token as soon as that first exception is captured so remaining tasks
+/// fall through without running their bodies.
+class TaskGroup {
+ public:
+  /// `scheduler` == nullptr means TaskScheduler::Global().
+  explicit TaskGroup(TaskScheduler* scheduler = nullptr);
+  ~TaskGroup();  // blocks until outstanding tasks finish (never throws)
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submits `fn`. If the group is already cancelled the task is still
+  /// accounted for but its body will not run.
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every submitted task completed, executing queued tasks on
+  /// the calling thread while it waits. Rethrows the first captured
+  /// exception (after all tasks have drained).
+  void Wait();
+
+  /// Cooperatively cancels tasks that have not started yet.
+  void Cancel() { token_.Cancel(); }
+  CancellationToken& token() { return token_; }
+
+  TaskScheduler& scheduler() { return *scheduler_; }
+
+ private:
+  struct State;
+  TaskScheduler* scheduler_;
+  std::shared_ptr<State> state_;
+  CancellationToken token_;
+};
+
+/// Options for ParallelFor.
+struct ParallelForOptions {
+  /// Span label for morsel batches executed on the calling thread (visible
+  /// in query profiles when a trace is installed).
+  const char* label = "parallel_for";
+  /// Morsel size in loop iterations. Fixed morsel boundaries — never derived
+  /// from the thread count — are what make reductions keyed by morsel index
+  /// thread-count invariant.
+  size_t morsel_size = kDefaultMorselRows;
+  /// Cap on concurrent runners; <= 0 means the scheduler's pool size.
+  /// Values above the pool size grow the pool (EnsureThreads).
+  int max_workers = 0;
+  /// Optional external cancellation (checked between morsels).
+  CancellationToken* cancel = nullptr;
+  /// nullptr means TaskScheduler::Global().
+  TaskScheduler* scheduler = nullptr;
+};
+
+/// Runs `body(morsel_index, begin, end)` for every morsel of [0, n), where
+/// morsel `m` covers [m * morsel_size, min(n, (m+1) * morsel_size)).
+/// Blocks until every morsel ran (or was cancelled); rethrows the first
+/// exception. The calling thread participates as a runner, so this works on
+/// a 1-thread pool and nests arbitrarily.
+///
+/// Morsels are claimed dynamically (work keeps flowing to idle workers) but
+/// the (index, range) pairs are a pure function of n and morsel_size —
+/// combine per-morsel results in ascending index order for bit-identical
+/// output at any thread count.
+void ParallelFor(size_t n,
+                 const std::function<void(size_t, size_t, size_t)>& body,
+                 const ParallelForOptions& options = {});
+
+}  // namespace statcube::exec
+
+#endif  // STATCUBE_EXEC_TASK_SCHEDULER_H_

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 
+#include "statcube/exec/parallel_kernels.h"
 #include "statcube/obs/query_profile.h"
 #include "statcube/olap/molap_cube.h"
 #include "statcube/relational/aggregate.h"
@@ -70,29 +72,33 @@ class MolapBackend : public CubeBackend {
     out_schema.AddColumn("sum", ValueType::kDouble);
     Table out("groupby_molap", out_schema);
 
-    std::vector<size_t> pick(gidx.size(), 0);
-    while (true) {
-      std::vector<EqFilter> filters = query.filters;
-      Row row;
-      for (size_t i = 0; i < gidx.size(); ++i) {
-        const Value& v = dim_values_[gidx[i]][pick[i]];
-        filters.push_back({dim_names_[gidx[i]], v});
-        row.push_back(v);
-      }
-      STATCUBE_ASSIGN_OR_RETURN(double s, cube_.SumWhere(filters));
-      row.push_back(Value(s));
-      out.AppendRowUnchecked(std::move(row));
-      // Odometer.
-      size_t d = gidx.size();
-      bool done = true;
-      while (d-- > 0) {
-        if (++pick[d] < dim_values_[gidx[d]].size()) {
-          done = false;
-          break;
+    if (query.threads != 1) {
+      STATCUBE_RETURN_NOT_OK(GroupBySumParallel(query, gidx, &out));
+    } else {
+      std::vector<size_t> pick(gidx.size(), 0);
+      while (true) {
+        std::vector<EqFilter> filters = query.filters;
+        Row row;
+        for (size_t i = 0; i < gidx.size(); ++i) {
+          const Value& v = dim_values_[gidx[i]][pick[i]];
+          filters.push_back({dim_names_[gidx[i]], v});
+          row.push_back(v);
         }
-        pick[d] = 0;
+        STATCUBE_ASSIGN_OR_RETURN(double s, cube_.SumWhere(filters));
+        row.push_back(Value(s));
+        out.AppendRowUnchecked(std::move(row));
+        // Odometer.
+        size_t d = gidx.size();
+        bool done = true;
+        while (d-- > 0) {
+          if (++pick[d] < dim_values_[gidx[d]].size()) {
+            done = false;
+            break;
+          }
+          pick[d] = 0;
+        }
+        if (done || gidx.empty()) break;
       }
-      if (done || gidx.empty()) break;
     }
     STATCUBE_RETURN_NOT_OK(out.SortBy(query.group_dims));
     return out;
@@ -102,6 +108,59 @@ class MolapBackend : public CubeBackend {
   BlockCounter& counter() override { return cube_.counter(); }
 
  private:
+  // One slab sum per group coordinate, computed concurrently. Group index g
+  // decodes to the same pick vector the serial odometer visits at step g
+  // (last group dimension fastest), so the pre-sorted row order — and after
+  // SortBy the output — is identical to the serial path.
+  Status GroupBySumParallel(const CubeQuery& query,
+                            const std::vector<size_t>& gidx, Table* out) {
+    size_t ngroups = 1;
+    for (size_t i : gidx) ngroups *= dim_values_[i].size();
+    std::vector<Row> rows(ngroups);
+
+    exec::ExecOptions xo;
+    xo.threads = query.threads;
+    exec::ParallelForOptions loop;
+    loop.label = "molap_groupby";
+    loop.max_workers = xo.EffectiveThreads();
+    // One group is a whole slab sum; small morsels balance uneven slabs.
+    loop.morsel_size = 4;
+
+    std::mutex err_mu;
+    Status first_error = Status::OK();
+    exec::ParallelFor(
+        ngroups,
+        [&](size_t, size_t begin, size_t end) {
+          std::vector<size_t> pick(gidx.size());
+          for (size_t g = begin; g < end; ++g) {
+            size_t rem = g;
+            for (size_t i = gidx.size(); i-- > 0;) {
+              pick[i] = rem % dim_values_[gidx[i]].size();
+              rem /= dim_values_[gidx[i]].size();
+            }
+            std::vector<EqFilter> filters = query.filters;
+            Row row;
+            for (size_t i = 0; i < gidx.size(); ++i) {
+              const Value& v = dim_values_[gidx[i]][pick[i]];
+              filters.push_back({dim_names_[gidx[i]], v});
+              row.push_back(v);
+            }
+            Result<double> s = cube_.SumWhere(filters);
+            if (!s.ok()) {
+              std::lock_guard<std::mutex> lock(err_mu);
+              if (first_error.ok()) first_error = s.status();
+              return;
+            }
+            row.push_back(Value(s.value()));
+            rows[g] = std::move(row);
+          }
+        },
+        loop);
+    if (!first_error.ok()) return first_error;
+    for (Row& row : rows) out->AppendRowUnchecked(std::move(row));
+    return Status::OK();
+  }
+
   MolapCube cube_;
   std::vector<std::string> dim_names_;
   std::vector<std::vector<Value>> dim_values_;
@@ -137,19 +196,45 @@ class RolapBackend : public CubeBackend {
     STATCUBE_ASSIGN_OR_RETURN(std::vector<size_t> fidx, FilterIdx(query.filters));
     Table filtered(table_.name(), table_.schema());
     counter_.ChargeBytes(table_.ByteSize());
-    for (const Row& r : table_.rows()) {
-      bool match = true;
-      for (size_t i = 0; i < fidx.size(); ++i) {
-        if (r[fidx[i]] != query.filters[i].value) {
-          match = false;
-          break;
-        }
-      }
-      if (match) filtered.AppendRowUnchecked(r);
+    auto matches = [&](const Row& r) {
+      for (size_t i = 0; i < fidx.size(); ++i)
+        if (r[fidx[i]] != query.filters[i].value) return false;
+      return true;
+    };
+    if (query.threads != 1) {
+      // Morsel-parallel scan; per-morsel matches concatenate in morsel
+      // order, which is the serial row order.
+      exec::ParallelForOptions loop;
+      loop.label = "rolap_filter_scan";
+      exec::ExecOptions xo;
+      xo.threads = query.threads;
+      loop.max_workers = xo.EffectiveThreads();
+      std::vector<std::vector<Row>> parts(
+          table_.num_rows() == 0
+              ? 0
+              : (table_.num_rows() + loop.morsel_size - 1) / loop.morsel_size);
+      exec::ParallelFor(
+          table_.num_rows(),
+          [&](size_t m, size_t begin, size_t end) {
+            for (size_t r = begin; r < end; ++r)
+              if (matches(table_.row(r))) parts[m].push_back(table_.row(r));
+          },
+          loop);
+      for (std::vector<Row>& part : parts)
+        for (Row& r : part) filtered.AppendRowUnchecked(std::move(r));
+    } else {
+      for (const Row& r : table_.rows())
+        if (matches(r)) filtered.AppendRowUnchecked(r);
     }
     obs::RecordOperator("backend.filter_scan", table_.num_rows(),
                         filtered.num_rows());
     std::string measure = table_.schema().column(measure_idx_).name;
+    if (query.threads != 1) {
+      exec::ExecOptions xo;
+      xo.threads = query.threads;
+      return exec::ParallelGroupBy(filtered, query.group_dims,
+                                   {{AggFn::kSum, measure, "sum"}}, xo);
+    }
     STATCUBE_ASSIGN_OR_RETURN(
         Table out,
         GroupBy(filtered, query.group_dims, {{AggFn::kSum, measure, "sum"}}));

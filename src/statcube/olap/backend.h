@@ -35,6 +35,10 @@ namespace statcube {
 struct CubeQuery {
   std::vector<std::string> group_dims;
   std::vector<EqFilter> filters;
+  /// 1 (default) = the serial answer path; N != 1 routes the backend's
+  /// scans/groupings through the morsel-parallel kernels (statcube/exec)
+  /// with N workers (0 = exec::DefaultThreads()). Results are identical.
+  int threads = 1;
 };
 
 /// Backend-independent query interface over one (object, measure) pair.

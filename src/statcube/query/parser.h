@@ -58,15 +58,24 @@ Result<Table> ExecuteQuery(const StatisticalObject& obj,
 /// Parse + execute.
 Result<Table> Query(const StatisticalObject& obj, const std::string& text);
 
+/// ExecuteQuery over the parallel kernels (statcube/exec): the WHERE filter
+/// and the grouping/CUBE run morsel-parallel with `threads` workers (0 =
+/// exec::DefaultThreads()). Output is bit-identical across thread counts;
+/// see the determinism contract in exec/parallel_kernels.h for when it also
+/// matches ExecuteQuery exactly.
+Result<Table> ExecuteQueryParallel(const StatisticalObject& obj,
+                                   const ParsedQuery& query, int threads);
+
 /// Executes a parsed query through a CubeBackend (§6.6: the same textual
 /// query served by either physical organization). Only backend-expressible
 /// queries are accepted — exactly one SUM aggregate over the backend's
 /// measure, BY plain dimensions (no CUBE), WHERE equalities on dimensions;
 /// anything else returns Unimplemented so callers can fall back to
-/// ExecuteQuery.
+/// ExecuteQuery. `threads` != 1 routes the backend's scan/grouping through
+/// the parallel kernels (CubeQuery::threads).
 Result<Table> ExecuteQueryOnBackend(const StatisticalObject& obj,
                                     const ParsedQuery& query,
-                                    CubeBackend& backend);
+                                    CubeBackend& backend, int threads = 1);
 
 /// Which execution engine QueryProfiled routes through.
 enum class QueryEngine { kRelational, kMolap, kRolap, kRolapBitmap };
@@ -79,6 +88,11 @@ Result<QueryEngine> EngineFromName(const std::string& name);
 
 struct QueryOptions {
   QueryEngine engine = QueryEngine::kRelational;
+  /// Execution parallelism: 1 (default) keeps the legacy serial operators;
+  /// N > 1 routes scans and groupings through the morsel-parallel kernels
+  /// with N workers; 0 means exec::DefaultThreads() (STATCUBE_THREADS or
+  /// the hardware concurrency).
+  int threads = 1;
   /// Rows shown by the render phase of QueryProfiled.
   size_t render_limit = 25;
   /// Retain the completed profile in obs::FlightRecorder::Global() (and

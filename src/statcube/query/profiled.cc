@@ -24,7 +24,7 @@ std::string Lower(std::string s) {
 
 Result<Table> ExecuteQueryOnBackend(const StatisticalObject& obj,
                                     const ParsedQuery& query,
-                                    CubeBackend& backend) {
+                                    CubeBackend& backend, int threads) {
   if (query.cube)
     return Status::Unimplemented("BY CUBE is not backend-expressible");
   if (query.aggs.size() != 1 || query.aggs[0].fn != AggFn::kSum)
@@ -34,6 +34,7 @@ Result<Table> ExecuteQueryOnBackend(const StatisticalObject& obj,
     if (!obj.DimensionNamed(b).ok())
       return Status::Unimplemented("BY '" + b + "' is not a plain dimension");
   CubeQuery cq;
+  cq.threads = threads;
   cq.group_dims = query.by;
   for (const auto& [attr, v] : query.where) {
     if (!obj.DimensionNamed(attr).ok())
@@ -103,7 +104,8 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
       }
     }
     if (backend.ok()) {
-      Result<Table> res = ExecuteQueryOnBackend(obj, q, **backend);
+      Result<Table> res =
+          ExecuteQueryOnBackend(obj, q, **backend, options.threads);
       if (res.ok()) {
         out = std::move(res).value();
         executed = true;
@@ -117,7 +119,12 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
   }
   if (!executed) {
     obs::Span exec_span("execute");
-    STATCUBE_ASSIGN_OR_RETURN(out, ExecuteQuery(obj, q));
+    if (options.threads != 1) {
+      STATCUBE_ASSIGN_OR_RETURN(
+          out, ExecuteQueryParallel(obj, q, options.threads));
+    } else {
+      STATCUBE_ASSIGN_OR_RETURN(out, ExecuteQuery(obj, q));
+    }
   }
 
   ProfiledQuery pq;

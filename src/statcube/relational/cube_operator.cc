@@ -7,19 +7,15 @@
 
 namespace statcube {
 
-namespace {
-
-// Output schema shared by all cube variants: dims then aggregates.
-Schema CubeSchema(const std::vector<std::string>& dims,
-                  const std::vector<AggSpec>& aggs) {
+Schema CubeOutputSchema(const std::vector<std::string>& dims,
+                        const std::vector<AggSpec>& aggs) {
   Schema s;
   for (const auto& d : dims) s.AddColumn(d, ValueType::kString);
   for (const auto& a : aggs) s.AddColumn(a.EffectiveName(), ValueType::kDouble);
   return s;
 }
 
-// Sorts cube output deterministically by the dimension columns.
-void SortCube(Table* t, size_t ndims) {
+void SortCubeRows(Table* t, size_t ndims) {
   std::sort(t->mutable_rows().begin(), t->mutable_rows().end(),
             [ndims](const Row& a, const Row& b) {
               for (size_t c = 0; c < ndims; ++c) {
@@ -30,11 +26,9 @@ void SortCube(Table* t, size_t ndims) {
             });
 }
 
-// Emits one grouping's states into `out`, padding absent dims with ALL.
-// `mask` bit i set <=> dims[i] participates in the grouping; the grouped key
-// contains the participating dims in dims order.
-void EmitGrouping(const GroupedStates& states, uint32_t mask, size_t ndims,
-                  const std::vector<AggSpec>& aggs, Table* out) {
+// The grouped key contains the participating dims in dims order.
+void EmitCubeGrouping(const GroupedStates& states, uint32_t mask, size_t ndims,
+                      const std::vector<AggSpec>& aggs, Table* out) {
   for (const auto& [key, st] : states) {
     Row row(ndims + aggs.size());
     size_t k = 0;
@@ -50,33 +44,28 @@ void EmitGrouping(const GroupedStates& states, uint32_t mask, size_t ndims,
   }
 }
 
-}  // namespace
-
 Result<Table> CubeByNaive(const Table& input,
                           const std::vector<std::string>& dims,
                           const std::vector<AggSpec>& aggs) {
   if (dims.size() > 20)
     return Status::InvalidArgument("cube over >20 dimensions refused");
   size_t ndims = dims.size();
-  Table out(input.name() + "_cube", CubeSchema(dims, aggs));
+  Table out(input.name() + "_cube", CubeOutputSchema(dims, aggs));
   for (uint32_t mask = 0; mask < (1u << ndims); ++mask) {
     std::vector<std::string> sub;
     for (size_t d = 0; d < ndims; ++d)
       if (mask & (1u << d)) sub.push_back(dims[d]);
     STATCUBE_ASSIGN_OR_RETURN(GroupedStates states,
                               GroupByStates(input, sub, aggs));
-    EmitGrouping(states, mask, ndims, aggs, &out);
+    EmitCubeGrouping(states, mask, ndims, aggs, &out);
   }
-  SortCube(&out, ndims);
+  SortCubeRows(&out, ndims);
   return out;
 }
 
-namespace {
-
-// Rolls `fine` (grouping `fine_mask`) up to `coarse_mask` by dropping the
-// key positions of dims present in fine but not in coarse and merging.
-GroupedStates RollupStates(const GroupedStates& fine, uint32_t fine_mask,
-                           uint32_t coarse_mask, size_t ndims) {
+GroupedStates RollupGroupedStates(const GroupedStates& fine,
+                                  uint32_t fine_mask, uint32_t coarse_mask,
+                                  size_t ndims) {
   // Positions (within the fine key) to keep.
   std::vector<size_t> keep;
   size_t pos = 0;
@@ -100,8 +89,6 @@ GroupedStates RollupStates(const GroupedStates& fine, uint32_t fine_mask,
   return out;
 }
 
-}  // namespace
-
 Result<Table> CubeBy(const Table& input, const std::vector<std::string>& dims,
                      const std::vector<AggSpec>& aggs) {
   if (dims.size() > 20)
@@ -113,7 +100,7 @@ Result<Table> CubeBy(const Table& input, const std::vector<std::string>& dims,
   STATCUBE_ASSIGN_OR_RETURN(GroupedStates base,
                             GroupByStates(input, dims, aggs));
 
-  Table out(input.name() + "_cube", CubeSchema(dims, aggs));
+  Table out(input.name() + "_cube", CubeOutputSchema(dims, aggs));
   // Process masks by decreasing popcount so every grouping can roll up from
   // a computed parent with exactly one more dimension.
   std::unordered_map<uint32_t, GroupedStates> computed;
@@ -135,11 +122,11 @@ Result<Table> CubeBy(const Table& input, const std::vector<std::string>& dims,
       uint32_t missing = full & ~m;
       uint32_t parent = m | (missing & (~missing + 1));
       const GroupedStates& fine = computed.at(parent);
-      computed.emplace(m, RollupStates(fine, parent, m, ndims));
+      computed.emplace(m, RollupGroupedStates(fine, parent, m, ndims));
     }
-    EmitGrouping(computed.at(m), m, ndims, aggs, &out);
+    EmitCubeGrouping(computed.at(m), m, ndims, aggs, &out);
   }
-  SortCube(&out, ndims);
+  SortCubeRows(&out, ndims);
   return out;
 }
 
@@ -147,7 +134,7 @@ Result<Table> RollupBy(const Table& input,
                        const std::vector<std::string>& dims,
                        const std::vector<AggSpec>& aggs) {
   size_t ndims = dims.size();
-  Table out(input.name() + "_rollup", CubeSchema(dims, aggs));
+  Table out(input.name() + "_rollup", CubeOutputSchema(dims, aggs));
 
   STATCUBE_ASSIGN_OR_RETURN(GroupedStates states,
                             GroupByStates(input, dims, aggs));
@@ -157,12 +144,12 @@ Result<Table> RollupBy(const Table& input,
   for (size_t len = ndims + 1; len-- > 0;) {
     uint32_t m = len == 0 ? 0 : ((1u << len) - 1);
     if (m != mask) {
-      states = RollupStates(states, mask, m, ndims);
+      states = RollupGroupedStates(states, mask, m, ndims);
       mask = m;
     }
-    EmitGrouping(states, m, ndims, aggs, &out);
+    EmitCubeGrouping(states, m, ndims, aggs, &out);
   }
-  SortCube(&out, ndims);
+  SortCubeRows(&out, ndims);
   return out;
 }
 

@@ -46,6 +46,32 @@ Result<Table> RollupBy(const Table& input,
 /// materialization module.
 uint64_t CubeUpperBound(const std::vector<uint64_t>& cardinalities);
 
+// Building blocks shared with the parallel cube kernel
+// (statcube/exec/parallel_kernels.h), exposed so the parallel lattice walk
+// emits bytes identical to the serial one.
+
+/// Output schema shared by all cube variants: dims then aggregates.
+Schema CubeOutputSchema(const std::vector<std::string>& dims,
+                        const std::vector<AggSpec>& aggs);
+
+/// Rolls `fine` (grouping `fine_mask`) up to `coarse_mask` by dropping the
+/// key positions of dims present in fine but not in coarse and merging
+/// states. Deterministic: iteration over `fine` and AggState::Merge order
+/// are pure functions of `fine`'s contents.
+GroupedStates RollupGroupedStates(const GroupedStates& fine,
+                                  uint32_t fine_mask, uint32_t coarse_mask,
+                                  size_t ndims);
+
+/// Emits one grouping's states into `out`, padding absent dims with ALL.
+/// `mask` bit i set <=> dims[i] participates in the grouping.
+void EmitCubeGrouping(const GroupedStates& states, uint32_t mask,
+                      size_t ndims, const std::vector<AggSpec>& aggs,
+                      Table* out);
+
+/// Sorts cube output deterministically by the dimension columns (total
+/// order: every row's dim/ALL pattern is unique).
+void SortCubeRows(Table* t, size_t ndims);
+
 }  // namespace statcube
 
 #endif  // STATCUBE_RELATIONAL_CUBE_OPERATOR_H_
