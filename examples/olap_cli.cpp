@@ -19,6 +19,14 @@
 // concurrency; `--threads=1` forces the serial operators. The worker pool is
 // built at startup, so /varz shows statcube.exec.pool_size immediately.
 //
+// Caching: `--cache=off|on|derive` answers repeated queries from the
+// result cache (`on` = exact reuse, `derive` = also roll up cached
+// supersets through the lattice; see cache/result_cache.h). Cached answers
+// are bit-identical to direct execution; the profile's `cache:` line shows
+// hit / derived / miss, and statcube.cache.* metrics land in \m and /varz.
+// Any --cache mode routes queries through QueryProfiled even without
+// --profile, so admission can see execution timings.
+//
 // Serving: `--serve=PORT` runs the embedded stats server for the session's
 // lifetime (and implies --profile, so every query is recorded), so
 // `curl localhost:PORT/metrics` (or /profiles, /varz, /healthz)
@@ -28,7 +36,7 @@
 // dumps it). For an always-on serving demo see examples/stats_server.cpp.
 //
 // Run: ./build/examples/olap_cli [--profile] [--engine=E] [--threads=N]
-//          [--serve=PORT] [--slow-query-us=N] [object-file]
+//          [--cache=M] [--serve=PORT] [--slow-query-us=N] [object-file]
 //      echo "EXPLAIN PROFILE SELECT sum(amount) BY city" | ./build/examples/olap_cli
 //
 // Parser/executor errors go to stderr and make the exit code nonzero, so
@@ -61,6 +69,7 @@ struct CliOptions {
   int threads = exec::DefaultThreads();  // --threads=N / STATCUBE_THREADS
   int serve_port = -1;          // --serve=PORT; -1 = no server
   long slow_query_us = -1;      // --slow-query-us=N; -1 = leave default
+  cache::Mode cache = cache::Mode::kOff;  // --cache=off|on|derive
   std::string object_file;
 };
 
@@ -72,17 +81,26 @@ bool Execute(const StatisticalObject& obj, const std::string& text,
     fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
     return false;
   }
-  if (cli.profile || parsed->explain_profile) {
+  // Caching needs the profiled path: QueryProfiled owns the cache
+  // lookup/insert and the execution timing that drives admission. Without
+  // --profile the profile itself is simply not printed.
+  if (cli.profile || parsed->explain_profile ||
+      cli.cache != cache::Mode::kOff) {
     QueryOptions opt;
     opt.engine = cli.engine;
     opt.threads = cli.threads;
+    opt.cache = cli.cache;
     auto result = QueryProfiled(obj, text, opt);
     if (!result.ok()) {
       fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
       return false;
     }
-    printf("%s\n%s", result->rendered.c_str(),
-           result->profile.ToString().c_str());
+    if (cli.profile || parsed->explain_profile) {
+      printf("%s\n%s", result->rendered.c_str(),
+             result->profile.ToString().c_str());
+    } else {
+      printf("%s\n", result->rendered.c_str());
+    }
     return true;
   }
   auto result = cli.threads != 1
@@ -118,6 +136,13 @@ int main(int argc, char** argv) {
                 exec::kMaxThreads);
         return 1;
       }
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      auto mode = cache::ModeFromName(arg.substr(strlen("--cache=")));
+      if (!mode.ok()) {
+        fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+        return 1;
+      }
+      cli.cache = *mode;
     } else if (arg.rfind("--serve=", 0) == 0) {
       cli.serve_port = atoi(arg.c_str() + strlen("--serve="));
       if (cli.serve_port < 0 || cli.serve_port > 65535) {
@@ -132,10 +157,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--help" || arg == "-h") {
       printf("usage: olap_cli [--profile] [--engine=relational|molap|rolap|"
-             "rolap+bitmap] [--threads=N] [--serve=PORT] [--slow-query-us=N] "
-             "[object-file]\n"
+             "rolap+bitmap] [--threads=N] [--cache=off|on|derive] "
+             "[--serve=PORT] [--slow-query-us=N] [object-file]\n"
              "  --threads=N   execute on N workers (default: "
-             "STATCUBE_THREADS or hardware concurrency; 1 = serial)\n");
+             "STATCUBE_THREADS or hardware concurrency; 1 = serial)\n"
+             "  --cache=M     result cache: on = exact reuse, derive = also "
+             "roll up cached supersets (default: off)\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       fprintf(stderr, "unknown flag %s\n", arg.c_str());

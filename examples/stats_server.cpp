@@ -17,6 +17,10 @@
 //   --iterations=N     stop after N workload rounds (default 0 = forever)
 //   --delay-ms=D       sleep between queries (default 50)
 //   --slow-query-us=T  slow-query log threshold (default 20000)
+//   --cache=M          result-cache mode off|on|derive (default off);
+//                      with the cache on, round 1 is cold and every later
+//                      round hits — statcube_cache_* in /metrics shows the
+//                      hit rate live (the EXPERIMENTS.md P2 recipe)
 //   --quiet            suppress the per-round progress line
 
 #include <atomic>
@@ -72,6 +76,7 @@ int main(int argc, char** argv) {
   long delay_ms = 50;
   long slow_query_us = 20000;
   bool quiet = false;
+  cache::Mode cache_mode = cache::Mode::kOff;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--port=", 0) == 0) {
@@ -82,12 +87,20 @@ int main(int argc, char** argv) {
       delay_ms = atol(arg.c_str() + strlen("--delay-ms="));
     } else if (arg.rfind("--slow-query-us=", 0) == 0) {
       slow_query_us = atol(arg.c_str() + strlen("--slow-query-us="));
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      auto mode = cache::ModeFromName(arg.substr(strlen("--cache=")));
+      if (!mode.ok()) {
+        fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+        return 1;
+      }
+      cache_mode = *mode;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
       fprintf(stderr,
               "usage: stats_server [--port=P] [--iterations=N] "
-              "[--delay-ms=D] [--slow-query-us=T] [--quiet]\n");
+              "[--delay-ms=D] [--slow-query-us=T] [--cache=off|on|derive] "
+              "[--quiet]\n");
       return arg == "--help" || arg == "-h" ? 0 : 1;
     }
   }
@@ -131,6 +144,7 @@ int main(int argc, char** argv) {
       if (g_stop.load()) break;
       QueryOptions qopt;
       qopt.engine = wq.engine;
+      qopt.cache = cache_mode;
       auto r = QueryProfiled(data->object, wq.text, qopt);
       if (r.ok()) ++queries; else ++errors;
       if (delay_ms > 0)

@@ -1,0 +1,53 @@
+/// \file
+/// \brief Per-dataset epoch registry used to invalidate cached query results.
+///
+/// Every mutation of a statistical object's macro-data (AddCell, FromTable,
+/// any grab of a mutable handle) bumps the epoch registered under the
+/// object's name. Cache keys embed the epoch observed at key-build time, so
+/// an entry computed against an older epoch can never be returned for a
+/// query against newer data — stale entries simply stop matching and age out
+/// of the LRU. This is the "invalidation via a per-table epoch" half of the
+/// result cache (see cache/result_cache.h); the paper's §6.3 derivability
+/// argument only holds while the base micro-data is unchanged.
+///
+/// This header is dependency-free on purpose (like statcube/obs it is a
+/// shared surface): src/statcube/core includes it to publish mutations, and
+/// src/statcube/cache includes it to observe them, without a layering cycle.
+
+#ifndef STATCUBE_CACHE_EPOCH_H_
+#define STATCUBE_CACHE_EPOCH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace statcube::cache {
+
+/// Thread-safe name → epoch map. Epochs start at 0 for never-mutated names
+/// and only move forward.
+class DataEpochs {
+ public:
+  /// The process-wide registry (statistical objects are keyed by name).
+  static DataEpochs& Global();
+
+  /// Current epoch of `name` (0 if never bumped).
+  uint64_t Of(const std::string& name) const;
+
+  /// Advances the epoch of `name`; returns the new value. Called by every
+  /// mutating path of StatisticalObject.
+  uint64_t Bump(const std::string& name);
+
+  /// Drops all registered epochs (test isolation only — live caches keyed on
+  /// old epochs keep matching after a reset, so production code never calls
+  /// this).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, uint64_t> epochs_;
+};
+
+}  // namespace statcube::cache
+
+#endif  // STATCUBE_CACHE_EPOCH_H_

@@ -47,7 +47,11 @@ Result<const Dimension*> StatisticalObject::DimensionNamed(
 Result<Dimension*> StatisticalObject::MutableDimensionNamed(
     const std::string& name) {
   for (auto& d : dims_)
-    if (d.name() == name) return &d;
+    if (d.name() == name) {
+      // Handing out a mutable hierarchy invalidates cached roll-ups.
+      cache::DataEpochs::Global().Bump(name_);
+      return &d;
+    }
   return Status::NotFound("object '" + name_ + "' has no dimension '" + name +
                           "'");
 }
@@ -85,7 +89,11 @@ Status StatisticalObject::AddCell(const Row& dim_values,
     row.push_back(dim_values[i]);
   }
   for (const Value& v : measure_values) row.push_back(v);
-  return data_.AppendRow(std::move(row));
+  STATCUBE_RETURN_NOT_OK(data_.AppendRow(std::move(row)));
+  // Publish the mutation so cached query results against the old contents
+  // stop matching (cache/epoch.h).
+  cache::DataEpochs::Global().Bump(name_);
+  return Status::OK();
 }
 
 Result<StatisticalObject> StatisticalObject::FromTable(

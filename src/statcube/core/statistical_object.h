@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "statcube/cache/epoch.h"
 #include "statcube/common/status.h"
 #include "statcube/common/value.h"
 #include "statcube/core/dimension.h"
@@ -41,7 +42,12 @@ class StatisticalObject {
   Status AddMeasure(SummaryMeasure measure);
 
   const std::vector<Dimension>& dimensions() const { return dims_; }
-  std::vector<Dimension>& mutable_dimensions() { return dims_; }
+  /// Mutable handle; conservatively bumps the cache epoch (hierarchy edits
+  /// change roll-up results, so cached answers must stop matching).
+  std::vector<Dimension>& mutable_dimensions() {
+    cache::DataEpochs::Global().Bump(name_);
+    return dims_;
+  }
   const std::vector<SummaryMeasure>& measures() const { return measures_; }
 
   /// Looks up a dimension by name.
@@ -61,7 +67,12 @@ class StatisticalObject {
 
   /// The macro-data: dimension columns then measure columns.
   const Table& data() const { return data_; }
-  Table& mutable_data() { return data_; }
+  /// Mutable handle; conservatively bumps the cache epoch (any direct edit
+  /// of the macro-data invalidates cached query results).
+  Table& mutable_data() {
+    cache::DataEpochs::Global().Bump(name_);
+    return data_;
+  }
 
   /// Builds a statistical object directly from a relational table —
   /// `dim_columns` become dimensions (kCategorical unless listed in

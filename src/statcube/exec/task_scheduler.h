@@ -1,34 +1,38 @@
-// Morsel-driven parallel execution: a dependency-free task scheduler in the
-// style of [LBKN14]'s morsel-driven parallelism (see PAPERS.md). The paper's
-// §6.6 ROLAP-vs-MOLAP debate and [GB+96]'s CUBE cost model are throughput
-// arguments; this module is what lets the engine use more than one core to
-// make them measurable.
-//
-// Architecture:
-//  * A fixed pool of worker threads (`TaskScheduler`), each owning a deque.
-//    Workers pop their own deque LIFO (cache-warm) and steal FIFO from other
-//    workers when idle (the classic work-stealing discipline).
-//  * `TaskGroup` — a fork/join scope: `Run` submits tasks, `Wait` blocks
-//    until all complete while *helping* (the waiting thread executes queued
-//    tasks instead of idling), which is what makes nested parallelism and a
-//    1-thread pool deadlock-free.
-//  * `ParallelFor` — the morsel loop: [0, n) is cut into fixed-size morsels
-//    (boundaries depend only on `morsel_size`, never on the thread count),
-//    runner tasks claim morsel indexes from a shared counter, and the body
-//    runs once per morsel. Results keyed by morsel index can therefore be
-//    combined in a canonical order — the determinism hook the parallel
-//    kernels (parallel_kernels.h) build on.
-//  * Cooperative cancellation: a `CancellationToken` checked between
-//    morsels/tasks; the first exception thrown by any task cancels the rest
-//    of its group and is rethrown from `Wait`/`ParallelFor` on the caller.
-//
-// Observability: the scheduler registers counters/gauges in
-// obs::MetricsRegistry (statcube.exec.*: tasks, steals, morsels, queue
-// depth, worker busy time, pool size) and, when the *calling* thread owns a
-// trace, wraps each morsel batch it executes itself in an obs::Span so
-// query profiles show the parallel phases. Worker threads have no installed
-// trace, so their Spans are no-ops by construction — the existing obs
-// layering is untouched.
+/// \file
+/// \brief Morsel-driven parallel execution: a dependency-free task
+/// scheduler in the style of [LBKN14]'s morsel-driven parallelism (see
+/// PAPERS.md).
+///
+/// The paper's §6.6 ROLAP-vs-MOLAP debate and [GB+96]'s CUBE cost model
+/// are throughput arguments; this module is what lets the engine use more
+/// than one core to make them measurable.
+///
+/// Architecture:
+///  * A fixed pool of worker threads (`TaskScheduler`), each owning a
+///    deque. Workers pop their own deque LIFO (cache-warm) and steal FIFO
+///    from other workers when idle (the classic work-stealing discipline).
+///  * `TaskGroup` — a fork/join scope: `Run` submits tasks, `Wait` blocks
+///    until all complete while *helping* (the waiting thread executes
+///    queued tasks instead of idling), which is what makes nested
+///    parallelism and a 1-thread pool deadlock-free.
+///  * `ParallelFor` — the morsel loop: [0, n) is cut into fixed-size
+///    morsels (boundaries depend only on `morsel_size`, never on the
+///    thread count), runner tasks claim morsel indexes from a shared
+///    counter, and the body runs once per morsel. Results keyed by morsel
+///    index can therefore be combined in a canonical order — the
+///    determinism hook the parallel kernels (parallel_kernels.h) build on.
+///  * Cooperative cancellation: a `CancellationToken` checked between
+///    morsels/tasks; the first exception thrown by any task cancels the
+///    rest of its group and is rethrown from `Wait`/`ParallelFor` on the
+///    caller.
+///
+/// Observability: the scheduler registers counters/gauges in
+/// obs::MetricsRegistry (statcube.exec.*: tasks, steals, morsels, queue
+/// depth, worker busy time, pool size) and, when the *calling* thread owns
+/// a trace, wraps each morsel batch it executes itself in an obs::Span so
+/// query profiles show the parallel phases. Worker threads have no
+/// installed trace, so their Spans are no-ops by construction — the
+/// existing obs layering is untouched.
 
 #ifndef STATCUBE_EXEC_TASK_SCHEDULER_H_
 #define STATCUBE_EXEC_TASK_SCHEDULER_H_
@@ -64,10 +68,13 @@ inline constexpr size_t kDefaultMorselRows = 2048;
 /// Shared cooperative-cancellation flag. Copies observe the same flag.
 class CancellationToken {
  public:
+  /// A fresh, un-cancelled flag.
   CancellationToken()
       : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
 
+  /// Requests cancellation; visible to every copy of this token.
   void Cancel() { cancelled_->store(true, std::memory_order_relaxed); }
+  /// True once any copy called Cancel(). Checked between morsels/tasks.
   bool cancelled() const {
     return cancelled_->load(std::memory_order_relaxed);
   }
@@ -83,15 +90,17 @@ class CancellationToken {
 /// worker's own deque).
 class TaskScheduler {
  public:
+  /// A unit of work; runs exactly once on some thread.
   using Task = std::function<void()>;
 
   /// `num_threads` <= 0 means DefaultThreads(). The pool can later grow up
   /// to kMaxThreads via EnsureThreads; it never shrinks.
   explicit TaskScheduler(int num_threads = 0);
+  /// Stops and joins every worker; queued tasks are abandoned.
   ~TaskScheduler();
 
-  TaskScheduler(const TaskScheduler&) = delete;
-  TaskScheduler& operator=(const TaskScheduler&) = delete;
+  TaskScheduler(const TaskScheduler&) = delete;             ///< Not copyable.
+  TaskScheduler& operator=(const TaskScheduler&) = delete;  ///< Not copyable.
 
   /// Current number of worker threads (>= 1).
   int num_threads() const {
@@ -149,10 +158,11 @@ class TaskGroup {
  public:
   /// `scheduler` == nullptr means TaskScheduler::Global().
   explicit TaskGroup(TaskScheduler* scheduler = nullptr);
-  ~TaskGroup();  // blocks until outstanding tasks finish (never throws)
+  /// Blocks until outstanding tasks finish (never throws).
+  ~TaskGroup();
 
-  TaskGroup(const TaskGroup&) = delete;
-  TaskGroup& operator=(const TaskGroup&) = delete;
+  TaskGroup(const TaskGroup&) = delete;             ///< Not copyable.
+  TaskGroup& operator=(const TaskGroup&) = delete;  ///< Not copyable.
 
   /// Submits `fn`. If the group is already cancelled the task is still
   /// accounted for but its body will not run.
@@ -165,8 +175,10 @@ class TaskGroup {
 
   /// Cooperatively cancels tasks that have not started yet.
   void Cancel() { token_.Cancel(); }
+  /// The group's cancellation token (copy it into task bodies).
   CancellationToken& token() { return token_; }
 
+  /// The scheduler this group submits to.
   TaskScheduler& scheduler() { return *scheduler_; }
 
  private:

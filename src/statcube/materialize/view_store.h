@@ -1,8 +1,10 @@
-// A store of materialized group-by views that answers aggregate queries from
-// the cheapest materialized ancestor (paper §6.3): the run-time counterpart
-// of the lattice/greedy analysis. Only distributive aggregates (sum, count,
-// min, max) can be re-aggregated from a view, which is what the store
-// accepts.
+/// \file
+/// \brief A store of materialized group-by views that answers aggregate
+/// queries from the cheapest materialized ancestor (paper §6.3): the
+/// run-time counterpart of the lattice/greedy analysis.
+///
+/// Only distributive aggregates (sum, count, min, max) can be
+/// re-aggregated from a view, which is what the store accepts.
 
 #ifndef STATCUBE_MATERIALIZE_VIEW_STORE_H_
 #define STATCUBE_MATERIALIZE_VIEW_STORE_H_
@@ -61,6 +63,7 @@ class MaterializedCubeStore {
   /// Which views are materialized.
   std::vector<uint32_t> materialized_masks() const;
 
+  /// Number of cube dimensions (mask width).
   size_t num_dims() const { return dims_.size(); }
 
  private:

@@ -109,6 +109,7 @@ std::string QueryProfile::ToString() const {
   std::ostringstream os;
   os << "-- query profile --\n";
   os << "backend: " << (backend.empty() ? "relational" : backend) << "\n";
+  if (!cache.empty()) os << "cache: " << cache << "\n";
   os << "spans:\n" << trace.TreeString();
   if (!operators.empty()) {
     os << "operators:\n";
@@ -139,6 +140,7 @@ std::string QueryProfile::ToJson() const {
   std::ostringstream os;
   os << "{\"backend\":"
      << JsonStr(backend.empty() ? std::string("relational") : backend)
+     << ",\"cache\":" << JsonStr(cache.empty() ? std::string("off") : cache)
      << ",\"spans\":[";
   const auto& spans = trace.spans();
   for (size_t i = 0; i < spans.size(); ++i) {

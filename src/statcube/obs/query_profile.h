@@ -42,7 +42,12 @@ struct ViewStoreEvent {
 
 /// The full profile of one query.
 struct QueryProfile {
-  std::string backend;  ///< "molap", "rolap", "rolap+bitmap", "relational"
+  /// "molap", "rolap", "rolap+bitmap", "relational" — or "cache" when the
+  /// result cache answered without executing.
+  std::string backend;
+  /// Result-cache outcome: "hit", "derived", "miss", or empty when the
+  /// query ran with the cache off.
+  std::string cache;
   Trace trace;          ///< span tree (phases and sub-phases)
   std::vector<OperatorStats> operators;
   BlockCounter blocks;  ///< logical I/O summed over every store touched

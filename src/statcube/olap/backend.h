@@ -1,18 +1,20 @@
-// The pluggable query backend interface behind a statistical object — the
-// §6.6 ROLAP vs MOLAP debate expressed as an API. Both backends answer the
-// same aggregate queries over the same StatisticalObject; which physical
-// organization serves them differs:
-//
-//  * MolapBackend — dense linearized array (molap_cube.h): arithmetic
-//    addressing, stores the whole cross product.
-//  * RolapBackend — the object's cell table scanned relationally; with
-//    `BuildIndexes`, dictionary-encoded bitmap indexes per dimension
-//    accelerate the scans (the ROLAP proponents' claim (iv): "efficiency of
-//    ROLAP can be achieved by using techniques such as encoding and
-//    compression").
-//
-// Equivalence across backends is a test invariant; bench_rolap_molap and
-// bench_ablation measure the trade-offs.
+/// \file
+/// \brief The pluggable query backend interface behind a statistical
+/// object — the §6.6 ROLAP vs MOLAP debate expressed as an API.
+///
+/// Both backends answer the same aggregate queries over the same
+/// StatisticalObject; which physical organization serves them differs:
+///
+///  * MolapBackend — dense linearized array (molap_cube.h): arithmetic
+///    addressing, stores the whole cross product.
+///  * RolapBackend — the object's cell table scanned relationally; with
+///    `BuildIndexes`, dictionary-encoded bitmap indexes per dimension
+///    accelerate the scans (the ROLAP proponents' claim (iv): "efficiency
+///    of ROLAP can be achieved by using techniques such as encoding and
+///    compression").
+///
+/// Equivalence across backends is a test invariant; bench_rolap_molap and
+/// bench_ablation measure the trade-offs.
 
 #ifndef STATCUBE_OLAP_BACKEND_H_
 #define STATCUBE_OLAP_BACKEND_H_
@@ -33,7 +35,9 @@ namespace statcube {
 /// A dimension-subset aggregate query: SUM(measure) grouped by `group_dims`
 /// with optional equality filters. Empty group = a single total.
 struct CubeQuery {
+  /// Dimensions to group by (order fixes the output column order).
   std::vector<std::string> group_dims;
+  /// Equality filters ANDed together; empty = no filtering.
   std::vector<EqFilter> filters;
   /// 1 (default) = the serial answer path; N != 1 routes the backend's
   /// scans/groupings through the morsel-parallel kernels (statcube/exec)
@@ -44,7 +48,7 @@ struct CubeQuery {
 /// Backend-independent query interface over one (object, measure) pair.
 class CubeBackend {
  public:
-  virtual ~CubeBackend() = default;
+  virtual ~CubeBackend() = default;  ///< Backends are owned polymorphically.
 
   /// Descriptive name ("molap", "rolap", "rolap+bitmap").
   virtual std::string name() const = 0;

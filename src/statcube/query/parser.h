@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "statcube/cache/mode.h"
 #include "statcube/common/status.h"
 #include "statcube/core/statistical_object.h"
 #include "statcube/obs/query_profile.h"
@@ -99,6 +100,12 @@ struct QueryOptions {
   /// emit a slow_query log line past its threshold). Off for callers that
   /// must not perturb the recorder (A/B benchmarks, recorder tests).
   bool record = true;
+  /// Result-cache mode (cache/result_cache.h): kOff never consults the
+  /// cache, kOn reuses exact-key matches, kDerive additionally answers by
+  /// rolling up a cached superset grouping through the lattice. Any mode
+  /// returns bit-identical tables; the profile's `cache` field says which
+  /// path answered ("hit" / "derived" / "miss").
+  cache::Mode cache = cache::Mode::kOff;
 };
 
 /// A query result with its profile (and the table already rendered, so the

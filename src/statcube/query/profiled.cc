@@ -6,7 +6,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 
+#include "statcube/cache/derive.h"
+#include "statcube/cache/query_key.h"
+#include "statcube/cache/result_cache.h"
 #include "statcube/obs/flight_recorder.h"
 #include "statcube/query/parser.h"
 
@@ -75,13 +79,62 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
   ParsedQuery q;
   STATCUBE_ASSIGN_OR_RETURN(q, ParseQuery(text));
 
+  Table out;
+  bool executed = false;
+
+  // Result-cache route: an exact entry is returned byte-for-byte; under
+  // Mode::kDerive a cached superset grouping is rolled up instead of
+  // touching base data. Either way the backends below are skipped entirely
+  // (profile backend "cache"). Key building failures — e.g. a query with no
+  // aggregates, which cannot parse anyway — just disable caching.
+  cache::ResultCache& rc = cache::ResultCache::Global();
+  Result<cache::QueryKey> key = Status::Unimplemented("cache off");
+  if (options.cache != cache::Mode::kOff) {
+    obs::Span lookup_span("cache.lookup");
+    key = cache::BuildQueryKey(obj, q, options.engine);
+    if (key.ok()) {
+      if (std::optional<Table> hit = rc.Lookup(*key)) {
+        out = *std::move(hit);
+        executed = true;
+        scope.profile().cache = "hit";
+      } else if (options.cache == cache::Mode::kDerive && key->derivable) {
+        if (std::optional<cache::DerivedSource> src =
+                rc.FindDerivationSource(*key)) {
+          obs::Span derive_span("cache.derive");
+          const auto derive_start = std::chrono::steady_clock::now();
+          Result<Table> derived =
+              cache::RollupDerived(*src, *key, options.threads);
+          if (derived.ok()) {
+            out = *std::move(derived);
+            executed = true;
+            scope.profile().cache = "derived";
+            rc.NoteDerivedHit();
+            // Offer the derived table as an exact entry for next time;
+            // admission weighs the (cheap) re-derivation cost, so tiny
+            // roll-ups stay derive-on-demand.
+            uint64_t derive_us =
+                uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - derive_start)
+                             .count());
+            // The source was shape-matched, so the derived table has the
+            // request's predicted shape.
+            rc.Insert(*key, out, key->backend_shaped, derive_us);
+          }
+        }
+      }
+      if (!executed) scope.profile().cache = "miss";
+    }
+  }
+  const bool from_cache = executed;
+  if (from_cache) scope.profile().backend = "cache";
+  const auto exec_start = std::chrono::steady_clock::now();
+
   // Cube-engine route: build the backend for the query's measure (its cost
   // is part of the profile, under its own span) and execute there when the
   // query is backend-expressible; otherwise fall back to the relational
   // executor — the profile's backend field says which path answered.
-  Table out;
-  bool executed = false;
-  if (options.engine != QueryEngine::kRelational) {
+  bool backend_answered = false;
+  if (!executed && options.engine != QueryEngine::kRelational) {
     Result<std::unique_ptr<CubeBackend>> backend =
         Status::Internal("unreachable");
     {
@@ -109,6 +162,7 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
       if (res.ok()) {
         out = std::move(res).value();
         executed = true;
+        backend_answered = true;
       } else if (res.status().code() != StatusCode::kUnimplemented) {
         return res.status();
       }
@@ -125,6 +179,19 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
     } else {
       STATCUBE_ASSIGN_OR_RETURN(out, ExecuteQuery(obj, q));
     }
+  }
+
+  // Offer a freshly computed result back to the cache; admission compares
+  // the measured execution cost (backend build included — that is what a
+  // recomputation would pay) against the cost floor.
+  if (!from_cache && key.ok()) {
+    obs::Span insert_span("cache.insert");
+    uint64_t exec_us = uint64_t(std::chrono::duration_cast<
+                                    std::chrono::microseconds>(
+                                    std::chrono::steady_clock::now() -
+                                    exec_start)
+                                    .count());
+    rc.Insert(*key, out, backend_answered, exec_us);
   }
 
   ProfiledQuery pq;

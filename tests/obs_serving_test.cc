@@ -366,6 +366,18 @@ TEST_F(StatsServerTest, HealthzAndNotFound) {
   EXPECT_EQ(Body(head), "");
 }
 
+TEST_F(StatsServerTest, ProfilesMissingIdIs404WithBody) {
+  // A well-formed id that the recorder has never retained (ids start at 1,
+  // so 0 can never exist; the huge id outlives any test's recording) must
+  // produce a proper 404 response, not an empty 200 or a crash.
+  for (const char* target : {"/profiles/0", "/profiles/18446744073709551615"}) {
+    std::string resp = HttpGet(server_->port(), target);
+    EXPECT_NE(resp.find("HTTP/1.1 404 Not Found"), std::string::npos)
+        << target << ": " << resp;
+    EXPECT_EQ(Body(resp), "profile not retained\n") << target;
+  }
+}
+
 TEST_F(StatsServerTest, MetricsEndpointServesPrometheusText) {
   obs::EnabledScope on(true);
   obs::MetricsRegistry::Global().Reset();

@@ -99,6 +99,37 @@ TEST(MetricsTest, PercentileInterpolatesWithinBuckets) {
   EXPECT_DOUBLE_EQ(over.Percentile(0.99), 10.0);
 }
 
+TEST(MetricsTest, PercentileEdgeCases) {
+  // Empty histogram: every quantile is 0, including the extremes.
+  obs::Histogram empty({10, 100});
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(1.0), 0.0);
+
+  // Single sample: every quantile lands in the one occupied bucket and
+  // interpolates to its upper bound (rank 1 of 1).
+  obs::Histogram one({10, 100});
+  one.Observe(7);
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_GT(one.Percentile(q), 0.0) << "q=" << q;
+    EXPECT_LE(one.Percentile(q), 10.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(one.Percentile(1.0), 10.0);
+
+  // Out-of-range q clamps instead of reading garbage ranks.
+  EXPECT_DOUBLE_EQ(one.Percentile(-0.5), one.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(one.Percentile(2.0), one.Percentile(1.0));
+
+  // Every observation in the +Inf overflow bucket: no finite bucket holds
+  // the rank, so the result clamps to the last finite bound — the exporter's
+  // p50/p95/p99 gauges must not fabricate values beyond the bucket layout.
+  obs::Histogram over({10, 100});
+  for (int i = 0; i < 5; ++i) over.Observe(1e12);
+  EXPECT_DOUBLE_EQ(over.Percentile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(over.Percentile(0.99), 100.0);
+  EXPECT_DOUBLE_EQ(over.Percentile(1.0), 100.0);
+}
+
 TEST(MetricsTest, HistogramBoundsAreSorted) {
   obs::Histogram h({1000, 10, 100});
   EXPECT_EQ(h.bounds(), (std::vector<double>{10, 100, 1000}));

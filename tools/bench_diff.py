@@ -6,7 +6,7 @@ The baseline is one JSON file mapping binary -> benchmark -> real_time,
 recorded with --update from a bench_json/ directory:
 
     tools/bench_to_json.sh                      # writes bench_json/BENCH_*.json
-    tools/bench_diff.py --update                # (re)writes BENCH_PR2.json
+    tools/bench_diff.py --update                # (re)writes the baseline
 
 Compare mode prints a table for every binary in the baseline and exits
 nonzero only when a regression exceeds the tolerance AND hard mode is on
@@ -23,7 +23,7 @@ import json
 import os
 import sys
 
-DEFAULT_BASELINE = "BENCH_PR3.json"
+DEFAULT_BASELINE = "BENCH_PR4.json"
 DEFAULT_DIR = "bench_json"
 
 
