@@ -8,18 +8,18 @@ DataEpochs& DataEpochs::Global() {
 }
 
 uint64_t DataEpochs::Of(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = epochs_.find(name);
   return it == epochs_.end() ? 0 : it->second;
 }
 
 uint64_t DataEpochs::Bump(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ++epochs_[name];
 }
 
 void DataEpochs::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   epochs_.clear();
 }
 

@@ -18,9 +18,11 @@
 #define STATCUBE_CACHE_EPOCH_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "statcube/common/mutex.h"
+#include "statcube/common/thread_annotations.h"
 
 namespace statcube::cache {
 
@@ -44,8 +46,8 @@ class DataEpochs {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, uint64_t> epochs_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, uint64_t> epochs_ STATCUBE_GUARDED_BY(mu_);
 };
 
 }  // namespace statcube::cache

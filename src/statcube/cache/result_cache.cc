@@ -77,7 +77,7 @@ ResultCache::Shard& ResultCache::ShardFor(const std::string& exact) {
 std::optional<Table> ResultCache::Lookup(const QueryKey& key) {
   Shard& shard = ShardFor(key.exact);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(key.exact);
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -100,7 +100,7 @@ std::optional<DerivedSource> ResultCache::FindDerivationSource(
   // falls through to the next candidate).
   std::vector<std::string> candidates;
   {
-    std::lock_guard<std::mutex> lock(index_mu_);
+    MutexLock lock(index_mu_);
     auto fam_it = families_.find(key.family);
     if (fam_it == families_.end()) return std::nullopt;
     Family& fam = fam_it->second;
@@ -128,7 +128,7 @@ std::optional<DerivedSource> ResultCache::FindDerivationSource(
 
   for (const auto& exact : candidates) {
     Shard& shard = ShardFor(exact);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(exact);
     if (it == shard.map.end()) continue;  // evicted since the index scan
     Entry& e = *it->second;
@@ -182,7 +182,7 @@ bool ResultCache::Insert(const QueryKey& key, const Table& result,
   bool inserted = false;
   {
     Shard& shard = ShardFor(key.exact);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(key.exact);
     if (it != shard.map.end()) {
       // Deterministic execution means an existing entry is already this
@@ -210,7 +210,7 @@ bool ResultCache::Insert(const QueryKey& key, const Table& result,
   if (inserted) {
     inserts_.fetch_add(1, std::memory_order_relaxed);
     Count("inserts");
-    std::lock_guard<std::mutex> lock(index_mu_);
+    MutexLock lock(index_mu_);
     if (key.derivable && !key.cube) {
       Family& fam = families_[key.family];
       uint32_t mask = 0;
@@ -250,13 +250,13 @@ bool ResultCache::Insert(const QueryKey& key, const Table& result,
 
 void ResultCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->lru.clear();
     shard->map.clear();
     shard->bytes = 0;
   }
   {
-    std::lock_guard<std::mutex> lock(index_mu_);
+    MutexLock lock(index_mu_);
     families_.clear();
   }
   bytes_.store(0, std::memory_order_relaxed);

@@ -38,13 +38,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "statcube/cache/mode.h"
+#include "statcube/common/mutex.h"
+#include "statcube/common/thread_annotations.h"
 #include "statcube/cache/query_key.h"
 #include "statcube/relational/table.h"
 
@@ -151,10 +152,12 @@ class ResultCache {
     size_t bytes = 0;
   };
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<std::string, std::list<Entry>::iterator> map;
-    size_t bytes = 0;
+    Mutex mu;
+    /// front = most recently used
+    std::list<Entry> lru STATCUBE_GUARDED_BY(mu);
+    std::unordered_map<std::string, std::list<Entry>::iterator> map
+        STATCUBE_GUARDED_BY(mu);
+    size_t bytes STATCUBE_GUARDED_BY(mu) = 0;
   };
   /// Derivation index for one family: group-by column names interned to
   /// bits, members listed as (mask, exact key, rows).
@@ -178,8 +181,9 @@ class ResultCache {
   std::atomic<uint64_t> admit_min_us_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::mutex index_mu_;
-  std::unordered_map<std::string, Family> families_;
+  Mutex index_mu_;
+  std::unordered_map<std::string, Family> families_
+      STATCUBE_GUARDED_BY(index_mu_);
 
   std::atomic<size_t> bytes_{0};
   std::atomic<size_t> entries_{0};

@@ -1,0 +1,116 @@
+/// \file
+/// \brief Annotated mutex primitives: the capability types the Clang
+/// thread-safety analysis reasons about.
+///
+/// `std::mutex` and `std::lock_guard` carry no capability annotations, so
+/// code using them is invisible to `-Wthread-safety`. This header wraps them
+/// in the thinnest possible annotated types:
+///
+///  * `statcube::Mutex` — a `std::mutex` declared as a capability. Fields it
+///    guards are annotated `STATCUBE_GUARDED_BY(mu_)`.
+///  * `statcube::MutexLock` — the RAII scoped acquisition
+///    (`STATCUBE_SCOPED_CAPABILITY`), the drop-in replacement for
+///    `std::lock_guard<std::mutex>` / `std::unique_lock<std::mutex>`.
+///  * `statcube::CondVar` — a condition variable that waits directly on a
+///    `Mutex` (via `std::condition_variable_any`), so waiting code keeps its
+///    capability annotations instead of switching back to `std::unique_lock`.
+///
+/// All wrappers are header-only and compile to exactly the std calls; the
+/// annotations are erased on non-clang compilers (thread_annotations.h).
+///
+/// Waiting idiom — predicates are re-checked by the caller's loop, never
+/// passed into the wait (a lambda body is analyzed as a separate function
+/// and would not know the lock is held):
+///
+/// \code
+///   statcube::MutexLock lock(mu_);
+///   while (!done_) cv_.Wait(mu_);   // done_ is STATCUBE_GUARDED_BY(mu_)
+/// \endcode
+
+#ifndef STATCUBE_COMMON_MUTEX_H_
+#define STATCUBE_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "statcube/common/thread_annotations.h"
+
+namespace statcube {
+
+/// A `std::mutex` annotated as a thread-safety capability.
+///
+/// Also satisfies *BasicLockable* (lowercase `lock`/`unlock`), so
+/// `statcube::CondVar` can wait on it directly.
+class STATCUBE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Blocks until the mutex is acquired.
+  void Lock() STATCUBE_ACQUIRE() { mu_.lock(); }
+  /// Releases the mutex (must be held by the calling thread).
+  void Unlock() STATCUBE_RELEASE() { mu_.unlock(); }
+  /// Acquires the mutex if it is free; returns true on success.
+  bool TryLock() STATCUBE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable aliases so CondVar / generic code can use this type.
+  void lock() STATCUBE_ACQUIRE() { mu_.lock(); }
+  /// BasicLockable alias of Unlock().
+  void unlock() STATCUBE_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped acquisition of a Mutex — the annotated replacement for
+/// `std::lock_guard<std::mutex>`.
+class STATCUBE_SCOPED_CAPABILITY MutexLock {
+ public:
+  /// Acquires `mu` for the lifetime of this object.
+  explicit MutexLock(Mutex& mu) STATCUBE_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  /// Releases the mutex.
+  ~MutexLock() STATCUBE_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable that waits directly on a `statcube::Mutex`, keeping
+/// the capability visible to the analysis across the wait. Spurious wakeups
+/// are possible (as with `std::condition_variable`): always re-check the
+/// waited-for condition in a loop around `Wait`/`WaitFor`.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before returning.
+  /// The caller must hold `mu`; the analysis treats it as held throughout.
+  void Wait(Mutex& mu) STATCUBE_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Like Wait but returns (with `mu` reacquired) after at most `timeout`;
+  /// returns false on timeout, true when notified.
+  template <class Rep, class Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      STATCUBE_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+  }
+
+  /// Wakes one waiter (if any).
+  void NotifyOne() { cv_.notify_one(); }
+  /// Wakes every waiter.
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace statcube
+
+#endif  // STATCUBE_COMMON_MUTEX_H_

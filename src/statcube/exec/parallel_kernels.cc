@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 
+#include "statcube/common/mutex.h"
 #include "statcube/common/str_util.h"
 #include "statcube/obs/query_profile.h"
 #include "statcube/relational/cube_operator.h"
@@ -307,7 +307,7 @@ Result<std::vector<double>> ParallelMarginalSums(DenseArray& array,
                           (card + size_t(loop.max_workers) * 4 - 1) /
                               std::max<size_t>(1, size_t(loop.max_workers) *
                                                       4)));
-  std::mutex err_mu;
+  Mutex err_mu;
   Status first_error = Status::OK();
 
   ParallelFor(
@@ -321,7 +321,7 @@ Result<std::vector<double>> ParallelMarginalSums(DenseArray& array,
           // value is bit-identical to MarginalSums.
           Result<double> r = array.SumRange(ranges);
           if (!r.ok()) {
-            std::lock_guard<std::mutex> lock(err_mu);
+            MutexLock lock(err_mu);
             if (first_error.ok()) first_error = r.status();
             return;
           }

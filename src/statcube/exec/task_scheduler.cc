@@ -102,7 +102,10 @@ TaskScheduler::TaskScheduler(int num_threads) {
 
 TaskScheduler::~TaskScheduler() {
   stop_.store(true, std::memory_order_release);
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
+  // grow_mu_ is free by now (no EnsureThreads can race a destructor), but
+  // holding it keeps the threads_ access discipline uniform.
+  MutexLock lock(grow_mu_);
   for (auto& t : threads_) t.join();
 }
 
@@ -113,7 +116,7 @@ void TaskScheduler::SpawnLocked(int id) {
 void TaskScheduler::EnsureThreads(int n) {
   n = std::min(n, kMaxThreads);
   if (n <= num_threads()) return;
-  std::lock_guard<std::mutex> lock(grow_mu_);
+  MutexLock lock(grow_mu_);
   int have = active_workers_.load(std::memory_order_acquire);
   if (n <= have) return;
   // Publish the size before spawning: a new worker's first PopOrSteal
@@ -139,7 +142,7 @@ void TaskScheduler::Submit(Task task) {
                  uint64_t(num_threads()));
   }
   {
-    std::lock_guard<std::mutex> lock(queues_[size_t(target)]->mu);
+    MutexLock lock(queues_[size_t(target)]->mu);
     queues_[size_t(target)]->tasks.push_back(std::move(task));
   }
   uint64_t depth = pending_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -147,7 +150,7 @@ void TaskScheduler::Submit(Task task) {
     TasksCounter().Add(1);
     QueueDepthGauge().Set(double(depth));
   }
-  idle_cv_.notify_one();
+  idle_cv_.NotifyOne();
 }
 
 bool TaskScheduler::PopOrSteal(int self_id, Task* out) {
@@ -155,7 +158,7 @@ bool TaskScheduler::PopOrSteal(int self_id, Task* out) {
   // Own deque first, LIFO end: the most recently pushed (cache-warm) task.
   if (self_id >= 0) {
     WorkerQueue& own = *queues_[size_t(self_id)];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(own.mu);
     if (!own.tasks.empty()) {
       *out = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -168,7 +171,7 @@ bool TaskScheduler::PopOrSteal(int self_id, Task* out) {
     int victim = (start + k) % n;
     if (victim == self_id) continue;
     WorkerQueue& q = *queues_[size_t(victim)];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     if (!q.tasks.empty()) {
       *out = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -196,11 +199,13 @@ void TaskScheduler::WorkerLoop(int id) {
   while (true) {
     if (stop_.load(std::memory_order_acquire)) break;
     if (RunOneTask()) continue;
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
-      return stop_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_relaxed) > 0;
-    });
+    // Timed wait; the outer loop re-checks stop_/work after every wakeup
+    // (spurious or not), so no predicate is needed inside the wait.
+    MutexLock lock(idle_mu_);
+    if (!stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_relaxed) == 0) {
+      idle_cv_.WaitFor(idle_mu_, std::chrono::milliseconds(1));
+    }
   }
   tl_worker = {nullptr, -1};
 }
@@ -208,10 +213,10 @@ void TaskScheduler::WorkerLoop(int id) {
 // ----------------------------------------------------------------- TaskGroup
 
 struct TaskGroup::State {
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t outstanding = 0;
-  std::exception_ptr error;
+  Mutex mu;
+  CondVar cv;
+  size_t outstanding STATCUBE_GUARDED_BY(mu) = 0;
+  std::exception_ptr error STATCUBE_GUARDED_BY(mu);
 };
 
 TaskGroup::TaskGroup(TaskScheduler* scheduler)
@@ -224,20 +229,21 @@ TaskGroup::~TaskGroup() {
   token_.Cancel();
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(state_->mu);
+      MutexLock lock(state_->mu);
       if (state_->outstanding == 0) break;
     }
     if (!scheduler_->RunOneTask()) {
-      std::unique_lock<std::mutex> lock(state_->mu);
-      state_->cv.wait_for(lock, std::chrono::microseconds(200),
-                          [&] { return state_->outstanding == 0; });
+      // Timed wait; the outer loop re-checks outstanding on every wakeup.
+      MutexLock lock(state_->mu);
+      if (state_->outstanding != 0)
+        state_->cv.WaitFor(state_->mu, std::chrono::microseconds(200));
     }
   }
 }
 
 void TaskGroup::Run(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     ++state_->outstanding;
   }
   scheduler_->Submit(
@@ -246,34 +252,35 @@ void TaskGroup::Run(std::function<void()> fn) {
           try {
             fn();
           } catch (...) {
-            std::lock_guard<std::mutex> lock(state->mu);
+            MutexLock lock(state->mu);
             if (!state->error) state->error = std::current_exception();
             token.Cancel();
           }
         } else if (obs::Enabled()) {
           CancelledCounter().Add(1);
         }
-        std::lock_guard<std::mutex> lock(state->mu);
-        if (--state->outstanding == 0) state->cv.notify_all();
+        MutexLock lock(state->mu);
+        if (--state->outstanding == 0) state->cv.NotifyAll();
       });
 }
 
 void TaskGroup::Wait() {
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(state_->mu);
+      MutexLock lock(state_->mu);
       if (state_->outstanding == 0) break;
     }
     // Help: run queued tasks (any group's) instead of blocking the core.
     if (!scheduler_->RunOneTask()) {
-      std::unique_lock<std::mutex> lock(state_->mu);
-      state_->cv.wait_for(lock, std::chrono::microseconds(200),
-                          [&] { return state_->outstanding == 0; });
+      // Timed wait; the outer loop re-checks outstanding on every wakeup.
+      MutexLock lock(state_->mu);
+      if (state_->outstanding != 0)
+        state_->cv.WaitFor(state_->mu, std::chrono::microseconds(200));
     }
   }
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     std::swap(error, state_->error);
   }
   if (error) std::rethrow_exception(error);

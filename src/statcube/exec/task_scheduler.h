@@ -38,14 +38,15 @@
 #define STATCUBE_EXEC_TASK_SCHEDULER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "statcube/common/mutex.h"
+#include "statcube/common/thread_annotations.h"
 
 namespace statcube::exec {
 
@@ -126,8 +127,8 @@ class TaskScheduler {
   // One worker's state. Deques are preallocated for kMaxThreads so growing
   // the pool never reallocates under readers.
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    Mutex mu;
+    std::deque<Task> tasks STATCUBE_GUARDED_BY(mu);
   };
 
   /// Enqueues a task: a pool worker pushes to its own deque (LIFO end);
@@ -136,17 +137,18 @@ class TaskScheduler {
 
   void WorkerLoop(int id);
   bool PopOrSteal(int self_id, Task* out);  // self deque back, others front
-  void SpawnLocked(int id);
+  void SpawnLocked(int id) STATCUBE_REQUIRES(grow_mu_);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;  // kMaxThreads slots
-  std::vector<std::thread> threads_;
-  std::mutex grow_mu_;                 // guards threads_ growth
+  Mutex grow_mu_;  // guards threads_ growth
+  std::vector<std::thread> threads_ STATCUBE_GUARDED_BY(grow_mu_);
   std::atomic<int> active_workers_{0};
   std::atomic<uint64_t> rr_next_{0};   // round-robin submit cursor
   std::atomic<uint64_t> pending_{0};   // queued, not yet started
   std::atomic<bool> stop_{false};
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  Mutex idle_mu_;      // companion of idle_cv_; guards no fields (the wait
+                       // conditions are the atomics above)
+  CondVar idle_cv_;
 };
 
 /// Fork/join scope over one scheduler. `Wait` helps run queued tasks (from

@@ -1,8 +1,8 @@
 #include "statcube/materialize/view_store.h"
 
 #include <algorithm>
-#include <mutex>
 
+#include "statcube/common/mutex.h"
 #include "statcube/exec/task_scheduler.h"
 #include "statcube/materialize/lattice.h"
 #include "statcube/obs/query_profile.h"
@@ -110,7 +110,7 @@ Status MaterializedCubeStore::MaterializeAll(
                                    __builtin_popcount(todo[lo]))
       ++hi;
     std::vector<Table> built(hi - lo);
-    std::mutex err_mu;
+    Mutex err_mu;
     Status first_error = Status::OK();
     exec::ParallelFor(
         hi - lo,
@@ -123,7 +123,7 @@ Status MaterializedCubeStore::MaterializeAll(
                         : AggregateFrom(views_.at(uint32_t(anc)),
                                         uint32_t(anc), mask);
             if (!view.ok()) {
-              std::lock_guard<std::mutex> lock(err_mu);
+              MutexLock lock(err_mu);
               if (first_error.ok()) first_error = view.status();
               return;
             }

@@ -33,7 +33,7 @@ uint64_t FlightRecorder::Record(const QueryProfile& profile,
 
   uint64_t threshold;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rec.id = next_id_++;
     threshold = slow_threshold_us_;
     rec.slow = threshold > 0 && rec.latency_us >= threshold;
@@ -61,7 +61,7 @@ uint64_t FlightRecorder::Record(const QueryProfile& profile,
 }
 
 std::vector<RecordedProfile> FlightRecorder::Snapshot(size_t limit) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t n = ring_.size();
   size_t take = (limit == 0 || limit > n) ? n : limit;
   return std::vector<RecordedProfile>(ring_.end() - ptrdiff_t(take),
@@ -69,7 +69,7 @@ std::vector<RecordedProfile> FlightRecorder::Snapshot(size_t limit) const {
 }
 
 std::optional<RecordedProfile> FlightRecorder::Get(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const RecordedProfile& rec : ring_)
     if (rec.id == id) return rec;
   return std::nullopt;
@@ -79,7 +79,7 @@ std::string FlightRecorder::ToJson(size_t limit) const {
   std::vector<RecordedProfile> entries = Snapshot(limit);
   uint64_t total, threshold;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     total = next_id_ - 1;
     threshold = slow_threshold_us_;
   }
@@ -95,24 +95,24 @@ std::string FlightRecorder::ToJson(size_t limit) const {
 }
 
 uint64_t FlightRecorder::SetSlowQueryThresholdUs(uint64_t us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t prev = slow_threshold_us_;
   slow_threshold_us_ = us;
   return prev;
 }
 
 uint64_t FlightRecorder::SlowQueryThresholdUs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return slow_threshold_us_;
 }
 
 uint64_t FlightRecorder::TotalRecorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_id_ - 1;
 }
 
 void FlightRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
 }
 

@@ -21,11 +21,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "statcube/common/mutex.h"
+#include "statcube/common/thread_annotations.h"
 #include "statcube/obs/query_profile.h"
 
 namespace statcube::obs {
@@ -80,10 +81,10 @@ class FlightRecorder {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<RecordedProfile> ring_;
-  uint64_t next_id_ = 1;
-  uint64_t slow_threshold_us_ = 0;
+  mutable Mutex mu_;
+  std::deque<RecordedProfile> ring_ STATCUBE_GUARDED_BY(mu_);
+  uint64_t next_id_ STATCUBE_GUARDED_BY(mu_) = 1;
+  uint64_t slow_threshold_us_ STATCUBE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace statcube::obs

@@ -182,7 +182,7 @@ Status StatsServer::Start() {
   start_time_ = std::chrono::steady_clock::now();
   requests_served_.store(0);
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     shutting_down_ = false;
   }
   running_.store(true);
@@ -215,17 +215,17 @@ void StatsServer::Stop() {
 
   // Tell workers to drain: anything still queued is answered 503.
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     shutting_down_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& w : workers_)
     if (w.joinable()) w.join();
   workers_.clear();
 
   std::deque<int> leftovers;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     leftovers.swap(pending_);
   }
   for (int fd : leftovers) {
@@ -259,14 +259,14 @@ void StatsServer::AcceptLoop() {
     }
     bool queued = false;
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       if (int(pending_.size()) < options_.max_queued) {
         pending_.push_back(fd);
         queued = true;
       }
     }
     if (queued) {
-      queue_cv_.notify_one();
+      queue_cv_.NotifyOne();
     } else {
       // Bounded queue full: shed load instead of buffering unboundedly.
       WriteResponse(fd, SimpleResponse(503, "overloaded\n"), false);
@@ -281,9 +281,8 @@ void StatsServer::WorkerLoop() {
   while (true) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock,
-                     [this] { return shutting_down_ || !pending_.empty(); });
+      MutexLock lock(queue_mu_);
+      while (!shutting_down_ && pending_.empty()) queue_cv_.Wait(queue_mu_);
       if (!pending_.empty()) {
         fd = pending_.front();
         pending_.pop_front();

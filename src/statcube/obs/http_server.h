@@ -23,17 +23,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "statcube/common/mutex.h"
 #include "statcube/common/status.h"
+#include "statcube/common/thread_annotations.h"
 
 namespace statcube::obs {
 
@@ -105,10 +105,11 @@ class StatsServer {
   std::thread acceptor_;
   std::vector<std::thread> workers_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_;  // accepted fds awaiting a worker
-  bool shutting_down_ = false;
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  /// accepted fds awaiting a worker
+  std::deque<int> pending_ STATCUBE_GUARDED_BY(queue_mu_);
+  bool shutting_down_ STATCUBE_GUARDED_BY(queue_mu_) = false;
 
   std::vector<std::pair<std::string, HttpHandler>> exact_;
   std::vector<std::pair<std::string, HttpHandler>> prefix_;

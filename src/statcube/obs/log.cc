@@ -5,8 +5,9 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
-#include <mutex>
 
+#include "statcube/common/mutex.h"
+#include "statcube/common/thread_annotations.h"
 #include "statcube/obs/json.h"
 #include "statcube/obs/metrics.h"
 
@@ -20,12 +21,12 @@ std::atomic<uint64_t> g_dropped{0};
 // Sink + rate limiter state, mutex-guarded (log emission is not a hot path;
 // the hot path is the level check, which is lock-free).
 struct LogState {
-  std::mutex mu;
-  LogSink sink;  // empty = stderr
-  double tokens = 50.0;
-  double per_second = 100.0;
-  double burst = 50.0;
-  std::chrono::steady_clock::time_point last_refill =
+  Mutex mu;
+  LogSink sink STATCUBE_GUARDED_BY(mu);  // empty = stderr
+  double tokens STATCUBE_GUARDED_BY(mu) = 50.0;
+  double per_second STATCUBE_GUARDED_BY(mu) = 100.0;
+  double burst STATCUBE_GUARDED_BY(mu) = 50.0;
+  std::chrono::steady_clock::time_point last_refill STATCUBE_GUARDED_BY(mu) =
       std::chrono::steady_clock::now();
 };
 
@@ -35,7 +36,7 @@ LogState& State() {
 }
 
 // Takes one token if available; refills lazily from elapsed time.
-bool TakeToken(LogState& s) {
+bool TakeToken(LogState& s) STATCUBE_REQUIRES(s.mu) {
   if (s.per_second <= 0) return true;  // limiting disabled
   auto now = std::chrono::steady_clock::now();
   double elapsed =
@@ -81,7 +82,7 @@ LogLevel MinLogLevel() { return LogLevel(g_min_level.load()); }
 
 LogSink SetLogSink(LogSink sink) {
   LogState& s = State();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   LogSink prev = std::move(s.sink);
   s.sink = std::move(sink);
   return prev;
@@ -89,7 +90,7 @@ LogSink SetLogSink(LogSink sink) {
 
 void SetLogRateLimit(double per_second, double burst) {
   LogState& s = State();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   s.per_second = per_second;
   s.burst = burst;
   s.tokens = burst;
@@ -143,7 +144,7 @@ bool LogEvent::Emit() {
   LogState& s = State();
   LogSink sink;
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     if (!TakeToken(s)) {
       g_dropped.fetch_add(1, std::memory_order_relaxed);
       if (Enabled())

@@ -80,7 +80,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(name, std::make_unique<Counter>()).first;
@@ -88,7 +88,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
@@ -97,7 +97,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -115,7 +115,7 @@ std::string Num(double v) { return JsonNum(v); }
 }  // namespace
 
 std::string MetricsRegistry::TextSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   for (const auto& [name, c] : counters_)
     os << name << " " << c->Value() << "\n";
@@ -137,7 +137,7 @@ std::string MetricsRegistry::TextSnapshot() const {
 }
 
 std::string MetricsRegistry::JsonSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   os << "{\"counters\":{";
   bool first = true;
@@ -178,7 +178,7 @@ void MetricsRegistry::Visit(
     const std::function<void(const std::string&, const Gauge&)>& gauge_fn,
     const std::function<void(const std::string&, const Histogram&)>&
         histogram_fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (counter_fn)
     for (const auto& [name, c] : counters_) counter_fn(name, *c);
   if (gauge_fn)
@@ -188,7 +188,7 @@ void MetricsRegistry::Visit(
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

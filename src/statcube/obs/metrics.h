@@ -23,9 +23,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "statcube/common/mutex.h"
+#include "statcube/common/thread_annotations.h"
 
 namespace statcube::obs {
 
@@ -162,10 +164,15 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The pointed-to metric objects are internally lock-free atomics; the
+  // mutex guards only the name → object maps (registration and iteration).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      STATCUBE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      STATCUBE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      STATCUBE_GUARDED_BY(mu_);
 };
 
 }  // namespace statcube::obs

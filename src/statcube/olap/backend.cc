@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 
+#include "statcube/common/mutex.h"
 #include "statcube/exec/parallel_kernels.h"
 #include "statcube/obs/query_profile.h"
 #include "statcube/olap/molap_cube.h"
@@ -126,7 +126,7 @@ class MolapBackend : public CubeBackend {
     // One group is a whole slab sum; small morsels balance uneven slabs.
     loop.morsel_size = 4;
 
-    std::mutex err_mu;
+    Mutex err_mu;
     Status first_error = Status::OK();
     exec::ParallelFor(
         ngroups,
@@ -147,7 +147,7 @@ class MolapBackend : public CubeBackend {
             }
             Result<double> s = cube_.SumWhere(filters);
             if (!s.ok()) {
-              std::lock_guard<std::mutex> lock(err_mu);
+              MutexLock lock(err_mu);
               if (first_error.ok()) first_error = s.status();
               return;
             }
