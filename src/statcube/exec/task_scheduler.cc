@@ -102,6 +102,10 @@ TaskScheduler::TaskScheduler(int num_threads) {
 
 TaskScheduler::~TaskScheduler() {
   stop_.store(true, std::memory_order_release);
+  // Empty critical section: a worker that observed stop_ == false while
+  // holding idle_mu_ is guaranteed to reach its wait (releasing the mutex)
+  // before we can pass this section, so the notify below cannot be lost.
+  { MutexLock sync(idle_mu_); }
   idle_cv_.NotifyAll();
   // grow_mu_ is free by now (no EnsureThreads can race a destructor), but
   // holding it keeps the threads_ access discipline uniform.
@@ -150,6 +154,14 @@ void TaskScheduler::Submit(Task task) {
     TasksCounter().Add(1);
     QueueDepthGauge().Set(double(depth));
   }
+  // The wait conditions (stop_, pending_) are atomics, not data guarded by
+  // idle_mu_, so a bare notify could land between an idle worker's condition
+  // check and its block — a lost wakeup that stalls this task for the full
+  // 1 ms wait timeout. The empty critical section forces ordering: any
+  // worker that missed the pending_ increment is provably inside its wait
+  // (it holds idle_mu_ from check through block) by the time we get past
+  // the lock, so the notify always lands.
+  { MutexLock sync(idle_mu_); }
   idle_cv_.NotifyOne();
 }
 
