@@ -77,7 +77,7 @@ void BM_WarmHit(benchmark::State& state) {
   auto& rc = cache::ResultCache::Global();
   rc.set_admit_min_us(0);
   rc.Clear();
-  QueryProfiled(obj, kQuery, Opts(cache::Mode::kOn));  // seed
+  (void)QueryProfiled(obj, kQuery, Opts(cache::Mode::kOn));  // seed
   for (auto _ : state) {
     auto r = QueryProfiled(obj, kQuery, Opts(cache::Mode::kOn));
     benchmark::DoNotOptimize(r->table.num_rows());
@@ -92,7 +92,7 @@ void BM_DerivedHit(benchmark::State& state) {
   auto& rc = cache::ResultCache::Global();
   rc.set_admit_min_us(0);
   rc.Clear();
-  QueryProfiled(obj, kSuperset, Opts(cache::Mode::kDerive));  // seed
+  (void)QueryProfiled(obj, kSuperset, Opts(cache::Mode::kDerive));  // seed
   // Keep the derived result OUT of the cache (it would turn iteration 2
   // into an exact hit): raise the admission bar so only the seeded superset
   // stays resident and every iteration re-derives.

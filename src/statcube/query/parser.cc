@@ -13,7 +13,13 @@ namespace statcube {
 namespace {
 
 // ----------------------------------------------------------------- lexer
+//
+// The token kinds, lexer loop, and aggregate-keyword table below are kept in
+// lockstep with the grammar table in docs/QUERY.md. statcube-lint pins the
+// region with a content hash: edit it deliberately, then refresh the hash
+// with `tools/statcube_lint.py --update-codegen-hash`.
 
+// STATCUBE-CODEGEN-BEGIN lexer sha256:852f07e75f6e
 enum class TokKind { kIdent, kNumber, kString, kComma, kLParen, kRParen,
                      kEquals, kEnd };
 
@@ -91,6 +97,7 @@ Result<AggFn> AggFnFromName(const std::string& name) {
   if (n == "var") return AggFn::kVariance;
   return Status::InvalidArgument("unknown aggregate function '" + name + "'");
 }
+// STATCUBE-CODEGEN-END lexer
 
 }  // namespace
 
