@@ -1,0 +1,111 @@
+// Compile-time contract test for the thread-safety annotation layer
+// (common/thread_annotations.h + common/mutex.h), driven by
+// thread_annotations_compile_test.sh:
+//
+//   1. Compiled as-is under `clang++ -Wthread-safety -Werror` it must be
+//      CLEAN — the wrapper types (Mutex, MutexLock, CondVar) carry the
+//      right capability attributes for correctly-locked code to pass.
+//   2. Compiled with -DSTATCUBE_EXPECT_THREAD_SAFETY_ERROR it must FAIL —
+//      each block below deliberately violates the lock discipline, proving
+//      the analysis actually fires through the wrappers (an annotation
+//      layer that never rejects anything is decorative).
+//
+// Under g++ the annotations expand to nothing and the driver skips
+// (ctest SKIP_RETURN_CODE 77). Keep this file header-only-includes so the
+// driver can -fsyntax-only it without linking the library.
+
+#include "statcube/common/mutex.h"
+#include "statcube/common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    statcube::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int Balance() {
+    statcube::MutexLock lock(mu_);
+    return balance_;
+  }
+
+  void TransferLocked(Account& to, int amount) STATCUBE_REQUIRES(mu_) {
+    balance_ -= amount;
+    to.Deposit(amount);
+  }
+
+  void Transfer(Account& to, int amount) STATCUBE_EXCLUDES(mu_) {
+    statcube::MutexLock lock(mu_);
+    TransferLocked(to, amount);
+  }
+
+  // Manual Lock/Unlock pairing must also satisfy the analysis.
+  int DrainAndRead() {
+    mu_.Lock();
+    int v = balance_;
+    balance_ = 0;
+    mu_.Unlock();
+    return v;
+  }
+
+#ifdef STATCUBE_EXPECT_THREAD_SAFETY_ERROR
+  // Each of these is a distinct analysis failure mode; any one of them
+  // must be enough to break the -Werror build.
+  int ReadUnguarded() {
+    return balance_;  // reading a GUARDED_BY field with no lock held
+  }
+
+  void CallRequiresUnlocked(Account& to) {
+    TransferLocked(to, 1);  // calling a REQUIRES(mu_) method lock-free
+  }
+
+  void ForgetToUnlock() {
+    mu_.Lock();
+    ++balance_;
+  }  // ACQUIRE with no matching RELEASE on this path
+#endif
+
+ private:
+  statcube::Mutex mu_;
+  int balance_ STATCUBE_GUARDED_BY(mu_) = 0;
+};
+
+// CondVar::Wait demands the mutex: waiting correctly must pass...
+class Gate {
+ public:
+  void Open() {
+    statcube::MutexLock lock(mu_);
+    open_ = true;
+    cv_.NotifyAll();
+  }
+
+  void Await() {
+    statcube::MutexLock lock(mu_);
+    while (!open_) cv_.Wait(mu_);
+  }
+
+#ifdef STATCUBE_EXPECT_THREAD_SAFETY_ERROR
+  void AwaitWithoutLock() {
+    while (!open_) cv_.Wait(mu_);  // REQUIRES(mu_) violated twice over
+  }
+#endif
+
+ private:
+  statcube::Mutex mu_;
+  statcube::CondVar cv_;
+  bool open_ STATCUBE_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Account a, b;
+  a.Deposit(10);
+  a.Transfer(b, 5);
+  Gate g;
+  g.Open();
+  g.Await();
+  return (a.DrainAndRead() == 5 && b.Balance() == 5) ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Negative-compile driver for thread_annotations_compile_test.cc (see the
+# header comment there for the contract). Needs clang: the annotations are
+# no-ops under g++, so without clang the test SKIPs (exit 77, mapped via
+# ctest SKIP_RETURN_CODE).
+#
+# Usage: thread_annotations_compile_test.sh <repo-root>
+
+set -uo pipefail
+
+ROOT="${1:-.}"
+SRC="$ROOT/tests/thread_annotations_compile_test.cc"
+[ -f "$SRC" ] || { echo "error: $SRC not found" >&2; exit 1; }
+
+CXX="${CLANGXX:-}"
+if [ -z "$CXX" ]; then
+  for cand in clang++ clang++-19 clang++-18 clang++-17 clang++-16 \
+              clang++-15 clang++-14; do
+    if command -v "$cand" >/dev/null; then CXX="$cand"; break; fi
+  done
+fi
+if [ -z "$CXX" ]; then
+  echo "SKIP: clang++ not found; -Wthread-safety is clang-only" >&2
+  exit 77
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only -Wthread-safety -Werror -I"$ROOT/src")
+
+echo "[1/2] correctly-locked code must compile clean ($CXX)"
+if ! "$CXX" "${FLAGS[@]}" "$SRC"; then
+  echo "FAIL: annotated wrappers reject correctly-locked code" >&2
+  exit 1
+fi
+
+echo "[2/2] lock-discipline violations must be rejected"
+if "$CXX" "${FLAGS[@]}" -DSTATCUBE_EXPECT_THREAD_SAFETY_ERROR "$SRC" \
+    2>/dev/null; then
+  echo "FAIL: deliberately unguarded access compiled clean — the" >&2
+  echo "      annotation layer is not reaching the analyzer" >&2
+  exit 1
+fi
+
+echo "PASS: analysis accepts locked code and rejects unlocked code"
