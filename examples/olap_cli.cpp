@@ -36,7 +36,8 @@
 // dumps it). For an always-on serving demo see examples/stats_server.cpp.
 //
 // Run: ./build/examples/olap_cli [--profile] [--engine=E] [--threads=N]
-//          [--cache=M] [--serve=PORT] [--slow-query-us=N] [object-file]
+//          [--cache=M] [--serve=PORT] [--slow-query-us=N]
+//          [--flight-capacity=N] [--statusz-sample-ms=D] [object-file]
 //      echo "EXPLAIN PROFILE SELECT sum(amount) BY city" | ./build/examples/olap_cli
 //
 // Parser/executor errors go to stderr and make the exit code nonzero, so
@@ -56,6 +57,7 @@
 #include "statcube/obs/flight_recorder.h"
 #include "statcube/obs/http_server.h"
 #include "statcube/obs/metrics.h"
+#include "statcube/obs/timeseries_ring.h"
 #include "statcube/query/parser.h"
 #include "statcube/workload/retail.h"
 
@@ -69,6 +71,8 @@ struct CliOptions {
   int threads = exec::DefaultThreads();  // --threads=N / STATCUBE_THREADS
   int serve_port = -1;          // --serve=PORT; -1 = no server
   long slow_query_us = -1;      // --slow-query-us=N; -1 = leave default
+  long flight_capacity = -1;    // --flight-capacity=N; -1 = leave default
+  long statusz_sample_ms = 1000;  // --statusz-sample-ms=D
   cache::Mode cache = cache::Mode::kOff;  // --cache=off|on|derive
   std::string object_file;
 };
@@ -155,10 +159,27 @@ int main(int argc, char** argv) {
         fprintf(stderr, "bad --slow-query-us value %s\n", arg.c_str());
         return 1;
       }
+    } else if (arg.rfind("--flight-capacity=", 0) == 0) {
+      cli.flight_capacity = atol(arg.c_str() + strlen("--flight-capacity="));
+      if (cli.flight_capacity < 1 ||
+          size_t(cli.flight_capacity) > obs::FlightRecorder::kMaxCapacity) {
+        fprintf(stderr, "bad --flight-capacity value %s (1..%zu)\n",
+                arg.c_str(), obs::FlightRecorder::kMaxCapacity);
+        return 1;
+      }
+    } else if (arg.rfind("--statusz-sample-ms=", 0) == 0) {
+      cli.statusz_sample_ms =
+          atol(arg.c_str() + strlen("--statusz-sample-ms="));
+      if (cli.statusz_sample_ms < 10) {
+        fprintf(stderr, "bad --statusz-sample-ms value %s (>= 10)\n",
+                arg.c_str());
+        return 1;
+      }
     } else if (arg == "--help" || arg == "-h") {
       printf("usage: olap_cli [--profile] [--engine=relational|molap|rolap|"
              "rolap+bitmap] [--threads=N] [--cache=off|on|derive] "
-             "[--serve=PORT] [--slow-query-us=N] [object-file]\n"
+             "[--serve=PORT] [--slow-query-us=N] [--flight-capacity=N] "
+             "[--statusz-sample-ms=D] [object-file]\n"
              "  --threads=N   execute on N workers (default: "
              "STATCUBE_THREADS or hardware concurrency; 1 = serial)\n"
              "  --cache=M     result cache: on = exact reuse, derive = also "
@@ -210,6 +231,10 @@ int main(int argc, char** argv) {
     obs::FlightRecorder::Global().SetSlowQueryThresholdUs(
         uint64_t(cli.slow_query_us));
 
+  if (cli.flight_capacity > 0)
+    obs::FlightRecorder::Global().SetCapacity(size_t(cli.flight_capacity));
+
+  std::optional<obs::MetricSampler> sampler;
   std::optional<obs::StatsServer> server;
   if (cli.serve_port >= 0) {
     // A stats server without stats is useless: enable instrumentation and
@@ -217,8 +242,14 @@ int main(int argc, char** argv) {
     // can never fire.
     obs::SetEnabled(true);
     cli.profile = true;
+    obs::MetricSamplerOptions mopt;
+    mopt.interval_ms = int(cli.statusz_sample_ms);
+    sampler.emplace(mopt);
+    sampler->AddDefaultStatuszSeries();
+    sampler->Start();
     obs::StatsServerOptions sopt;
     sopt.port = uint16_t(cli.serve_port);
+    sopt.sampler = &*sampler;
     server.emplace(sopt);
     auto started = server->Start();
     if (!started.ok()) {
@@ -226,7 +257,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     printf("stats server on http://localhost:%u  "
-           "(/metrics /varz /profiles /healthz)\n\n",
+           "(/metrics /varz /profiles /statusz /tracez /healthz)\n\n",
            unsigned(server->port()));
   }
   printf("Query language: [EXPLAIN PROFILE] SELECT fn(measure)[, ...]"

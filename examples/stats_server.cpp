@@ -6,6 +6,8 @@
 //   curl localhost:8080/metrics     # Prometheus text, latency histograms
 //   curl localhost:8080/varz        # JSON metrics + uptime
 //   curl localhost:8080/profiles    # last N query profiles (flight recorder)
+//   curl localhost:8080/statusz     # HTML: uptime, QPS/p99 sparklines
+//   curl localhost:8080/tracez      # recent trace trees (?format=json)
 //   curl localhost:8080/healthz
 //
 // The workload rotates through the paper's query shapes (rollup by hierarchy
@@ -17,6 +19,8 @@
 //   --iterations=N     stop after N workload rounds (default 0 = forever)
 //   --delay-ms=D       sleep between queries (default 50)
 //   --slow-query-us=T  slow-query log threshold (default 20000)
+//   --flight-capacity=N  flight-recorder ring size (default 128, max 65536)
+//   --statusz-sample-ms=D  /statusz sampling interval (default 1000)
 //   --cache=M          result-cache mode off|on|derive (default off);
 //                      with the cache on, round 1 is cold and every later
 //                      round hits — statcube_cache_* in /metrics shows the
@@ -35,6 +39,7 @@
 #include "statcube/obs/http_server.h"
 #include "statcube/obs/log.h"
 #include "statcube/obs/metrics.h"
+#include "statcube/obs/timeseries_ring.h"
 #include "statcube/query/parser.h"
 #include "statcube/workload/retail.h"
 
@@ -75,6 +80,8 @@ int main(int argc, char** argv) {
   long iterations = 0;
   long delay_ms = 50;
   long slow_query_us = 20000;
+  long flight_capacity = 0;  // 0 = keep the default
+  long statusz_sample_ms = 1000;
   bool quiet = false;
   cache::Mode cache_mode = cache::Mode::kOff;
   for (int i = 1; i < argc; ++i) {
@@ -87,6 +94,20 @@ int main(int argc, char** argv) {
       delay_ms = atol(arg.c_str() + strlen("--delay-ms="));
     } else if (arg.rfind("--slow-query-us=", 0) == 0) {
       slow_query_us = atol(arg.c_str() + strlen("--slow-query-us="));
+    } else if (arg.rfind("--flight-capacity=", 0) == 0) {
+      flight_capacity = atol(arg.c_str() + strlen("--flight-capacity="));
+      if (flight_capacity < 1 ||
+          size_t(flight_capacity) > obs::FlightRecorder::kMaxCapacity) {
+        fprintf(stderr, "--flight-capacity must be in [1, %zu]\n",
+                obs::FlightRecorder::kMaxCapacity);
+        return 1;
+      }
+    } else if (arg.rfind("--statusz-sample-ms=", 0) == 0) {
+      statusz_sample_ms = atol(arg.c_str() + strlen("--statusz-sample-ms="));
+      if (statusz_sample_ms < 10) {
+        fprintf(stderr, "--statusz-sample-ms must be >= 10\n");
+        return 1;
+      }
     } else if (arg.rfind("--cache=", 0) == 0) {
       auto mode = cache::ModeFromName(arg.substr(strlen("--cache=")));
       if (!mode.ok()) {
@@ -99,8 +120,8 @@ int main(int argc, char** argv) {
     } else {
       fprintf(stderr,
               "usage: stats_server [--port=P] [--iterations=N] "
-              "[--delay-ms=D] [--slow-query-us=T] [--cache=off|on|derive] "
-              "[--quiet]\n");
+              "[--delay-ms=D] [--slow-query-us=T] [--flight-capacity=N] "
+              "[--statusz-sample-ms=D] [--cache=off|on|derive] [--quiet]\n");
       return arg == "--help" || arg == "-h" ? 0 : 1;
     }
   }
@@ -120,9 +141,21 @@ int main(int argc, char** argv) {
   obs::SetEnabled(true);
   obs::FlightRecorder::Global().SetSlowQueryThresholdUs(
       uint64_t(slow_query_us < 0 ? 0 : slow_query_us));
+  if (flight_capacity > 0 &&
+      !obs::FlightRecorder::Global().SetCapacity(size_t(flight_capacity))) {
+    fprintf(stderr, "--flight-capacity=%ld rejected\n", flight_capacity);
+    return 1;
+  }
+
+  obs::MetricSamplerOptions mopt;
+  mopt.interval_ms = int(statusz_sample_ms);
+  obs::MetricSampler sampler(mopt);
+  sampler.AddDefaultStatuszSeries();
+  sampler.Start();
 
   obs::StatsServerOptions sopt;
   sopt.port = uint16_t(port);
+  sopt.sampler = &sampler;
   obs::StatsServer server(sopt);
   auto started = server.Start();
   if (!started.ok()) {
@@ -130,7 +163,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   printf("serving on http://localhost:%u  (/metrics /varz /profiles "
-         "/healthz); Ctrl-C stops\n",
+         "/statusz /tracez /healthz); Ctrl-C stops\n",
          unsigned(server.port()));
   fflush(stdout);
 

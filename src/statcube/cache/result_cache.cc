@@ -7,6 +7,7 @@
 
 #include "statcube/materialize/lattice.h"
 #include "statcube/obs/metrics.h"
+#include "statcube/obs/resource.h"
 
 namespace statcube::cache {
 
@@ -83,11 +84,13 @@ std::optional<Table> ResultCache::Lookup(const QueryKey& key) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
       Count("hits");
+      obs::RecordCacheProbe(obs::CacheProbe::kHit);
       return it->second->result;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   Count("misses");
+  obs::RecordCacheProbe(obs::CacheProbe::kMiss);
   return std::nullopt;
 }
 
@@ -147,6 +150,7 @@ std::optional<DerivedSource> ResultCache::FindDerivationSource(
 void ResultCache::NoteDerivedHit() {
   derived_hits_.fetch_add(1, std::memory_order_relaxed);
   Count("derived_hits");
+  obs::RecordCacheProbe(obs::CacheProbe::kDerived);
 }
 
 bool ResultCache::Insert(const QueryKey& key, const Table& result,

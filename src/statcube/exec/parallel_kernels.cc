@@ -7,6 +7,7 @@
 #include "statcube/common/mutex.h"
 #include "statcube/common/str_util.h"
 #include "statcube/obs/query_profile.h"
+#include "statcube/obs/resource.h"
 #include "statcube/relational/cube_operator.h"
 
 namespace statcube::exec {
@@ -51,6 +52,8 @@ void MergeGroupedStates(GroupedStates* dst, GroupedStates* src) {
 Table ParallelSelect(const Table& input, const RowPredicate& pred,
                      const ExecOptions& options) {
   obs::Span span("op.select");
+  // ByteSize walks every cell — compute it only when someone is counting.
+  if (obs::Enabled()) obs::RecordBytesTouched(input.ByteSize());
   ParallelForOptions loop = LoopOptions("select", options);
   size_t n = input.num_rows();
   std::vector<std::vector<Row>> parts(NumMorsels(n, loop.morsel_size));
@@ -86,6 +89,8 @@ Result<GroupedStates> ParallelGroupByStates(
     aidx[i] = static_cast<int64_t>(idx);
   }
 
+  // ByteSize walks every cell — compute it only when someone is counting.
+  if (obs::Enabled()) obs::RecordBytesTouched(input.ByteSize());
   ParallelForOptions loop = LoopOptions("groupby", options);
   size_t n = input.num_rows();
   std::vector<GroupedStates> parts(NumMorsels(n, loop.morsel_size));
@@ -246,6 +251,7 @@ Result<double> ParallelSumRange(DenseArray& array,
       1, (options.morsel_rows == 0 ? kDefaultMorselRows
                                    : options.morsel_rows) /
              std::max<size_t>(1, inner_width));
+  obs::RecordBytesTouched(nsegments * inner_width * sizeof(double));
   std::vector<double> parts(NumMorsels(nsegments, loop.morsel_size), 0.0);
   const std::vector<double>& cells = array.cells();
   BlockCounter& counter = array.counter();
@@ -298,6 +304,7 @@ Result<std::vector<double>> ParallelMarginalSums(DenseArray& array,
   size_t ndims = array.num_dims();
   size_t card = array.shape()[dim];
   std::vector<double> out(card, 0.0);
+  obs::RecordBytesTouched(array.cells().size() * sizeof(double));
 
   ParallelForOptions loop = LoopOptions("marginal", options);
   // One marginal entry is a whole slab; a morsel of a few entries balances

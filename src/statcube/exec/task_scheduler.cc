@@ -6,6 +6,7 @@
 #include <string>
 
 #include "statcube/obs/metrics.h"
+#include "statcube/obs/resource.h"
 #include "statcube/obs/trace.h"
 
 namespace statcube::exec {
@@ -19,6 +20,13 @@ struct ThreadWorker {
   int id = -1;
 };
 thread_local ThreadWorker tl_worker;
+
+// Whether the task most recently popped on this thread came from another
+// worker's deque (set by PopOrSteal, read by TaskGroup's wrapper before it
+// runs the body — i.e. before any nested pop can overwrite it). Lets the
+// per-query ResourceVector attribute work-stealing migrations without the
+// scheduler knowing anything about queries.
+thread_local bool tl_last_pop_was_steal = false;
 
 obs::Counter& TasksCounter() {
   static obs::Counter& c =
@@ -174,6 +182,7 @@ bool TaskScheduler::PopOrSteal(int self_id, Task* out) {
     if (!own.tasks.empty()) {
       *out = std::move(own.tasks.back());
       own.tasks.pop_back();
+      tl_last_pop_was_steal = false;
       return true;
     }
   }
@@ -187,6 +196,7 @@ bool TaskScheduler::PopOrSteal(int self_id, Task* out) {
     if (!q.tasks.empty()) {
       *out = std::move(q.tasks.front());
       q.tasks.pop_front();
+      tl_last_pop_was_steal = true;
       if (obs::Enabled()) StealsCounter().Add(1);
       return true;
     }
@@ -258,9 +268,17 @@ void TaskGroup::Run(std::function<void()> fn) {
     MutexLock lock(state_->mu);
     ++state_->outstanding;
   }
+  // Carry the submitting thread's observability context (trace + open span +
+  // resource accumulator) with the task, so whatever thread runs it charges
+  // the submitting query. Empty when obs is disabled.
+  obs::TaskContext ctx = obs::TaskContext::Capture();
+  if (ctx.resources != nullptr) ctx.resources->CountTasks();
   scheduler_->Submit(
-      [state = state_, token = token_, fn = std::move(fn)]() mutable {
+      [state = state_, token = token_, ctx, fn = std::move(fn)]() mutable {
         if (!token.cancelled()) {
+          if (ctx.resources != nullptr && tl_last_pop_was_steal)
+            ctx.resources->CountSteal();
+          obs::TaskContextScope obs_scope(ctx);
           try {
             fn();
           } catch (...) {
@@ -320,8 +338,8 @@ void RunMorsels(size_t n, size_t morsel, size_t nmorsels,
     bool obs_on = obs::Enabled();
     uint64_t t0 = obs_on ? NowUs() : 0;
     {
-      // Visible in the query profile only on the thread that owns the
-      // trace (the caller); a no-op on pool workers.
+      // Attaches under the submitting query's span tree on every runner —
+      // pool workers included, via the TaskContext the group propagated.
       obs::Span span(obs_on && obs::CurrentTrace() != nullptr
                          ? std::string(label) + "[" + std::to_string(begin) +
                                ".." + std::to_string(end) + ")"
@@ -329,8 +347,13 @@ void RunMorsels(size_t n, size_t morsel, size_t nmorsels,
       body(m, begin, end);
     }
     if (obs_on) {
+      uint64_t dt = NowUs() - t0;
       MorselsCounter().Add(1);
-      MorselUsHistogram().Observe(double(NowUs() - t0));
+      MorselUsHistogram().Observe(double(dt));
+      if (obs::ResourceAccumulator* r = obs::CurrentResources()) {
+        r->ChargeCpu(obs::CurrentThreadId(), dt);
+        r->CountMorsels();
+      }
     }
   }
 }

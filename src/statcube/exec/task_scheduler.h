@@ -28,11 +28,15 @@
 ///
 /// Observability: the scheduler registers counters/gauges in
 /// obs::MetricsRegistry (statcube.exec.*: tasks, steals, morsels, queue
-/// depth, worker busy time, pool size) and, when the *calling* thread owns
-/// a trace, wraps each morsel batch it executes itself in an obs::Span so
-/// query profiles show the parallel phases. Worker threads have no
-/// installed trace, so their Spans are no-ops by construction — the
-/// existing obs layering is untouched.
+/// depth, worker busy time, pool size). In addition, `TaskGroup::Run`
+/// captures an obs::TaskContext (resource.h) on the submitting thread —
+/// the current trace, innermost open span, and resource accumulator — and
+/// installs it on whichever thread executes the task. Worker-side morsel
+/// spans therefore attach under the submitting query's span tree (with
+/// each span recording its worker's thread id), and per-morsel CPU time,
+/// morsel counts, and steal migrations are charged to the submitting
+/// query's ResourceVector. All of it is gated on obs::Enabled(): disabled,
+/// the capture is one relaxed load and the context is empty.
 
 #ifndef STATCUBE_EXEC_TASK_SCHEDULER_H_
 #define STATCUBE_EXEC_TASK_SCHEDULER_H_

@@ -16,8 +16,25 @@ std::string RecordedProfile::ToJson() const {
   return os.str();
 }
 
+namespace {
+Gauge& CapacityGauge() {
+  static Gauge& g = MetricsRegistry::Global().GetGauge(
+      "statcube.recorder.capacity");
+  return g;
+}
+}  // namespace
+
 FlightRecorder::FlightRecorder(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool FlightRecorder::SetCapacity(size_t n) {
+  if (n == 0 || n > kMaxCapacity) return false;
+  MutexLock lock(mu_);
+  capacity_.store(n, std::memory_order_relaxed);
+  while (ring_.size() > n) ring_.pop_front();
+  CapacityGauge().Set(double(n));
+  return true;
+}
 
 FlightRecorder& FlightRecorder::Global() {
   static FlightRecorder* recorder = new FlightRecorder();
@@ -38,7 +55,7 @@ uint64_t FlightRecorder::Record(const QueryProfile& profile,
     threshold = slow_threshold_us_;
     rec.slow = threshold > 0 && rec.latency_us >= threshold;
     ring_.push_back(rec);  // copy stays for the log event below
-    if (ring_.size() > capacity_) ring_.pop_front();
+    while (ring_.size() > capacity()) ring_.pop_front();
   }
 
   if (Enabled())
@@ -84,7 +101,7 @@ std::string FlightRecorder::ToJson(size_t limit) const {
     threshold = slow_threshold_us_;
   }
   std::ostringstream os;
-  os << "{\"capacity\":" << capacity_ << ",\"recorded\":" << total
+  os << "{\"capacity\":" << capacity() << ",\"recorded\":" << total
      << ",\"slow_query_threshold_us\":" << threshold << ",\"profiles\":[";
   for (size_t i = 0; i < entries.size(); ++i) {
     if (i) os << ",";

@@ -19,6 +19,7 @@
 #ifndef STATCUBE_OBS_FLIGHT_RECORDER_H_
 #define STATCUBE_OBS_FLIGHT_RECORDER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -46,6 +47,9 @@ struct RecordedProfile {
 class FlightRecorder {
  public:
   static constexpr size_t kDefaultCapacity = 128;
+  /// Upper bound SetCapacity accepts (profiles are a few KB each; 64Ki of
+  /// them is already hundreds of MB — anything above is a flag typo).
+  static constexpr size_t kMaxCapacity = 65536;
 
   explicit FlightRecorder(size_t capacity = kDefaultCapacity);
 
@@ -72,7 +76,15 @@ class FlightRecorder {
   uint64_t SetSlowQueryThresholdUs(uint64_t us);
   uint64_t SlowQueryThresholdUs() const;
 
-  size_t capacity() const { return capacity_; }
+  /// Current ring capacity (runtime-configurable; see SetCapacity).
+  size_t capacity() const { return capacity_.load(std::memory_order_relaxed); }
+
+  /// Resizes the ring at runtime (--flight-capacity). Rejects 0 and values
+  /// above kMaxCapacity (returns false, capacity unchanged); shrinking
+  /// evicts the oldest retained entries immediately. Updates the
+  /// statcube.recorder.capacity gauge.
+  bool SetCapacity(size_t n);
+
   /// Total profiles ever recorded (>= retained count).
   uint64_t TotalRecorded() const;
 
@@ -80,7 +92,7 @@ class FlightRecorder {
   void Clear();
 
  private:
-  const size_t capacity_;
+  std::atomic<size_t> capacity_;
   mutable Mutex mu_;
   std::deque<RecordedProfile> ring_ STATCUBE_GUARDED_BY(mu_);
   uint64_t next_id_ STATCUBE_GUARDED_BY(mu_) = 1;

@@ -9,8 +9,10 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <map>
 #include <sstream>
 
 #include "statcube/obs/exporter.h"
@@ -18,6 +20,7 @@
 #include "statcube/obs/json.h"
 #include "statcube/obs/log.h"
 #include "statcube/obs/metrics.h"
+#include "statcube/obs/timeseries_ring.h"
 
 namespace statcube::obs {
 
@@ -78,6 +81,89 @@ HttpResponse SimpleResponse(int status, const std::string& body) {
   return resp;
 }
 
+// Strict query-string parser: pairs split on '&', each pair must be
+// `key=value` with a non-empty key (value may be empty). An empty query
+// string parses to an empty map; anything else malformed returns false —
+// endpoints answer 400 instead of guessing.
+bool ParseQuery(const std::string& query,
+                std::map<std::string, std::string>* out) {
+  out->clear();
+  if (query.empty()) return true;
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    std::string pair = query.substr(
+        pos, amp == std::string::npos ? std::string::npos : amp - pos);
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    (*out)[pair.substr(0, eq)] = pair.substr(eq + 1);
+    if (amp == std::string::npos) break;
+    pos = amp + 1;
+  }
+  return true;
+}
+
+// Reads an optional size_t parameter. Returns false (and leaves *out
+// untouched) when the key is present but not a plain decimal number.
+bool ParseSizeParam(const std::map<std::string, std::string>& params,
+                    const std::string& key, size_t* out) {
+  auto it = params.find(key);
+  if (it == params.end()) return true;
+  const std::string& v = it->second;
+  // Digits only: strtoull would silently wrap "-1" to a huge value.
+  if (v.empty() || v[0] < '0' || v[0] > '9') return false;
+  char* end = nullptr;
+  unsigned long long n = strtoull(v.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = size_t(n);
+  return true;
+}
+
+std::string HtmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Unicode block-element sparkline: each value maps to one of 8 bar heights
+// scaled to the series' own min..max. Dependency-free "charting" for
+// /statusz — renders in any modern terminal or browser.
+std::string Sparkline(const std::vector<double>& values) {
+  static const char* kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                   "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  double lo = *std::min_element(values.begin(), values.end());
+  double hi = *std::max_element(values.begin(), values.end());
+  std::string out;
+  for (double v : values) {
+    int idx = hi > lo ? int((v - lo) / (hi - lo) * 7.0 + 0.5) : 0;
+    idx = std::max(0, std::min(7, idx));
+    out += kBlocks[idx];
+  }
+  return out;
+}
+
+std::string FmtDouble(double v) {
+  std::ostringstream os;
+  if (v == double(int64_t(v)) && v < 1e15 && v > -1e15) {
+    os << int64_t(v);
+  } else {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.3f", v);
+    os << buf;
+  }
+  return os.str();
+}
+
 }  // namespace
 
 StatsServer::StatsServer(StatsServerOptions options)
@@ -111,9 +197,14 @@ StatsServer::StatsServer(StatsServerOptions options)
     return resp;
   });
   Handle("/profiles", [](const HttpRequest& req) {
+    std::map<std::string, std::string> params;
+    if (!ParseQuery(req.query, &params))
+      return SimpleResponse(400, "malformed query string\n");
     size_t limit = 0;  // 0 = everything retained
-    if (req.query.rfind("limit=", 0) == 0)
-      limit = size_t(strtoul(req.query.c_str() + 6, nullptr, 10));
+    // `n` is the documented name; `limit` stays as an alias.
+    if (!ParseSizeParam(params, "n", &limit) ||
+        !ParseSizeParam(params, "limit", &limit))
+      return SimpleResponse(400, "bad n= value\n");
     HttpResponse resp;
     resp.content_type = "application/json";
     resp.body = FlightRecorder::Global().ToJson(limit);
@@ -132,6 +223,162 @@ StatsServer::StatsServer(StatsServerOptions options)
     resp.body = rec->ToJson();
     return resp;
   }, /*prefix=*/true);
+  Handle("/statusz", [this](const HttpRequest& req) {
+    std::map<std::string, std::string> params;
+    if (!ParseQuery(req.query, &params))
+      return SimpleResponse(400, "malformed query string\n");
+    return StatuszPage();
+  });
+  Handle("/tracez", [](const HttpRequest& req) {
+    std::map<std::string, std::string> params;
+    if (!ParseQuery(req.query, &params))
+      return SimpleResponse(400, "malformed query string\n");
+    size_t limit = 20;
+    if (!ParseSizeParam(params, "n", &limit))
+      return SimpleResponse(400, "bad n= value\n");
+    auto fmt = params.find("format");
+    if (fmt != params.end() && fmt->second != "json" &&
+        fmt->second != "html")
+      return SimpleResponse(400, "format must be json or html\n");
+    bool json = fmt != params.end() && fmt->second == "json";
+    return TracezPage(limit, json);
+  });
+}
+
+HttpResponse StatsServer::StatuszPage() const {
+  double uptime = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_time_)
+                      .count();
+  std::ostringstream os;
+  os << "<!doctype html><html><head><meta charset=\"utf-8\">"
+     << "<title>statcube /statusz</title><style>"
+     << "body{font-family:monospace;margin:2em;background:#fdfdfd}"
+     << "table{border-collapse:collapse}"
+     << "td,th{border:1px solid #ccc;padding:2px 8px;text-align:left}"
+     << "td.spark{font-size:1.2em;letter-spacing:-1px}"
+     << "h2{margin-top:1.5em}</style></head><body>"
+     << "<h1>statcube</h1>";
+
+  os << "<h2>Process</h2><table>"
+     << "<tr><th>uptime_s</th><td>" << FmtDouble(uptime) << "</td></tr>"
+     << "<tr><th>build</th><td>" << HtmlEscape(__DATE__ " " __TIME__)
+     << "</td></tr>"
+     << "<tr><th>compiler</th><td>" << HtmlEscape(__VERSION__) << "</td></tr>"
+     << "<tr><th>port</th><td>" << port_.load() << "</td></tr>"
+     << "<tr><th>requests_served</th><td>" << requests_served_.load()
+     << "</td></tr>"
+     << "<tr><th>profiles_recorded</th><td>"
+     << FlightRecorder::Global().TotalRecorded() << "</td></tr></table>";
+
+  if (options_.sampler != nullptr) {
+    os << "<h2>Time series</h2><p>interval "
+       << options_.sampler->interval_ms() << " ms, sliding window "
+       << options_.sampler->window() << " ticks, "
+       << options_.sampler->samples() << " samples</p>"
+       << "<table id=\"sparklines\"><tr><th>series</th><th>sparkline</th>"
+       << "<th>last</th></tr>";
+    for (const auto& [name, values] : options_.sampler->SnapshotAll()) {
+      os << "<tr><td>" << HtmlEscape(name) << "</td><td class=\"spark\">"
+         << Sparkline(values) << "</td><td>"
+         << (values.empty() ? std::string("-") : FmtDouble(values.back()))
+         << "</td></tr>";
+    }
+    os << "</table>";
+  } else {
+    os << "<h2>Time series</h2><p>no sampler configured "
+       << "(--statusz-sample-ms)</p>";
+  }
+
+  os << "<h2>Gauges</h2><table><tr><th>gauge</th><th>value</th></tr>";
+  MetricsRegistry::Global().Visit(
+      nullptr,
+      [&os](const std::string& name, const Gauge& g) {
+        os << "<tr><td>" << HtmlEscape(name) << "</td><td>"
+           << FmtDouble(g.Value()) << "</td></tr>";
+      },
+      nullptr);
+  os << "</table>";
+
+  os << "<h2>Recent slow queries</h2>";
+  std::vector<RecordedProfile> recent = FlightRecorder::Global().Snapshot(0);
+  std::vector<const RecordedProfile*> slow;
+  for (const RecordedProfile& rec : recent)
+    if (rec.slow) slow.push_back(&rec);
+  if (slow.empty()) {
+    os << "<p>none retained (threshold "
+       << FlightRecorder::Global().SlowQueryThresholdUs() << " us)</p>";
+  } else {
+    os << "<table><tr><th>id</th><th>latency_us</th><th>backend</th>"
+       << "<th>query</th></tr>";
+    size_t shown = 0;
+    for (size_t i = slow.size(); i-- > 0 && shown < 10; ++shown) {
+      const RecordedProfile& rec = *slow[i];
+      os << "<tr><td><a href=\"/profiles/" << rec.id << "\">" << rec.id
+         << "</a></td><td>" << rec.latency_us << "</td><td>"
+         << HtmlEscape(rec.profile.backend.empty() ? "relational"
+                                                   : rec.profile.backend)
+         << "</td><td>" << HtmlEscape(rec.query) << "</td></tr>";
+    }
+    os << "</table>";
+  }
+  os << "<p><a href=\"/tracez\">/tracez</a> <a href=\"/varz\">/varz</a> "
+     << "<a href=\"/metrics\">/metrics</a> "
+     << "<a href=\"/profiles\">/profiles</a></p></body></html>";
+
+  HttpResponse resp;
+  resp.content_type = "text/html; charset=utf-8";
+  resp.body = os.str();
+  return resp;
+}
+
+HttpResponse StatsServer::TracezPage(size_t limit, bool json) {
+  std::vector<RecordedProfile> entries =
+      FlightRecorder::Global().Snapshot(limit);
+  HttpResponse resp;
+  if (json) {
+    std::ostringstream os;
+    os << "{\"traces\":[";
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const RecordedProfile& rec = entries[i];
+      if (i) os << ",";
+      os << "{\"id\":" << rec.id << ",\"query\":" << JsonStr(rec.query)
+         << ",\"latency_us\":" << rec.latency_us
+         << ",\"dropped_spans\":" << rec.profile.trace.dropped_spans()
+         << ",\"spans\":[";
+      const std::vector<SpanRecord>& spans = rec.profile.trace.spans();
+      for (size_t s = 0; s < spans.size(); ++s) {
+        if (s) os << ",";
+        os << "{\"name\":" << JsonStr(spans[s].name)
+           << ",\"parent\":" << spans[s].parent
+           << ",\"start_us\":" << double(spans[s].start_ns) / 1000.0
+           << ",\"dur_us\":" << double(spans[s].dur_ns) / 1000.0
+           << ",\"thread\":" << spans[s].thread_id << "}";
+      }
+      os << "]}";
+    }
+    os << "]}";
+    resp.content_type = "application/json";
+    resp.body = os.str();
+    return resp;
+  }
+  std::ostringstream os;
+  os << "<!doctype html><html><head><meta charset=\"utf-8\">"
+     << "<title>statcube /tracez</title><style>"
+     << "body{font-family:monospace;margin:2em;background:#fdfdfd}"
+     << "pre{background:#f4f4f4;padding:8px;border:1px solid #ccc}"
+     << "</style></head><body><h1>recent traces</h1>"
+     << "<p>" << entries.size() << " retained (newest last); "
+     << "<a href=\"/tracez?format=json\">json</a></p>";
+  for (const RecordedProfile& rec : entries) {
+    os << "<h3>#" << rec.id << " "
+       << HtmlEscape(rec.query.empty() ? "(unnamed query)" : rec.query)
+       << " — " << rec.latency_us << " us</h3><pre>"
+       << HtmlEscape(rec.profile.trace.TreeString()) << "</pre>";
+  }
+  os << "</body></html>";
+  resp.content_type = "text/html; charset=utf-8";
+  resp.body = os.str();
+  return resp;
 }
 
 StatsServer::~StatsServer() { Stop(); }

@@ -11,8 +11,20 @@
 //   /metrics         Prometheus text exposition v0.0.4 (obs/exporter.h)
 //   /healthz         "ok\n", 200 — liveness for load balancers
 //   /varz            JSON: uptime, request counts, MetricsRegistry snapshot
-//   /profiles        flight-recorder ring as JSON, oldest first
+//   /profiles        flight-recorder ring as JSON, oldest first (?n= limit)
 //   /profiles/<id>   one retained profile by id (404 once evicted)
+//   /statusz         dependency-free HTML: uptime, build info, QPS /
+//                    latency / cache-hit-rate sparklines (when a
+//                    MetricSampler is wired in), pool and queue gauges,
+//                    recent slow queries
+//   /tracez          recent trace trees from the flight recorder, HTML by
+//                    default, ?format=json for machines
+//
+// Content types are per-endpoint: Prometheus text for /metrics,
+// application/json for the JSON endpoints, text/html for /statusz and
+// /tracez. Query strings are parsed strictly — a malformed pair (missing
+// '=', empty key) or an unparsable numeric value is a 400, not a silent
+// default.
 //
 // Additional handlers can be registered before Start(). Connections are
 // serviced one request each (Connection: close); a client that does not
@@ -36,6 +48,8 @@
 #include "statcube/common/thread_annotations.h"
 
 namespace statcube::obs {
+
+class MetricSampler;
 
 /// A parsed request as seen by handlers.
 struct HttpRequest {
@@ -61,6 +75,11 @@ struct StatsServerOptions {
   int read_timeout_ms = 5000;   ///< full request must arrive within this
   int write_timeout_ms = 5000;  ///< response write timeout
   bool register_default_endpoints = true;  ///< the endpoint table above
+  /// Optional time-series source for /statusz sparklines and /tracez's
+  /// sampler block. Not owned; must outlive the server. Without one,
+  /// /statusz still renders uptime/build/gauges/slow-queries but no
+  /// sparklines.
+  MetricSampler* sampler = nullptr;
 };
 
 class StatsServer {
@@ -94,6 +113,10 @@ class StatsServer {
   void AcceptLoop();
   void WorkerLoop();
   void ServeConnection(int fd);
+  /// Renders the /statusz HTML page (sparklines come from options_.sampler).
+  HttpResponse StatuszPage() const;
+  /// Renders /tracez: the newest `limit` flight-recorder traces.
+  static HttpResponse TracezPage(size_t limit, bool json);
 
   StatsServerOptions options_;
   std::atomic<bool> running_{false};

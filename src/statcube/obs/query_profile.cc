@@ -34,6 +34,7 @@ void RecordBackendImpl(const std::string& backend, uint64_t blocks,
     p->backend = backend;
     p->blocks.MergeRaw(blocks, bytes);
   }
+  if (ResourceAccumulator* r = CurrentResources()) r->ChargeBytes(bytes);
 }
 
 void RecordViewStoreQueryImpl(uint32_t mask, bool hit, int64_t ancestor_mask,
@@ -72,7 +73,8 @@ QueryProfile* ActiveProfile() { return internal::ActiveProfileSlot(); }
 ProfileScope::ProfileScope() {
   prev_profile_ = internal::ActiveProfileSlot();
   internal::ActiveProfileSlot() = &profile_;
-  prev_trace_ = internal::SwapCurrentTrace(&profile_.trace);
+  prev_binding_ = internal::SwapTraceBinding({&profile_.trace, -1, {}});
+  prev_resources_ = internal::SwapCurrentResources(&resources_);
   if (Enabled()) root_span_ = profile_.trace.BeginSpan("query");
 }
 
@@ -80,7 +82,8 @@ void ProfileScope::Uninstall() {
   if (!installed_) return;
   installed_ = false;
   if (root_span_ >= 0) profile_.trace.EndSpan(root_span_);
-  internal::SwapCurrentTrace(prev_trace_);
+  internal::SwapCurrentResources(prev_resources_);
+  internal::SwapTraceBinding(std::move(prev_binding_));
   internal::ActiveProfileSlot() = prev_profile_;
 }
 
@@ -88,6 +91,7 @@ ProfileScope::~ProfileScope() { Uninstall(); }
 
 QueryProfile ProfileScope::Take() {
   Uninstall();
+  profile_.resources = resources_.Snapshot();
   if (Enabled()) {
     MetricsRegistry::Global()
         .GetHistogram("statcube.query.latency_us")
@@ -111,6 +115,7 @@ std::string QueryProfile::ToString() const {
   os << "backend: " << (backend.empty() ? "relational" : backend) << "\n";
   if (!cache.empty()) os << "cache: " << cache << "\n";
   os << "spans:\n" << trace.TreeString();
+  if (!resources.Empty()) os << "resources: " << resources.ToString() << "\n";
   if (!operators.empty()) {
     os << "operators:\n";
     for (const OperatorStats& op : operators)
@@ -148,9 +153,11 @@ std::string QueryProfile::ToJson() const {
     os << "{\"name\":" << JsonStr(spans[i].name)
        << ",\"parent\":" << spans[i].parent
        << ",\"start_us\":" << double(spans[i].start_ns) / 1000.0
-       << ",\"dur_us\":" << double(spans[i].dur_ns) / 1000.0 << "}";
+       << ",\"dur_us\":" << double(spans[i].dur_ns) / 1000.0
+       << ",\"thread\":" << spans[i].thread_id << "}";
   }
-  os << "],\"operators\":[";
+  os << "],\"dropped_spans\":" << trace.dropped_spans()
+     << ",\"resources\":" << resources.ToJson() << ",\"operators\":[";
   for (size_t i = 0; i < operators.size(); ++i) {
     if (i) os << ",";
     os << "{\"op\":" << JsonStr(operators[i].op)

@@ -21,6 +21,7 @@
 
 #include "statcube/common/block_counter.h"
 #include "statcube/obs/metrics.h"
+#include "statcube/obs/resource.h"
 #include "statcube/obs/trace.h"
 
 namespace statcube::obs {
@@ -49,6 +50,11 @@ struct QueryProfile {
   /// query ran with the cache off.
   std::string cache;
   Trace trace;          ///< span tree (phases and sub-phases)
+  /// Everything the query consumed, attributed across workers: CPU time
+  /// (total and per thread), bytes touched, morsels, steals, tasks, cache
+  /// probe outcomes. Folded from the query's ResourceAccumulator by
+  /// ProfileScope::Take().
+  ResourceVector resources;
   std::vector<OperatorStats> operators;
   BlockCounter blocks;  ///< logical I/O summed over every store touched
   std::vector<ViewStoreEvent> view_events;
@@ -70,10 +76,13 @@ struct QueryProfile {
 /// The profile being collected on this thread, or nullptr.
 QueryProfile* ActiveProfile();
 
-/// Installs a fresh QueryProfile (and its trace) as this thread's active
-/// profile, wrapped in an implicit root span named "query". `Take()` closes
-/// the root span, observes statcube.query.latency_us, uninstalls, and moves
-/// the profile out.
+/// Installs a fresh QueryProfile (its trace and its ResourceAccumulator) as
+/// this thread's active profile, wrapped in an implicit root span named
+/// "query". The installed context is what TaskContext::Capture picks up, so
+/// work the query fans out to other threads charges this profile. `Take()`
+/// closes the root span, folds the accumulated ResourceVector into the
+/// profile, observes statcube.query.latency_us, uninstalls, and moves the
+/// profile out.
 class ProfileScope {
  public:
   ProfileScope();
@@ -82,14 +91,18 @@ class ProfileScope {
   ProfileScope& operator=(const ProfileScope&) = delete;
 
   QueryProfile& profile() { return profile_; }
+  /// The live accumulator (e.g. to pre-charge setup costs).
+  ResourceAccumulator& resources() { return resources_; }
   QueryProfile Take();
 
  private:
   void Uninstall();
 
   QueryProfile profile_;
+  ResourceAccumulator resources_;
   QueryProfile* prev_profile_;
-  Trace* prev_trace_;
+  internal::TraceBinding prev_binding_;
+  ResourceAccumulator* prev_resources_;
   int32_t root_span_ = -1;
   bool installed_ = true;
 };

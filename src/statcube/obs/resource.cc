@@ -1,0 +1,99 @@
+#include "statcube/obs/resource.h"
+
+#include <sstream>
+
+#include "statcube/obs/json.h"
+
+namespace statcube::obs {
+
+namespace {
+thread_local ResourceAccumulator* t_resources = nullptr;
+}  // namespace
+
+namespace internal {
+ResourceAccumulator* SwapCurrentResources(ResourceAccumulator* r) {
+  ResourceAccumulator* prev = t_resources;
+  t_resources = r;
+  return prev;
+}
+}  // namespace internal
+
+ResourceAccumulator* CurrentResources() { return t_resources; }
+
+ResourceVector ResourceAccumulator::Snapshot() const {
+  ResourceVector v;
+  v.cpu_us = cpu_us_.load(std::memory_order_relaxed);
+  v.bytes_touched = bytes_.load(std::memory_order_relaxed);
+  v.morsels = morsels_.load(std::memory_order_relaxed);
+  v.steals = steals_.load(std::memory_order_relaxed);
+  v.tasks_spawned = tasks_.load(std::memory_order_relaxed);
+  v.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  v.cache_derived_hits = cache_derived_.load(std::memory_order_relaxed);
+  v.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kCpuSlots; ++i) {
+    if (per_thread_used_[i].load(std::memory_order_relaxed)) {
+      v.cpu_us_by_thread.emplace_back(
+          uint32_t(i), per_thread_us_[i].load(std::memory_order_relaxed));
+    }
+  }
+  return v;
+}
+
+TaskContext TaskContext::Capture() {
+  TaskContext ctx;
+  if (!Enabled()) return ctx;
+  ctx.trace = CurrentTrace();
+  ctx.parent_span = internal::CurrentParentSpan();
+  ctx.resources = t_resources;
+  return ctx;
+}
+
+TaskContextScope::TaskContextScope(const TaskContext& ctx) {
+  if (ctx.empty()) return;
+  installed_ = true;
+  prev_binding_ =
+      internal::SwapTraceBinding({ctx.trace, ctx.parent_span, {}});
+  prev_res_ = internal::SwapCurrentResources(ctx.resources);
+}
+
+TaskContextScope::~TaskContextScope() {
+  if (!installed_) return;
+  internal::SwapTraceBinding(std::move(prev_binding_));
+  internal::SwapCurrentResources(prev_res_);
+}
+
+std::string ResourceVector::ToString() const {
+  std::ostringstream os;
+  os << "cpu_us=" << cpu_us << " bytes_touched=" << bytes_touched
+     << " morsels=" << morsels << " steals=" << steals
+     << " tasks_spawned=" << tasks_spawned << " cache=" << cache_hits << "h/"
+     << cache_derived_hits << "d/" << cache_misses << "m";
+  if (!cpu_us_by_thread.empty()) {
+    os << " cpu_by_thread=";
+    for (size_t i = 0; i < cpu_us_by_thread.size(); ++i) {
+      if (i) os << ",";
+      os << "t" << cpu_us_by_thread[i].first << ":"
+         << cpu_us_by_thread[i].second;
+    }
+  }
+  return os.str();
+}
+
+std::string ResourceVector::ToJson() const {
+  std::ostringstream os;
+  os << "{\"cpu_us\":" << cpu_us << ",\"bytes_touched\":" << bytes_touched
+     << ",\"morsels\":" << morsels << ",\"steals\":" << steals
+     << ",\"tasks_spawned\":" << tasks_spawned
+     << ",\"cache_hits\":" << cache_hits
+     << ",\"cache_derived_hits\":" << cache_derived_hits
+     << ",\"cache_misses\":" << cache_misses << ",\"cpu_us_by_thread\":[";
+  for (size_t i = 0; i < cpu_us_by_thread.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"thread\":" << cpu_us_by_thread[i].first
+       << ",\"us\":" << cpu_us_by_thread[i].second << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace statcube::obs

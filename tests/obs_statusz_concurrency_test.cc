@@ -1,0 +1,186 @@
+// Concurrency hammering for observability v2, designed to run under TSan
+// (the thread-sanitize CI jobs pick up every *_test.cc): four querier
+// threads run traced parallel queries (threads=4, so every query fans
+// morsels across a shared worker pool) while two scraper threads loop over
+// /statusz, /tracez, and /metrics through a real socket and a MetricSampler
+// ticks in the background. Asserts that every completed profile carries a
+// complete span tree — each morsel span parented under its own query's
+// root, never under another query's — and that scrapers always see
+// well-formed pages (a torn time-series ring or a half-written trace would
+// surface as invalid JSON, a broken tree, or a TSan report).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_checker.h"
+#include "statcube/obs/flight_recorder.h"
+#include "statcube/obs/http_server.h"
+#include "statcube/obs/metrics.h"
+#include "statcube/obs/timeseries_ring.h"
+#include "statcube/obs/trace.h"
+#include "statcube/query/parser.h"
+#include "statcube/workload/retail.h"
+
+namespace statcube {
+namespace {
+
+std::string HttpGet(uint16_t port, const std::string& target) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(fd);
+    return "";
+  }
+  std::string req = "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n"
+                    "Connection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < req.size()) {
+    ssize_t n = send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      close(fd);
+      return "";
+    }
+    off += size_t(n);
+  }
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) resp.append(buf, size_t(n));
+  close(fd);
+  return resp;
+}
+
+std::string Body(const std::string& response) {
+  size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+// A profile's span tree is complete: one root named "query", every other
+// span closed and reaching the root through strictly-decreasing parent
+// links (a span recorded on a worker that escaped its query's tree, or an
+// unjoined task's half-open span, fails here).
+void ExpectCompleteTree(const obs::QueryProfile& profile, const char* what) {
+  const std::vector<obs::SpanRecord>& spans = profile.trace.spans();
+  ASSERT_FALSE(spans.empty()) << what;
+  EXPECT_EQ(spans[0].name, "query") << what;
+  EXPECT_EQ(spans[0].parent, -1) << what;
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_FALSE(spans[i].open) << what << " span " << spans[i].name;
+    int32_t p = int32_t(i);
+    while (spans[size_t(p)].parent != -1) {
+      int32_t up = spans[size_t(p)].parent;
+      ASSERT_GE(up, 0) << what;
+      ASSERT_LT(up, p) << what << " non-decreasing parent link";
+      p = up;
+    }
+    EXPECT_EQ(p, 0) << what << " span " << spans[i].name
+                    << " detached from the query root";
+  }
+}
+
+TEST(ObsStatuszConcurrencyTest, QueriersAndScrapersRaceCleanly) {
+  obs::EnabledScope on(true);
+  obs::FlightRecorder::Global().Clear();
+  auto data = MakeRetailWorkload();
+  ASSERT_TRUE(data.ok());
+
+  obs::MetricSamplerOptions mopt;
+  mopt.interval_ms = 10;
+  mopt.ring_capacity = 32;
+  mopt.percentile_window = 4;
+  obs::MetricSampler sampler(mopt);
+  sampler.AddDefaultStatuszSeries();
+  sampler.Start();
+
+  obs::StatsServerOptions sopt;
+  sopt.port = 0;
+  sopt.sampler = &sampler;
+  obs::StatsServer server(sopt);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  constexpr int kQueriers = 4;
+  constexpr int kQueriesEach = 6;
+  const char* kQueries[] = {
+      "SELECT sum(amount) BY city",
+      "SELECT sum(amount) BY store",
+      "SELECT sum(qty), avg(amount) BY category",
+  };
+
+  std::atomic<int> queriers_done{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+
+  for (int q = 0; q < kQueriers; ++q) {
+    threads.emplace_back([&, q] {
+      for (int i = 0; i < kQueriesEach; ++i) {
+        QueryOptions opt;
+        opt.threads = 4;
+        auto r = QueryProfiled(data->object, kQueries[(q + i) % 3], opt);
+        if (!r.ok()) {
+          ++failures;
+          continue;
+        }
+        ExpectCompleteTree(r->profile, kQueries[(q + i) % 3]);
+        // Parallel execution really happened and was attributed here.
+        EXPECT_GT(r->profile.resources.morsels, 0u);
+        EXPECT_GT(r->profile.resources.tasks_spawned, 0u);
+      }
+      ++queriers_done;
+    });
+  }
+
+  // Scrapers hammer the endpoints until every querier finishes, validating
+  // each response: JSON must parse, HTML must be complete (no torn reads).
+  for (int s = 0; s < 2; ++s) {
+    threads.emplace_back([&] {
+      size_t scrapes = 0;
+      while (queriers_done.load(std::memory_order_acquire) < kQueriers ||
+             scrapes < 3) {
+        std::string statusz = Body(HttpGet(port, "/statusz"));
+        EXPECT_NE(statusz.find("id=\"sparklines\""), std::string::npos);
+        EXPECT_NE(statusz.find("</html>"), std::string::npos);
+
+        std::string tracez = Body(HttpGet(port, "/tracez?format=json&n=5"));
+        EXPECT_TRUE(JsonChecker(tracez).Valid()) << tracez.substr(0, 400);
+
+        std::string metrics = Body(HttpGet(port, "/metrics"));
+        EXPECT_NE(metrics.find("statcube"), std::string::npos);
+        ++scrapes;
+      }
+    });
+  }
+
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiescent now: every retained profile in the recorder must also hold a
+  // complete tree (they were copied in while scrapers were reading).
+  for (const obs::RecordedProfile& rec :
+       obs::FlightRecorder::Global().Snapshot()) {
+    ExpectCompleteTree(rec.profile, rec.query.c_str());
+  }
+  EXPECT_EQ(obs::FlightRecorder::Global().TotalRecorded(),
+            uint64_t(kQueriers) * kQueriesEach);
+
+  server.Stop();
+  sampler.Stop();
+  obs::FlightRecorder::Global().Clear();
+}
+
+}  // namespace
+}  // namespace statcube

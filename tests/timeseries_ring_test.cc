@@ -1,0 +1,203 @@
+// Tests for the /statusz time-series layer (obs/timeseries_ring.h): ring
+// rotation and tear-free snapshots under a concurrent writer, and the
+// MetricSampler's derived series — counter rates, ratio series, gauge
+// samples, and sliding-window histogram percentiles — ticked
+// deterministically via SampleOnce.
+
+#include "statcube/obs/timeseries_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_checker.h"
+#include "statcube/obs/metrics.h"
+
+namespace statcube {
+namespace {
+
+// ------------------------------------------------------- TimeSeriesRing
+
+TEST(TimeSeriesRingTest, RotationKeepsNewestValues) {
+  obs::TimeSeriesRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.Last(), 0.0);  // before any push
+  for (int i = 0; i < 10; ++i) ring.Push(double(i));
+  EXPECT_EQ(ring.count(), 10u);
+  EXPECT_EQ(ring.Last(), 9.0);
+  EXPECT_EQ(ring.Snapshot(), (std::vector<double>{6, 7, 8, 9}));
+}
+
+TEST(TimeSeriesRingTest, ZeroCapacityClampsToOne) {
+  obs::TimeSeriesRing ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.Push(1.0);
+  ring.Push(2.0);
+  EXPECT_EQ(ring.Snapshot(), std::vector<double>{2.0});
+}
+
+TEST(TimeSeriesRingTest, PartialFillSnapshotsOldestFirst) {
+  obs::TimeSeriesRing ring(8);
+  ring.Push(3.0);
+  ring.Push(1.0);
+  EXPECT_EQ(ring.Snapshot(), (std::vector<double>{3.0, 1.0}));
+}
+
+// The tear-free contract: a reader racing the single writer never sees a
+// half-rotated window. The writer pushes consecutive integers, so any torn
+// or overwritten read would show up as a gap or an out-of-order value.
+// Runs under TSan via the sanitizer CI jobs.
+TEST(TimeSeriesRingTest, SnapshotIsNeverTornUnderConcurrentWriter) {
+  obs::TimeSeriesRing ring(64);
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 200000; ++i) ring.Push(double(i));
+    done.store(true, std::memory_order_release);
+  });
+  size_t snapshots = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    std::vector<double> snap = ring.Snapshot();
+    ASSERT_LE(snap.size(), 64u);
+    for (size_t i = 1; i < snap.size(); ++i)
+      ASSERT_EQ(snap[i], snap[i - 1] + 1.0)
+          << "torn window at snapshot " << snapshots << " index " << i;
+    ++snapshots;
+  }
+  writer.join();
+  EXPECT_EQ(ring.Snapshot().back(), 199999.0);
+}
+
+// -------------------------------------------------------- MetricSampler
+
+obs::MetricSamplerOptions SmallSampler() {
+  obs::MetricSamplerOptions opt;
+  opt.interval_ms = 10;
+  opt.ring_capacity = 8;
+  opt.percentile_window = 2;
+  return opt;
+}
+
+TEST(MetricSamplerTest, CounterRateReactsToDeltas) {
+  obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("tsrtest.rate.counter");
+  obs::MetricSampler sampler(SmallSampler());
+  sampler.AddCounterRate("tsrtest.rate.counter");
+
+  c.Add(7);
+  sampler.SampleOnce();
+  std::vector<double> series = sampler.Series("tsrtest.rate.counter.rate");
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_GT(series[0], 0.0);  // 7 new counts over a positive dt
+
+  sampler.SampleOnce();  // no new counts: the rate drops to exactly zero
+  series = sampler.Series("tsrtest.rate.counter.rate");
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[1], 0.0);
+  EXPECT_EQ(sampler.samples(), 2u);
+}
+
+TEST(MetricSamplerTest, RatioSeriesIsDeterministicPerTick) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& hits = reg.GetCounter("tsrtest.ratio.hits");
+  obs::Counter& misses = reg.GetCounter("tsrtest.ratio.misses");
+  obs::MetricSampler sampler(SmallSampler());
+  sampler.AddCounterRatio("tsrtest.ratio", "tsrtest.ratio.hits",
+                          {"tsrtest.ratio.hits", "tsrtest.ratio.misses"});
+
+  hits.Add(3);
+  misses.Add(1);
+  sampler.SampleOnce();
+  sampler.SampleOnce();  // no deltas: 0/0 publishes 0
+  hits.Add(2);
+  sampler.SampleOnce();  // 2 hits / 2 lookups
+  EXPECT_EQ(sampler.Series("tsrtest.ratio"),
+            (std::vector<double>{0.75, 0.0, 1.0}));
+}
+
+TEST(MetricSamplerTest, GaugeSeriesSamplesInstantaneousValue) {
+  obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge("tsrtest.gauge");
+  obs::MetricSampler sampler(SmallSampler());
+  sampler.AddGauge("tsrtest.gauge");
+  g.Set(42.0);
+  sampler.SampleOnce();
+  g.Set(-3.0);
+  sampler.SampleOnce();
+  EXPECT_EQ(sampler.Series("tsrtest.gauge"),
+            (std::vector<double>{42.0, -3.0}));
+}
+
+TEST(MetricSamplerTest, HistogramWindowSlidesAndInterpolates) {
+  // Custom bounds make the interpolation arithmetic exact: ten values of 15
+  // all land in the (10, 20] bucket, so pK = 10 + 10 * rank / 10.
+  obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "tsrtest.window.hist", {10.0, 20.0, 40.0});
+  obs::MetricSampler sampler(SmallSampler());  // percentile_window = 2
+  sampler.AddHistogramWindow("tsrtest.window.hist");
+
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);
+  sampler.SampleOnce();
+  EXPECT_EQ(sampler.Series("tsrtest.window.hist.p50").back(), 15.0);
+  EXPECT_EQ(sampler.Series("tsrtest.window.hist.p95").back(), 19.0);
+  EXPECT_EQ(sampler.Series("tsrtest.window.hist.p99").back(), 19.0);
+  EXPECT_GT(sampler.Series("tsrtest.window.hist.rate").back(), 0.0);
+
+  // One more tick with no observations: the ten values are still inside
+  // the 2-tick window.
+  sampler.SampleOnce();
+  EXPECT_EQ(sampler.Series("tsrtest.window.hist.p50").back(), 15.0);
+
+  // A second idle tick pushes them out of the window entirely.
+  sampler.SampleOnce();
+  EXPECT_EQ(sampler.Series("tsrtest.window.hist.p50").back(), 0.0);
+  EXPECT_EQ(sampler.Series("tsrtest.window.hist.p99").back(), 0.0);
+
+  // New observations re-enter immediately: four values of 30 land in the
+  // (20, 40] bucket; p50 rank 2 of 4 interpolates to 20 + 20 * 2/4 = 30.
+  for (int i = 0; i < 4; ++i) h.Observe(30.0);
+  sampler.SampleOnce();
+  EXPECT_EQ(sampler.Series("tsrtest.window.hist.p50").back(), 30.0);
+}
+
+TEST(MetricSamplerTest, SnapshotAllSortedAndJsonValid) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("tsrtest.all.a");
+  reg.GetGauge("tsrtest.all.b");
+  obs::MetricSampler sampler(SmallSampler());
+  sampler.AddCounterRate("tsrtest.all.a");
+  sampler.AddGauge("tsrtest.all.b");
+  sampler.AddHistogramWindow("tsrtest.all.h");
+  sampler.SampleOnce();
+
+  auto all = sampler.SnapshotAll();
+  ASSERT_GE(all.size(), 6u);  // a.rate, b, h.rate, h.p50, h.p95, h.p99
+  for (size_t i = 1; i < all.size(); ++i)
+    EXPECT_LT(all[i - 1].first, all[i].first) << "not sorted by name";
+  for (const auto& [name, values] : all)
+    EXPECT_EQ(values.size(), 1u) << name;
+
+  EXPECT_TRUE(JsonChecker(sampler.ToJson()).Valid()) << sampler.ToJson();
+  EXPECT_TRUE(sampler.Series("tsrtest.no.such.series").empty());
+}
+
+TEST(MetricSamplerTest, BackgroundThreadTicksAndStopsIdempotently) {
+  obs::MetricSamplerOptions opt = SmallSampler();
+  obs::MetricSampler sampler(opt);
+  sampler.AddDefaultStatuszSeries();
+  sampler.Start();
+  sampler.Start();  // idempotent
+  while (sampler.samples() < 2) std::this_thread::yield();
+  sampler.Stop();
+  sampler.Stop();  // idempotent
+  uint64_t ticks = sampler.samples();
+  EXPECT_GE(ticks, 2u);
+  // Restartable after Stop.
+  sampler.Start();
+  while (sampler.samples() == ticks) std::this_thread::yield();
+  sampler.Stop();
+}
+
+}  // namespace
+}  // namespace statcube

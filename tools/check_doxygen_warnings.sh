@@ -15,6 +15,8 @@ GATED=(
   "src/statcube/materialize/view_store.h"
   "src/statcube/olap/backend.h"
   "src/statcube/cache/"
+  "src/statcube/obs/resource.h"
+  "src/statcube/obs/timeseries_ring.h"
 )
 
 if ! command -v doxygen >/dev/null; then
