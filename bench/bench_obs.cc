@@ -11,9 +11,11 @@
 
 #include <atomic>
 
+#include "statcube/common/cancellation.h"
 #include "statcube/exec/task_scheduler.h"
 #include "statcube/obs/metrics.h"
 #include "statcube/obs/query_profile.h"
+#include "statcube/obs/query_registry.h"
 #include "statcube/obs/timeseries_ring.h"
 #include "statcube/query/parser.h"
 #include "statcube/workload/retail.h"
@@ -93,6 +95,65 @@ void BM_ParallelForObsEnabledTraced(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParallelForObsEnabledTraced);
+
+// -------------------- cancellation checks, disarmed vs armed (PR 7 bar)
+
+// Same fan-out with no stop context (the default every pre-existing caller
+// gets: one null test per morsel) vs an armed-but-never-fired context (one
+// relaxed token load + deadline compare per morsel). Adjacent pairs keep
+// the <3% disabled-path bar measurable.
+void RunFanoutWithStop(exec::TaskScheduler& pool, const CancelContext* stop) {
+  exec::ParallelForOptions opt;
+  opt.scheduler = &pool;
+  opt.morsel_size = 256;
+  opt.max_workers = 4;
+  opt.stop = stop;
+  std::atomic<uint64_t> sum{0};
+  exec::ParallelFor(
+      16384,
+      [&sum](size_t, size_t begin, size_t end) {
+        uint64_t local = 0;
+        for (size_t i = begin; i < end; ++i) local += i;
+        sum.fetch_add(local, std::memory_order_relaxed);
+      },
+      opt);
+  benchmark::DoNotOptimize(sum.load());
+}
+
+void BM_ParallelForCancelDisabled(benchmark::State& state) {
+  obs::EnabledScope off(false);
+  exec::TaskScheduler pool(4);
+  for (auto _ : state) RunFanoutWithStop(pool, nullptr);
+}
+BENCHMARK(BM_ParallelForCancelDisabled);
+
+void BM_ParallelForCancelArmed(benchmark::State& state) {
+  obs::EnabledScope off(false);
+  exec::TaskScheduler pool(4);
+  CancellationToken token;
+  CancelContext stop;
+  stop.token = &token;
+  stop.deadline_us = SteadyNowUs() + 3600ull * 1000 * 1000;  // never fires
+  for (auto _ : state) RunFanoutWithStop(pool, &stop);
+}
+BENCHMARK(BM_ParallelForCancelArmed);
+
+// The per-query registry rendezvous QueryProfiled added: one Register +
+// one Unregister (two map ops under an uncontended mutex) per query.
+void BM_QueryRegistryEnterExit(benchmark::State& state) {
+  CancellationToken token;
+  for (auto _ : state) {
+    obs::ActiveQueryInfo info;
+    info.query = "SELECT sum(amount) BY store";
+    info.engine = "relational";
+    info.cache_mode = "off";
+    info.threads = 4;
+    info.token = token;
+    obs::ActiveQueryScope scope(std::move(info));
+    benchmark::DoNotOptimize(scope.id());
+  }
+}
+BENCHMARK(BM_QueryRegistryEnterExit);
 
 // ----------------------------------------------- /statusz sampling costs
 

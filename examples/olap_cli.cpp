@@ -35,9 +35,15 @@
 // stderr. Profiled queries land in the flight recorder either way (`\p`
 // dumps it). For an always-on serving demo see examples/stats_server.cpp.
 //
+// Deadlines: `--deadline-ms=N` gives every query an execution budget; a
+// query that runs past it stops at the next morsel / row-batch boundary and
+// reports DeadlineExceeded (the profile records outcome
+// "deadline_exceeded"). Implies the profiled path, like --cache.
+//
 // Run: ./build/examples/olap_cli [--profile] [--engine=E] [--threads=N]
 //          [--cache=M] [--serve=PORT] [--slow-query-us=N]
-//          [--flight-capacity=N] [--statusz-sample-ms=D] [object-file]
+//          [--flight-capacity=N] [--statusz-sample-ms=D] [--deadline-ms=N]
+//          [object-file]
 //      echo "EXPLAIN PROFILE SELECT sum(amount) BY city" | ./build/examples/olap_cli
 //
 // Parser/executor errors go to stderr and make the exit code nonzero, so
@@ -73,6 +79,7 @@ struct CliOptions {
   long slow_query_us = -1;      // --slow-query-us=N; -1 = leave default
   long flight_capacity = -1;    // --flight-capacity=N; -1 = leave default
   long statusz_sample_ms = 1000;  // --statusz-sample-ms=D
+  long deadline_ms = 0;           // --deadline-ms=N; 0 = no deadline
   cache::Mode cache = cache::Mode::kOff;  // --cache=off|on|derive
   std::string object_file;
 };
@@ -85,15 +92,17 @@ bool Execute(const StatisticalObject& obj, const std::string& text,
     fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
     return false;
   }
-  // Caching needs the profiled path: QueryProfiled owns the cache
-  // lookup/insert and the execution timing that drives admission. Without
-  // --profile the profile itself is simply not printed.
+  // Caching and deadlines need the profiled path: QueryProfiled owns the
+  // cache lookup/insert, the execution timing that drives admission, and
+  // the deadline/cancellation plumbing. Without --profile the profile
+  // itself is simply not printed.
   if (cli.profile || parsed->explain_profile ||
-      cli.cache != cache::Mode::kOff) {
+      cli.cache != cache::Mode::kOff || cli.deadline_ms > 0) {
     QueryOptions opt;
     opt.engine = cli.engine;
     opt.threads = cli.threads;
     opt.cache = cli.cache;
+    opt.deadline_us = uint64_t(cli.deadline_ms) * 1000;
     auto result = QueryProfiled(obj, text, opt);
     if (!result.ok()) {
       fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
@@ -175,15 +184,23 @@ int main(int argc, char** argv) {
                 arg.c_str());
         return 1;
       }
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      cli.deadline_ms = atol(arg.c_str() + strlen("--deadline-ms="));
+      if (cli.deadline_ms < 1) {
+        fprintf(stderr, "bad --deadline-ms value %s (>= 1)\n", arg.c_str());
+        return 1;
+      }
     } else if (arg == "--help" || arg == "-h") {
       printf("usage: olap_cli [--profile] [--engine=relational|molap|rolap|"
              "rolap+bitmap] [--threads=N] [--cache=off|on|derive] "
              "[--serve=PORT] [--slow-query-us=N] [--flight-capacity=N] "
-             "[--statusz-sample-ms=D] [object-file]\n"
+             "[--statusz-sample-ms=D] [--deadline-ms=N] [object-file]\n"
              "  --threads=N   execute on N workers (default: "
              "STATCUBE_THREADS or hardware concurrency; 1 = serial)\n"
              "  --cache=M     result cache: on = exact reuse, derive = also "
-             "roll up cached supersets (default: off)\n");
+             "roll up cached supersets (default: off)\n"
+             "  --deadline-ms=N  per-query execution budget; past it the "
+             "query stops with DeadlineExceeded (default: none)\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       fprintf(stderr, "unknown flag %s\n", arg.c_str());

@@ -25,7 +25,22 @@
 //                      with the cache on, round 1 is cold and every later
 //                      round hits — statcube_cache_* in /metrics shows the
 //                      hit rate live (the EXPERIMENTS.md P2 recipe)
+//   --rows=N           retail workload size in rows (default 20000; the CI
+//                      cancellation smoke raises it so queries stay
+//                      in-flight long enough to show up on /queryz)
+//   --default-deadline-ms=N  per-query execution budget (default 0 = none);
+//                      expired queries return DeadlineExceeded and are
+//                      recorded with outcome "deadline_exceeded"
+//   --max-query-ms=N   stuck-query watchdog hard limit (default 0 = log
+//                      only): queries in flight past it are auto-cancelled
+//                      (statcube.query.watchdog_cancelled counts them)
 //   --quiet            suppress the per-round progress line
+//
+// The query lifecycle control plane is live here too: /queryz lists the
+// in-flight query with its elapsed wall/CPU time, and
+// POST /queryz/cancel?id=N stops it mid-morsel (the profile shows outcome
+// "cancelled"). A QueryWatchdog thread sweeps the registry once a second,
+// logging a structured stuck_query line for anything slower than 10 s.
 
 #include <atomic>
 #include <chrono>
@@ -39,6 +54,7 @@
 #include "statcube/obs/http_server.h"
 #include "statcube/obs/log.h"
 #include "statcube/obs/metrics.h"
+#include "statcube/obs/query_registry.h"
 #include "statcube/obs/timeseries_ring.h"
 #include "statcube/query/parser.h"
 #include "statcube/workload/retail.h"
@@ -82,6 +98,9 @@ int main(int argc, char** argv) {
   long slow_query_us = 20000;
   long flight_capacity = 0;  // 0 = keep the default
   long statusz_sample_ms = 1000;
+  long rows = 20000;
+  long default_deadline_ms = 0;
+  long max_query_ms = 0;
   bool quiet = false;
   cache::Mode cache_mode = cache::Mode::kOff;
   for (int i = 1; i < argc; ++i) {
@@ -115,13 +134,33 @@ int main(int argc, char** argv) {
         return 1;
       }
       cache_mode = *mode;
+    } else if (arg.rfind("--rows=", 0) == 0) {
+      rows = atol(arg.c_str() + strlen("--rows="));
+      if (rows < 1) {
+        fprintf(stderr, "--rows must be >= 1\n");
+        return 1;
+      }
+    } else if (arg.rfind("--default-deadline-ms=", 0) == 0) {
+      default_deadline_ms =
+          atol(arg.c_str() + strlen("--default-deadline-ms="));
+      if (default_deadline_ms < 0) {
+        fprintf(stderr, "--default-deadline-ms must be >= 0\n");
+        return 1;
+      }
+    } else if (arg.rfind("--max-query-ms=", 0) == 0) {
+      max_query_ms = atol(arg.c_str() + strlen("--max-query-ms="));
+      if (max_query_ms < 0) {
+        fprintf(stderr, "--max-query-ms must be >= 0\n");
+        return 1;
+      }
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
       fprintf(stderr,
               "usage: stats_server [--port=P] [--iterations=N] "
               "[--delay-ms=D] [--slow-query-us=T] [--flight-capacity=N] "
-              "[--statusz-sample-ms=D] [--cache=off|on|derive] [--quiet]\n");
+              "[--statusz-sample-ms=D] [--cache=off|on|derive] [--rows=N] "
+              "[--default-deadline-ms=N] [--max-query-ms=N] [--quiet]\n");
       return arg == "--help" || arg == "-h" ? 0 : 1;
     }
   }
@@ -131,7 +170,7 @@ int main(int argc, char** argv) {
   ropt.num_stores = 8;
   ropt.num_cities = 4;
   ropt.num_days = 30;
-  ropt.num_rows = 20000;
+  ropt.num_rows = size_t(rows);
   auto data = MakeRetailWorkload(ropt);
   if (!data.ok()) {
     fprintf(stderr, "%s\n", data.status().ToString().c_str());
@@ -153,6 +192,11 @@ int main(int argc, char** argv) {
   sampler.AddDefaultStatuszSeries();
   sampler.Start();
 
+  obs::QueryWatchdogOptions wopt;
+  wopt.max_query_us = uint64_t(max_query_ms) * 1000;
+  obs::QueryWatchdog watchdog(wopt);
+  watchdog.Start();
+
   obs::StatsServerOptions sopt;
   sopt.port = uint16_t(port);
   sopt.sampler = &sampler;
@@ -163,7 +207,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   printf("serving on http://localhost:%u  (/metrics /varz /profiles "
-         "/statusz /tracez /healthz); Ctrl-C stops\n",
+         "/statusz /tracez /queryz /healthz); Ctrl-C stops\n",
          unsigned(server.port()));
   fflush(stdout);
 
@@ -171,22 +215,34 @@ int main(int argc, char** argv) {
   signal(SIGTERM, HandleSignal);
 
   long round = 0;
-  uint64_t queries = 0, errors = 0;
+  uint64_t queries = 0, errors = 0, stopped = 0;
   while (!g_stop.load() && (iterations == 0 || round < iterations)) {
     for (const WorkloadQuery& wq : kWorkload) {
       if (g_stop.load()) break;
       QueryOptions qopt;
       qopt.engine = wq.engine;
       qopt.cache = cache_mode;
+      qopt.deadline_us = uint64_t(default_deadline_ms) * 1000;
       auto r = QueryProfiled(data->object, wq.text, qopt);
-      if (r.ok()) ++queries; else ++errors;
+      // Cancelled / expired queries are the control plane doing its job
+      // (the CI smoke cancels one on purpose), not workload errors.
+      if (r.ok()) {
+        ++queries;
+      } else if (r.status().code() == StatusCode::kCancelled ||
+                 r.status().code() == StatusCode::kDeadlineExceeded) {
+        ++stopped;
+      } else {
+        ++errors;
+      }
       if (delay_ms > 0)
         std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
     }
     ++round;
     if (!quiet) {
-      printf("round %ld: %llu queries, %llu errors, %llu profiles retained\n",
-             round, (unsigned long long)queries, (unsigned long long)errors,
+      printf("round %ld: %llu queries, %llu stopped, %llu errors, "
+             "%llu profiles retained\n",
+             round, (unsigned long long)queries, (unsigned long long)stopped,
+             (unsigned long long)errors,
              (unsigned long long)obs::FlightRecorder::Global()
                  .Snapshot()
                  .size());
@@ -194,9 +250,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  watchdog.Stop();
   server.Stop();
-  printf("done: %llu queries, %llu errors, %llu http requests served\n",
-         (unsigned long long)queries, (unsigned long long)errors,
+  printf("done: %llu queries, %llu stopped, %llu errors, "
+         "%llu http requests served\n",
+         (unsigned long long)queries, (unsigned long long)stopped,
+         (unsigned long long)errors,
          (unsigned long long)server.requests_served());
   return errors == 0 ? 0 : 1;
 }

@@ -1,0 +1,18 @@
+#include "statcube/common/cancellation.h"
+
+namespace statcube {
+
+Status StopStatus(StopReason reason, const char* what) {
+  switch (reason) {
+    case StopReason::kCancelled:
+      return Status::Cancelled(std::string("query cancelled during ") + what);
+    case StopReason::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::string("deadline exceeded during ") +
+                                      what);
+    case StopReason::kNone:
+      break;
+  }
+  return Status::Internal("StopStatus called with StopReason::kNone");
+}
+
+}  // namespace statcube

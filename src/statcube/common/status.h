@@ -24,6 +24,8 @@ enum class StatusCode {
   kPrivacyRefused,    ///< privacy monitor refused to answer a query
   kUnimplemented,
   kInternal,
+  kCancelled,          ///< query stopped by cooperative cancellation
+  kDeadlineExceeded,   ///< query stopped by an expired deadline
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -61,6 +63,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

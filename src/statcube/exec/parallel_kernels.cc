@@ -25,7 +25,16 @@ ParallelForOptions LoopOptions(const char* label, const ExecOptions& options) {
                                               : options.morsel_rows;
   loop.max_workers = options.EffectiveThreads();
   loop.scheduler = options.scheduler;
+  loop.stop = options.stop;
   return loop;
+}
+
+// The stop state after a kernel's loops ran: kNone means every morsel was
+// claimed and completed (monotonicity — a stop that fired during the loop is
+// still visible here), anything else means the kernel must discard its
+// partial output and report the stop.
+StopReason StopAfter(const ExecOptions& options) {
+  return options.stop == nullptr ? StopReason::kNone : options.stop->Check();
 }
 
 // Folds `src` into `dst`. Called in ascending morsel order, so the sequence
@@ -118,6 +127,9 @@ Result<GroupedStates> ParallelGroupByStates(
       },
       loop);
 
+  if (StopReason r = StopAfter(options); r != StopReason::kNone)
+    return StopStatus(r, "groupby");
+
   GroupedStates merged;
   for (GroupedStates& part : parts) MergeGroupedStates(&merged, &part);
   return merged;
@@ -178,6 +190,8 @@ Result<Table> ParallelCubeBy(const Table& input,
           }
         },
         loop);
+    if (StopReason r = StopAfter(options); r != StopReason::kNone)
+      return StopStatus(r, "cube");
   }
 
   // Emission order matches CubeBy (popcount desc, mask asc); the canonical
@@ -214,6 +228,8 @@ Result<Table> ParallelRollupBy(const Table& input,
     }
     EmitCubeGrouping(states, m, ndims, aggs, &out);
   }
+  if (StopReason r = StopAfter(options); r != StopReason::kNone)
+    return StopStatus(r, "rollup");
   SortCubeRows(&out, ndims);
   return out;
 }
@@ -277,6 +293,8 @@ Result<double> ParallelSumRange(DenseArray& array,
       },
       loop);
 
+  if (StopReason r = StopAfter(options); r != StopReason::kNone)
+    return StopStatus(r, "sum_range");
   double total = 0.0;
   for (double p : parts) total += p;
   return total;
@@ -338,6 +356,8 @@ Result<std::vector<double>> ParallelMarginalSums(DenseArray& array,
       loop);
 
   if (!first_error.ok()) return first_error;
+  if (StopReason r = StopAfter(options); r != StopReason::kNone)
+    return StopStatus(r, "marginal");
   return out;
 }
 

@@ -40,6 +40,10 @@ struct ExecOptions {
   size_t morsel_rows = kDefaultMorselRows;
   /// nullptr = TaskScheduler::Global().
   TaskScheduler* scheduler = nullptr;
+  /// Optional query-level stop context (token + deadline). Morsel loops stop
+  /// claiming work once it fires and the kernel returns kCancelled /
+  /// kDeadlineExceeded instead of a partial result. nullptr = never stops.
+  const CancelContext* stop = nullptr;
 
   /// The thread cap with defaults resolved.
   int EffectiveThreads() const {

@@ -327,9 +327,11 @@ void RunMorsels(size_t n, size_t morsel, size_t nmorsels,
                 std::atomic<size_t>& next,
                 const std::function<void(size_t, size_t, size_t)>& body,
                 const CancellationToken* external_cancel,
-                const CancellationToken& group_token, const char* label) {
+                const CancelContext* stop, const CancellationToken& group_token,
+                const char* label) {
   while (true) {
     if (external_cancel != nullptr && external_cancel->cancelled()) return;
+    if (stop != nullptr && stop->Check() != StopReason::kNone) return;
     if (group_token.cancelled()) return;
     size_t m = next.fetch_add(1, std::memory_order_relaxed);
     if (m >= nmorsels) return;
@@ -382,8 +384,8 @@ void ParallelFor(size_t n,
     // Inline path: same morsel boundaries, ascending order — bit-identical
     // to the pooled path for any kernel that combines by morsel index.
     CancellationToken never;
-    RunMorsels(n, morsel, nmorsels, next, body, options.cancel, never,
-               options.label);
+    RunMorsels(n, morsel, nmorsels, next, body, options.cancel, options.stop,
+               never, options.label);
     return;
   }
 
@@ -391,7 +393,7 @@ void ParallelFor(size_t n,
   for (int r = 0; r < workers; ++r) {
     group.Run([&, r] {
       (void)r;
-      RunMorsels(n, morsel, nmorsels, next, body, options.cancel,
+      RunMorsels(n, morsel, nmorsels, next, body, options.cancel, options.stop,
                  group.token(), options.label);
     });
   }

@@ -49,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "statcube/common/cancellation.h"
 #include "statcube/common/mutex.h"
 #include "statcube/common/thread_annotations.h"
 
@@ -70,23 +71,11 @@ inline constexpr int kMaxThreads = 64;
 /// benchmark workloads; see DESIGN.md §6.
 inline constexpr size_t kDefaultMorselRows = 2048;
 
-/// Shared cooperative-cancellation flag. Copies observe the same flag.
-class CancellationToken {
- public:
-  /// A fresh, un-cancelled flag.
-  CancellationToken()
-      : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
-
-  /// Requests cancellation; visible to every copy of this token.
-  void Cancel() { cancelled_->store(true, std::memory_order_relaxed); }
-  /// True once any copy called Cancel(). Checked between morsels/tasks.
-  bool cancelled() const {
-    return cancelled_->load(std::memory_order_relaxed);
-  }
-
- private:
-  std::shared_ptr<std::atomic<bool>> cancelled_;
-};
+/// Shared cooperative-cancellation flag. The type moved to
+/// common/cancellation.h (the query-lifecycle registry in obs/ holds one
+/// per in-flight query, and obs must not include exec headers); this alias
+/// keeps the historical exec::CancellationToken spelling working.
+using CancellationToken = ::statcube::CancellationToken;
 
 /// Fixed thread pool with per-worker deques and work stealing.
 ///
@@ -208,6 +197,13 @@ struct ParallelForOptions {
   int max_workers = 0;
   /// Optional external cancellation (checked between morsels).
   CancellationToken* cancel = nullptr;
+  /// Optional query-level stop configuration (external token + absolute
+  /// deadline; common/cancellation.h), checked between morsels exactly like
+  /// `cancel`. The loop stops claiming morsels once the context reports a
+  /// stop; callers turn the (monotonic) stop state into a Status by
+  /// re-checking the context after ParallelFor returns. nullptr or an
+  /// inactive context costs one pointer test per morsel.
+  const CancelContext* stop = nullptr;
   /// nullptr means TaskScheduler::Global().
   TaskScheduler* scheduler = nullptr;
 };

@@ -71,6 +71,8 @@ uint64_t FlightRecorder::Record(const QueryProfile& profile,
                                                     : rec.profile.backend)
         .Int("result_rows", int64_t(rec.profile.result_rows))
         .Int("blocks_read", int64_t(rec.profile.blocks.blocks_read()))
+        .Str("outcome", rec.profile.outcome.empty() ? "ok"
+                                                    : rec.profile.outcome)
         .Str("query", rec.query)
         .Emit();
   }

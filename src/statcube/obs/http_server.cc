@@ -20,6 +20,7 @@
 #include "statcube/obs/json.h"
 #include "statcube/obs/log.h"
 #include "statcube/obs/metrics.h"
+#include "statcube/obs/query_registry.h"
 #include "statcube/obs/timeseries_ring.h"
 
 namespace statcube::obs {
@@ -223,6 +224,38 @@ StatsServer::StatsServer(StatsServerOptions options)
     resp.body = rec->ToJson();
     return resp;
   }, /*prefix=*/true);
+  Handle("/queryz", [](const HttpRequest& req) {
+    std::map<std::string, std::string> params;
+    if (!ParseQuery(req.query, &params))
+      return SimpleResponse(400, "malformed query string\n");
+    auto fmt = params.find("format");
+    if (fmt != params.end() && fmt->second != "json" &&
+        fmt->second != "html")
+      return SimpleResponse(400, "format must be json or html\n");
+    if (fmt != params.end() && fmt->second == "json") {
+      HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = QueryRegistry::Global().ToJson();
+      return resp;
+    }
+    return QueryzPage();
+  });
+  HandleMethod("POST", "/queryz/cancel", [](const HttpRequest& req) {
+    std::map<std::string, std::string> params;
+    if (!ParseQuery(req.query, &params))
+      return SimpleResponse(400, "malformed query string\n");
+    if (params.find("id") == params.end())
+      return SimpleResponse(400, "id= is required\n");
+    size_t id = 0;
+    if (!ParseSizeParam(params, "id", &id))
+      return SimpleResponse(400, "bad id= value\n");
+    if (!QueryRegistry::Global().Cancel(uint64_t(id)))
+      return SimpleResponse(404, "no in-flight query with that id\n");
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = "{\"cancelled\":" + std::to_string(id) + "}\n";
+    return resp;
+  });
   Handle("/statusz", [this](const HttpRequest& req) {
     std::map<std::string, std::string> params;
     if (!ParseQuery(req.query, &params))
@@ -309,7 +342,7 @@ HttpResponse StatsServer::StatuszPage() const {
        << FlightRecorder::Global().SlowQueryThresholdUs() << " us)</p>";
   } else {
     os << "<table><tr><th>id</th><th>latency_us</th><th>backend</th>"
-       << "<th>query</th></tr>";
+       << "<th>outcome</th><th>query</th></tr>";
     size_t shown = 0;
     for (size_t i = slow.size(); i-- > 0 && shown < 10; ++shown) {
       const RecordedProfile& rec = *slow[i];
@@ -317,14 +350,58 @@ HttpResponse StatsServer::StatuszPage() const {
          << "</a></td><td>" << rec.latency_us << "</td><td>"
          << HtmlEscape(rec.profile.backend.empty() ? "relational"
                                                    : rec.profile.backend)
+         << "</td><td>"
+         << HtmlEscape(rec.profile.outcome.empty() ? "ok"
+                                                   : rec.profile.outcome)
          << "</td><td>" << HtmlEscape(rec.query) << "</td></tr>";
     }
     os << "</table>";
   }
   os << "<p><a href=\"/tracez\">/tracez</a> <a href=\"/varz\">/varz</a> "
      << "<a href=\"/metrics\">/metrics</a> "
-     << "<a href=\"/profiles\">/profiles</a></p></body></html>";
+     << "<a href=\"/profiles\">/profiles</a> "
+     << "<a href=\"/queryz\">/queryz</a></p></body></html>";
 
+  HttpResponse resp;
+  resp.content_type = "text/html; charset=utf-8";
+  resp.body = os.str();
+  return resp;
+}
+
+HttpResponse StatsServer::QueryzPage() {
+  std::vector<ActiveQuerySnapshot> snaps = QueryRegistry::Global().Snapshot();
+  std::ostringstream os;
+  os << "<!doctype html><html><head><meta charset=\"utf-8\">"
+     << "<title>statcube /queryz</title><style>"
+     << "body{font-family:monospace;margin:2em;background:#fdfdfd}"
+     << "table{border-collapse:collapse}"
+     << "td,th{border:1px solid #ccc;padding:2px 8px;text-align:left}"
+     << "</style></head><body><h1>in-flight queries</h1>"
+     << "<p>" << snaps.size() << " active; "
+     << "<a href=\"/queryz?format=json\">json</a>; cancel with "
+     << "<code>curl -X POST /queryz/cancel?id=N</code></p>";
+  if (snaps.empty()) {
+    os << "<p>none</p>";
+  } else {
+    os << "<table><tr><th>id</th><th>engine</th><th>threads</th>"
+       << "<th>elapsed_us</th><th>cpu_us</th><th>morsels</th>"
+       << "<th>cache</th><th>deadline</th><th>cancelled</th>"
+       << "<th>query</th></tr>";
+    for (const ActiveQuerySnapshot& s : snaps) {
+      os << "<tr><td>" << s.id << "</td><td>" << HtmlEscape(s.engine)
+         << "</td><td>" << s.threads << "</td><td>" << s.elapsed_us
+         << "</td><td>" << s.resources.cpu_us << "</td><td>"
+         << s.resources.morsels << "</td><td>" << HtmlEscape(s.cache_mode)
+         << "</td><td>"
+         << (s.deadline_us == 0 ? std::string("-")
+                                : std::to_string(s.deadline_us))
+         << "</td><td>" << (s.cancelled ? "yes" : "no") << "</td><td>"
+         << HtmlEscape(s.query) << "</td></tr>";
+    }
+    os << "</table>";
+  }
+  os << "<p><a href=\"/statusz\">/statusz</a> "
+     << "<a href=\"/profiles\">/profiles</a></p></body></html>";
   HttpResponse resp;
   resp.content_type = "text/html; charset=utf-8";
   resp.body = os.str();
@@ -385,7 +462,13 @@ StatsServer::~StatsServer() { Stop(); }
 
 void StatsServer::Handle(const std::string& path, HttpHandler handler,
                          bool prefix) {
-  (prefix ? prefix_ : exact_).emplace_back(path, std::move(handler));
+  HandleMethod("GET", path, std::move(handler), prefix);
+}
+
+void StatsServer::HandleMethod(const std::string& method,
+                               const std::string& path, HttpHandler handler,
+                               bool prefix) {
+  (prefix ? prefix_ : exact_).push_back({path, method, std::move(handler)});
 }
 
 Status StatsServer::Start() {
@@ -590,23 +673,35 @@ void StatsServer::ServeConnection(int fd) {
 
   HttpResponse resp;
   bool head_only = req.method == "HEAD";
-  if (req.method != "GET" && req.method != "HEAD") {
-    resp = SimpleResponse(405, "only GET and HEAD are served\n");
+  if (req.method != "GET" && req.method != "HEAD" && req.method != "POST") {
+    resp = SimpleResponse(405, "only GET, HEAD and POST are served\n");
   } else {
-    // Exact match beats prefix; among prefixes the longest wins.
+    // HEAD dispatches to the GET route (headers-only at write time). Exact
+    // match beats prefix; among prefixes the longest wins. A path that
+    // matched only under another method is a 405, not a 404.
+    const std::string& method = head_only ? "GET" : req.method;
     const HttpHandler* handler = nullptr;
-    for (const auto& [path, h] : exact_)
-      if (path == req.path) handler = &h;
+    bool path_known = false;
+    for (const Route& r : exact_)
+      if (r.path == req.path) {
+        path_known = true;
+        if (r.method == method) handler = &r.handler;
+      }
     if (handler == nullptr) {
       size_t best = 0;
-      for (const auto& [prefix, h] : prefix_)
-        if (req.path.rfind(prefix, 0) == 0 && prefix.size() >= best) {
-          handler = &h;
-          best = prefix.size();
+      for (const Route& r : prefix_)
+        if (req.path.rfind(r.path, 0) == 0 && r.path.size() >= best) {
+          path_known = true;
+          if (r.method == method) {
+            handler = &r.handler;
+            best = r.path.size();
+          }
         }
     }
     if (handler == nullptr) {
-      resp = SimpleResponse(404, "no such endpoint\n");
+      resp = path_known
+                 ? SimpleResponse(405, "method not allowed for this endpoint\n")
+                 : SimpleResponse(404, "no such endpoint\n");
     } else {
       try {
         resp = (*handler)(req);

@@ -7,16 +7,21 @@
 // cannot block the scraper). Stop() writes the self-pipe, closes the listen
 // socket, and joins every thread — safe to call from any thread, idempotent.
 //
-// Built-in endpoints (all GET; HEAD answers headers-only):
+// Built-in endpoints (GET unless noted; HEAD answers headers-only):
 //   /metrics         Prometheus text exposition v0.0.4 (obs/exporter.h)
 //   /healthz         "ok\n", 200 — liveness for load balancers
 //   /varz            JSON: uptime, request counts, MetricsRegistry snapshot
 //   /profiles        flight-recorder ring as JSON, oldest first (?n= limit)
 //   /profiles/<id>   one retained profile by id (404 once evicted)
+//   /queryz          in-flight queries from obs::QueryRegistry, HTML by
+//                    default, ?format=json for machines: per-query id,
+//                    text, engine, elapsed wall/CPU, morsels, cache mode
+//   POST /queryz/cancel?id=N   cancels in-flight query N (404 when it is
+//                    not running; the query returns kCancelled)
 //   /statusz         dependency-free HTML: uptime, build info, QPS /
 //                    latency / cache-hit-rate sparklines (when a
 //                    MetricSampler is wired in), pool and queue gauges,
-//                    recent slow queries
+//                    recent slow queries (with their outcome)
 //   /tracez          recent trace trees from the flight recorder, HTML by
 //                    default, ?format=json for machines
 //
@@ -24,7 +29,10 @@
 // application/json for the JSON endpoints, text/html for /statusz and
 // /tracez. Query strings are parsed strictly — a malformed pair (missing
 // '=', empty key) or an unparsable numeric value is a 400, not a silent
-// default.
+// default. Routes are (method, path) pairs: a known path hit with the wrong
+// method is a 405, an unknown path a 404; request bodies are ignored (the
+// only mutating endpoint, /queryz/cancel, takes its argument in the query
+// string).
 //
 // Additional handlers can be registered before Start(). Connections are
 // serviced one request each (Connection: close); a client that does not
@@ -89,11 +97,18 @@ class StatsServer {
   StatsServer(const StatsServer&) = delete;
   StatsServer& operator=(const StatsServer&) = delete;
 
-  /// Exact-path handler ("/metrics") or, with `prefix = true`, a subtree
-  /// handler ("/profiles/" receives every path below it). Must be called
-  /// before Start(). Longest match wins; exact beats prefix.
+  /// Exact-path GET handler ("/metrics") or, with `prefix = true`, a
+  /// subtree handler ("/profiles/" receives every path below it). Must be
+  /// called before Start(). Longest match wins; exact beats prefix. HEAD is
+  /// served by the GET route, headers-only.
   void Handle(const std::string& path, HttpHandler handler,
               bool prefix = false);
+
+  /// Like Handle but for an explicit method (e.g. "POST" for
+  /// /queryz/cancel). A path registered under one method answers 405 — not
+  /// 404 — to the others.
+  void HandleMethod(const std::string& method, const std::string& path,
+                    HttpHandler handler, bool prefix = false);
 
   /// Binds 0.0.0.0:<port>, spawns the acceptor and workers. Fails if the
   /// port is taken or the server already runs.
@@ -117,6 +132,8 @@ class StatsServer {
   HttpResponse StatuszPage() const;
   /// Renders /tracez: the newest `limit` flight-recorder traces.
   static HttpResponse TracezPage(size_t limit, bool json);
+  /// Renders /queryz as HTML: one row per in-flight query.
+  static HttpResponse QueryzPage();
 
   StatsServerOptions options_;
   std::atomic<bool> running_{false};
@@ -134,8 +151,15 @@ class StatsServer {
   std::deque<int> pending_ STATCUBE_GUARDED_BY(queue_mu_);
   bool shutting_down_ STATCUBE_GUARDED_BY(queue_mu_) = false;
 
-  std::vector<std::pair<std::string, HttpHandler>> exact_;
-  std::vector<std::pair<std::string, HttpHandler>> prefix_;
+  /// One registered (method, path) route.
+  struct Route {
+    std::string path;
+    std::string method;  // "GET", "POST", ... (HEAD dispatches to GET)
+    HttpHandler handler;
+  };
+
+  std::vector<Route> exact_;
+  std::vector<Route> prefix_;
   std::chrono::steady_clock::time_point start_time_;
 };
 

@@ -114,6 +114,8 @@ std::string QueryProfile::ToString() const {
   os << "-- query profile --\n";
   os << "backend: " << (backend.empty() ? "relational" : backend) << "\n";
   if (!cache.empty()) os << "cache: " << cache << "\n";
+  if (!outcome.empty() && outcome != "ok") os << "outcome: " << outcome
+                                              << "\n";
   os << "spans:\n" << trace.TreeString();
   if (!resources.Empty()) os << "resources: " << resources.ToString() << "\n";
   if (!operators.empty()) {
@@ -146,6 +148,8 @@ std::string QueryProfile::ToJson() const {
   os << "{\"backend\":"
      << JsonStr(backend.empty() ? std::string("relational") : backend)
      << ",\"cache\":" << JsonStr(cache.empty() ? std::string("off") : cache)
+     << ",\"outcome\":"
+     << JsonStr(outcome.empty() ? std::string("ok") : outcome)
      << ",\"spans\":[";
   const auto& spans = trace.spans();
   for (size_t i = 0; i < spans.size(); ++i) {

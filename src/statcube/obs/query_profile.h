@@ -49,6 +49,10 @@ struct QueryProfile {
   /// Result-cache outcome: "hit", "derived", "miss", or empty when the
   /// query ran with the cache off.
   std::string cache;
+  /// How the query ended: "ok", "cancelled", or "deadline_exceeded" (set by
+  /// QueryProfiled; empty — treated as "ok" by the serializers — for
+  /// profiles collected outside the query lifecycle).
+  std::string outcome;
   Trace trace;          ///< span tree (phases and sub-phases)
   /// Everything the query consumed, attributed across workers: CPU time
   /// (total and per thread), bytes touched, morsels, steals, tasks, cache

@@ -14,9 +14,11 @@
 namespace statcube {
 
 Result<Table> ExecuteQueryParallel(const StatisticalObject& obj,
-                                   const ParsedQuery& query, int threads) {
+                                   const ParsedQuery& query, int threads,
+                                   const CancelContext* stop) {
   exec::ExecOptions exec_options;
   exec_options.threads = threads;
+  exec_options.stop = stop;
 
   // Hierarchy-level references derive extra columns, exactly as
   // ExecuteQuery does (same spans, same errors, same derived rows).
@@ -75,6 +77,11 @@ Result<Table> ExecuteQueryParallel(const StatisticalObject& obj,
     }
     data = exec::ParallelSelect(data, expr::And(std::move(preds)),
                                 exec_options);
+    // ParallelSelect returns a bare Table, so a stop that fired during the
+    // filter surfaces here (monotonic: once fired, Check keeps reporting it).
+    if (stop != nullptr)
+      if (StopReason r = stop->Check(); r != StopReason::kNone)
+        return StopStatus(r, "filter");
   }
 
   std::vector<AggSpec> aggs = query.aggs;

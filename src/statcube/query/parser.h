@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "statcube/cache/mode.h"
+#include "statcube/common/cancellation.h"
 #include "statcube/common/status.h"
 #include "statcube/core/statistical_object.h"
 #include "statcube/obs/query_profile.h"
@@ -63,9 +64,12 @@ Result<Table> Query(const StatisticalObject& obj, const std::string& text);
 /// and the grouping/CUBE run morsel-parallel with `threads` workers (0 =
 /// exec::DefaultThreads()). Output is bit-identical across thread counts;
 /// see the determinism contract in exec/parallel_kernels.h for when it also
-/// matches ExecuteQuery exactly.
+/// matches ExecuteQuery exactly. `stop` (optional) is the query's stop
+/// context — morsel loops check it between morsels and the call returns
+/// kCancelled / kDeadlineExceeded instead of a partial table once it fires.
 Result<Table> ExecuteQueryParallel(const StatisticalObject& obj,
-                                   const ParsedQuery& query, int threads);
+                                   const ParsedQuery& query, int threads,
+                                   const CancelContext* stop = nullptr);
 
 /// Executes a parsed query through a CubeBackend (§6.6: the same textual
 /// query served by either physical organization). Only backend-expressible
@@ -106,6 +110,16 @@ struct QueryOptions {
   /// returns bit-identical tables; the profile's `cache` field says which
   /// path answered ("hit" / "derived" / "miss").
   cache::Mode cache = cache::Mode::kOff;
+  /// Relative execution budget in microseconds, measured from query start
+  /// (0 = none). Past it the query stops at the next morsel / row-batch
+  /// boundary and QueryProfiled returns kDeadlineExceeded; the profile is
+  /// still recorded, with outcome "deadline_exceeded".
+  uint64_t deadline_us = 0;
+  /// Optional external cancellation flag. QueryProfiled copies the token
+  /// (copies share the flag), so the caller — or the /queryz control plane,
+  /// which registers its own copy — can cancel mid-flight from any thread;
+  /// the query returns kCancelled with outcome "cancelled".
+  const CancellationToken* cancel = nullptr;
 };
 
 /// A query result with its profile (and the table already rendered, so the

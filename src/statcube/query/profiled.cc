@@ -11,7 +11,9 @@
 #include "statcube/cache/derive.h"
 #include "statcube/cache/query_key.h"
 #include "statcube/cache/result_cache.h"
+#include "statcube/common/cancellation.h"
 #include "statcube/obs/flight_recorder.h"
+#include "statcube/obs/query_registry.h"
 #include "statcube/query/parser.h"
 
 namespace statcube {
@@ -78,6 +80,51 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
 
   ParsedQuery q;
   STATCUBE_ASSIGN_OR_RETURN(q, ParseQuery(text));
+
+  // Stop configuration: a token copy shared with the caller (if any) plus
+  // the absolute deadline. The CancelScope hands it to serial row loops
+  // thread-locally; parallel paths get it explicitly via ExecOptions.
+  CancellationToken token =
+      options.cancel != nullptr ? *options.cancel : CancellationToken();
+  CancelContext cctx;
+  cctx.token = &token;
+  cctx.deadline_us =
+      options.deadline_us != 0 ? SteadyNowUs() + options.deadline_us : 0;
+  CancelScope cancel_scope(&cctx);
+
+  // Enroll in the live /queryz registry for the duration of execution. The
+  // scope is declared after ProfileScope on purpose: it unregisters first,
+  // so the registry's borrowed accumulator pointer never dangles.
+  obs::ActiveQueryInfo active_info;
+  active_info.query = text;
+  active_info.engine = QueryEngineName(options.engine);
+  active_info.cache_mode = cache::ModeName(options.cache);
+  active_info.threads = options.threads;
+  active_info.deadline_us = cctx.deadline_us;
+  active_info.token = token;
+  active_info.resources = &scope.resources();
+  obs::ActiveQueryScope active(std::move(active_info));
+
+  // A query stopped by cancellation or deadline still produces a profile —
+  // with outcome "cancelled" / "deadline_exceeded" — so /profiles and the
+  // slow-query table tell the whole story, but it is never offered to the
+  // result cache (partial work must not masquerade as an answer).
+  auto fail = [&](const Status& st) -> Status {
+    obs::QueryProfile p = scope.Take();
+    p.outcome = st.code() == StatusCode::kCancelled ? "cancelled"
+                                                    : "deadline_exceeded";
+    if (p.backend.empty()) p.backend = "relational";
+    if (options.record) obs::FlightRecorder::Global().Record(p, text);
+    return st;
+  };
+  auto is_stop = [](const Status& st) {
+    return st.code() == StatusCode::kCancelled ||
+           st.code() == StatusCode::kDeadlineExceeded;
+  };
+  // Admission check: a pre-cancelled token or an already-expired deadline
+  // stops the query before it touches any data.
+  if (StopReason r = cctx.Check(); r != StopReason::kNone)
+    return fail(StopStatus(r, "admission"));
 
   Table out;
   bool executed = false;
@@ -163,6 +210,8 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
         out = std::move(res).value();
         executed = true;
         backend_answered = true;
+      } else if (is_stop(res.status())) {
+        return fail(res.status());
       } else if (res.status().code() != StatusCode::kUnimplemented) {
         return res.status();
       }
@@ -172,14 +221,27 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
     // precise error if the query is genuinely wrong.
   }
   if (!executed) {
-    obs::Span exec_span("execute");
-    if (options.threads != 1) {
-      STATCUBE_ASSIGN_OR_RETURN(
-          out, ExecuteQueryParallel(obj, q, options.threads));
-    } else {
-      STATCUBE_ASSIGN_OR_RETURN(out, ExecuteQuery(obj, q));
+    Result<Table> res = Status::Internal("unreachable");
+    {
+      obs::Span exec_span("execute");
+      res = options.threads != 1
+                ? ExecuteQueryParallel(obj, q, options.threads, &cctx)
+                : ExecuteQuery(obj, q);
     }
+    if (!res.ok()) {
+      if (is_stop(res.status())) return fail(res.status());
+      return res.status();
+    }
+    out = std::move(res).value();
   }
+
+  // Post-execution stop check, before the cache is offered anything: an
+  // engine that cannot stop mid-flight (the cube backends check nothing
+  // between blocks) still reports the stop here, so a cancelled or expired
+  // query is *never* admitted to the result cache — and the /queryz cancel
+  // smoke behaves identically across engines.
+  if (StopReason r = cctx.Check(); r != StopReason::kNone)
+    return fail(StopStatus(r, "post-execution"));
 
   // Offer a freshly computed result back to the cache; admission compares
   // the measured execution cost (backend build included — that is what a
@@ -202,6 +264,7 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
   pq.table = std::move(out);
   pq.profile = scope.Take();
   pq.profile.result_rows = pq.table.num_rows();
+  pq.profile.outcome = "ok";
   if (pq.profile.backend.empty()) pq.profile.backend = "relational";
   // Retain the completed profile in the flight recorder so /profiles (and
   // post-hoc debugging) can see it; queries over the slow threshold emit

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "statcube/common/cancellation.h"
 #include "statcube/common/str_util.h"
 #include "statcube/obs/query_profile.h"
 
@@ -81,9 +82,19 @@ Result<GroupedStates> GroupByStates(const Table& input,
     aidx[i] = static_cast<int64_t>(idx);
   }
 
+  // Serial loops have no ParallelForOptions to carry a stop context, so the
+  // query-level one arrives through the thread-local CancelScope slot
+  // (installed by QueryProfiled). Checked every 1024 rows — cheap against
+  // the per-row hash work, fine-grained enough that a cancelled or expired
+  // query stops within a morsel-sized batch.
+  const CancelContext* stop = CurrentCancelContext();
   GroupedStates states;
   Row key(gidx.size());
+  size_t rownum = 0;
   for (const Row& row : input.rows()) {
+    if (stop != nullptr && (rownum++ & 1023) == 0)
+      if (StopReason sr = stop->Check(); sr != StopReason::kNone)
+        return StopStatus(sr, "groupby");
     for (size_t k = 0; k < gidx.size(); ++k) key[k] = row[gidx[k]];
     auto it = states.find(key);
     if (it == states.end())

@@ -314,6 +314,8 @@ TEST(FlightRecorderTest, SlowQueryEmitsExactlyOneLogLine) {
     obs::EnabledScope on(true);
     obs::ProfileScope scope;
     obs::RecordBackend("rolap", 3, 12288);
+    // Simulates query latency (not a wait-for-condition): the recorder must
+    // see a nonzero duration. statcube-lint: allow(sleep)
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
     slow_profile = scope.Take();
   }

@@ -109,6 +109,7 @@ TEST(TracePropagationTest, MorselSpansFormOneTreeAndMatchResources) {
     // is meaningful even under sanitizers.
     ParallelFor(128,
                 [](size_t, size_t, size_t) {
+                  // Simulated morsel work. statcube-lint: allow(sleep)
                   std::this_thread::sleep_for(std::chrono::milliseconds(2));
                 },
                 opt);

@@ -36,6 +36,13 @@ for bin in "$BUILD_DIR"/bench/bench_*; do
   # shellcheck disable=SC2086
   "$bin" --benchmark_format=json --benchmark_out="$out" \
          --benchmark_out_format=json ${BENCH_ARGS:-} > /dev/null
+  # A binary that exits 0 but writes nothing (e.g. a filter matching no
+  # cases, or a crash swallowed by the harness) must not leave a silent
+  # hole in the trajectory — fail loudly instead.
+  if [ ! -s "$out" ] || ! grep -q '"benchmarks"' "$out"; then
+    echo "error: $name produced no benchmark output in $out" >&2
+    exit 1
+  fi
   ran=$((ran + 1))
 done
 

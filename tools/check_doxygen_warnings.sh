@@ -15,6 +15,7 @@ GATED=(
   "src/statcube/materialize/view_store.h"
   "src/statcube/olap/backend.h"
   "src/statcube/cache/"
+  "src/statcube/obs/query_registry.h"
   "src/statcube/obs/resource.h"
   "src/statcube/obs/timeseries_ring.h"
 )

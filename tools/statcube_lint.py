@@ -40,6 +40,11 @@ preceding-line comment `// statcube-lint: allow(<rule-id>)`):
   no-cout          std::cout/std::cerr in src/: library code reports
                    through Status and obs/log.h, never the process's
                    streams. (Examples, tools and tests may print.)
+  sleep            std::this_thread::sleep_for in tests/: wall-clock
+                   waits are either too short (flaky under sanitizers
+                   and load) or too long (slow everywhere). Tests must
+                   poll the observable condition or drive the
+                   component's deterministic hook (e.g. SweepOnce).
 
 Usage:
   tools/statcube_lint.py                      # lint src tests bench examples
@@ -68,6 +73,7 @@ DOXYGEN_GATED = [
     "src/statcube/materialize/view_store.h",
     "src/statcube/olap/backend.h",
     "src/statcube/cache/",
+    "src/statcube/obs/query_registry.h",
     "src/statcube/obs/resource.h",
     "src/statcube/obs/timeseries_ring.h",
 ]
@@ -509,12 +515,34 @@ def check_no_cout(path, raw_lines, code_lines, violations):
 
 
 # --------------------------------------------------------------------------
+# Rule: sleep
+# --------------------------------------------------------------------------
+
+SLEEP_RE = re.compile(r"\bstd::this_thread::sleep_for\b")
+
+
+def check_sleep(path, raw_lines, code_lines, violations):
+    rel = os.path.relpath(path, REPO_ROOT)
+    if not rel.startswith("tests" + os.sep):
+        return
+    for idx, line in enumerate(code_lines):
+        if SLEEP_RE.search(line) and "sleep" not in allowed_rules_at(
+                raw_lines, idx):
+            violations.append(Violation(
+                path, idx + 1, "sleep",
+                "std::this_thread::sleep_for in a test: a wall-clock wait "
+                "is flaky when short and slow when long — poll the "
+                "observable condition (loop + yield) or call the "
+                "component's deterministic hook instead"))
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
 RULES = [
     "naked-new", "naked-delete", "banned-random", "unconsumed-status",
-    "include-cc", "codegen-drift", "doc-gated", "no-cout",
+    "include-cc", "codegen-drift", "doc-gated", "no-cout", "sleep",
 ]
 
 
@@ -554,6 +582,7 @@ def lint_file(path, status_names, violations):
     check_codegen(path, raw_lines, code_lines, violations)
     check_doc_gated(path, raw_lines, code_lines, violations)
     check_no_cout(path, raw_lines, code_lines, violations)
+    check_sleep(path, raw_lines, code_lines, violations)
 
 
 def main(argv=None):

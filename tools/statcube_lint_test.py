@@ -249,6 +249,39 @@ class LintFixtureTest(unittest.TestCase):
         self.write("src/a.cc", 'const char* kHelp = "pipe to std::cout";\n')
         self.assertClean("src/a.cc")
 
+    # -------------------------------------------------------------- sleep
+
+    def test_sleep_in_test_fires(self):
+        self.write("tests/a_test.cc",
+                   "TEST(T, Wait) {\n"
+                   "  std::this_thread::sleep_for("
+                   "std::chrono::milliseconds(50));\n"
+                   "}\n")
+        self.assertFires("tests/a_test.cc", "sleep")
+
+    def test_sleep_outside_tests_ok(self):
+        self.write("src/a.cc",
+                   "void Backoff() {\n"
+                   "  std::this_thread::sleep_for("
+                   "std::chrono::milliseconds(1));\n"
+                   "}\n")
+        self.assertClean("src/a.cc")
+
+    def test_sleep_allow_escape(self):
+        self.write("tests/a_test.cc",
+                   "TEST(T, Latency) {\n"
+                   "  // Simulates work. statcube-lint: allow(sleep)\n"
+                   "  std::this_thread::sleep_for("
+                   "std::chrono::milliseconds(2));\n"
+                   "}\n")
+        self.assertClean("tests/a_test.cc")
+
+    def test_sleep_in_comment_ok(self):
+        self.write("tests/a_test.cc",
+                   "// never std::this_thread::sleep_for in tests\n"
+                   "TEST(T, X) { Poll(); }\n")
+        self.assertClean("tests/a_test.cc")
+
 
 class HarvestTest(unittest.TestCase):
     def setUp(self):
