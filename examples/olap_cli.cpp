@@ -186,8 +186,9 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       cli.deadline_ms = atol(arg.c_str() + strlen("--deadline-ms="));
-      if (cli.deadline_ms < 1) {
-        fprintf(stderr, "bad --deadline-ms value %s (>= 1)\n", arg.c_str());
+      if (cli.deadline_ms < 0) {
+        fprintf(stderr, "bad --deadline-ms value %s (>= 0; 0 = no deadline)\n",
+                arg.c_str());
         return 1;
       }
     } else if (arg == "--help" || arg == "-h") {
@@ -200,7 +201,8 @@ int main(int argc, char** argv) {
              "  --cache=M     result cache: on = exact reuse, derive = also "
              "roll up cached supersets (default: off)\n"
              "  --deadline-ms=N  per-query execution budget; past it the "
-             "query stops with DeadlineExceeded (default: none)\n");
+             "query stops with DeadlineExceeded (0 = no deadline, the "
+             "default)\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       fprintf(stderr, "unknown flag %s\n", arg.c_str());

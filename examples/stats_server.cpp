@@ -35,6 +35,28 @@
 //                      only): queries in flight past it are auto-cancelled
 //                      (statcube.query.watchdog_cancelled counts them)
 //   --quiet            suppress the per-round progress line
+//   --no-workload      skip the background replay loop and only serve —
+//                      what tools/loadgen wants, so the front door's numbers
+//                      are not polluted by the demo workload
+//
+// Query front door (serve/front_door.h) — POST /query is always on:
+//   --max-active=N         queries executing at once (default 4)
+//   --max-queue=N          waiters beyond that before 503-shedding (def. 16)
+//   --max-wait-ms=N        longest queued wait before shedding (def. 2000)
+//   --tenant-max-concurrent=N  per-tenant in-flight cap (default 16)
+//   --tenant-qps=Q         per-tenant request rate (default 0 = unlimited)
+//   --tenant-burst=B       token-bucket capacity (default max(1, qps))
+//   --tenant-bytes-per-sec=N  per-tenant response-byte budget (default 0)
+//   --http-workers=N       connection-handling threads (default 4); raise
+//                          for load tests so shedding happens at the
+//                          admission queue, not the connection queue
+//   --http-queue=N         accepted-but-unserviced connection cap (def. 64)
+//
+//   curl -s localhost:8080/query -d '{"query":"SELECT sum(amount) BY store",
+//     "engine":"molap","tenant":"demo"}'
+//
+// Per-tenant counters land on /statusz (tenants section) and 429s carry a
+// Retry-After header computed from the refused bucket's refill rate.
 //
 // The query lifecycle control plane is live here too: /queryz lists the
 // in-flight query with its elapsed wall/CPU time, and
@@ -57,6 +79,7 @@
 #include "statcube/obs/query_registry.h"
 #include "statcube/obs/timeseries_ring.h"
 #include "statcube/query/parser.h"
+#include "statcube/serve/front_door.h"
 #include "statcube/workload/retail.h"
 
 using namespace statcube;
@@ -102,7 +125,14 @@ int main(int argc, char** argv) {
   long default_deadline_ms = 0;
   long max_query_ms = 0;
   bool quiet = false;
+  bool no_workload = false;
+  // HTTP connection-layer sizing. The defaults fit the demo workload; a
+  // load-test front door wants enough workers that shedding happens at the
+  // admission queue (tenant-attributed) rather than the connection queue.
+  int http_workers = 4;
+  int http_queue = 64;
   cache::Mode cache_mode = cache::Mode::kOff;
+  serve::FrontDoorOptions fdopt;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--port=", 0) == 0) {
@@ -155,12 +185,77 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--no-workload") {
+      no_workload = true;
+    } else if (arg.rfind("--max-active=", 0) == 0) {
+      fdopt.queue.max_active = atoi(arg.c_str() + strlen("--max-active="));
+      if (fdopt.queue.max_active < 1) {
+        fprintf(stderr, "--max-active must be >= 1\n");
+        return 1;
+      }
+    } else if (arg.rfind("--max-queue=", 0) == 0) {
+      fdopt.queue.max_queued = atoi(arg.c_str() + strlen("--max-queue="));
+      if (fdopt.queue.max_queued < 0) {
+        fprintf(stderr, "--max-queue must be >= 0\n");
+        return 1;
+      }
+    } else if (arg.rfind("--max-wait-ms=", 0) == 0) {
+      fdopt.queue.max_wait_ms = atoi(arg.c_str() + strlen("--max-wait-ms="));
+      if (fdopt.queue.max_wait_ms < 1) {
+        fprintf(stderr, "--max-wait-ms must be >= 1\n");
+        return 1;
+      }
+    } else if (arg.rfind("--tenant-max-concurrent=", 0) == 0) {
+      fdopt.default_quota.max_concurrent =
+          atoi(arg.c_str() + strlen("--tenant-max-concurrent="));
+      if (fdopt.default_quota.max_concurrent < 0) {
+        fprintf(stderr, "--tenant-max-concurrent must be >= 0\n");
+        return 1;
+      }
+    } else if (arg.rfind("--tenant-qps=", 0) == 0) {
+      fdopt.default_quota.rate_qps =
+          atof(arg.c_str() + strlen("--tenant-qps="));
+      if (fdopt.default_quota.rate_qps < 0) {
+        fprintf(stderr, "--tenant-qps must be >= 0\n");
+        return 1;
+      }
+    } else if (arg.rfind("--tenant-burst=", 0) == 0) {
+      fdopt.default_quota.burst =
+          atof(arg.c_str() + strlen("--tenant-burst="));
+      if (fdopt.default_quota.burst < 0) {
+        fprintf(stderr, "--tenant-burst must be >= 0\n");
+        return 1;
+      }
+    } else if (arg.rfind("--http-workers=", 0) == 0) {
+      http_workers = atoi(arg.c_str() + strlen("--http-workers="));
+      if (http_workers < 1) {
+        fprintf(stderr, "--http-workers must be >= 1\n");
+        return 1;
+      }
+    } else if (arg.rfind("--http-queue=", 0) == 0) {
+      http_queue = atoi(arg.c_str() + strlen("--http-queue="));
+      if (http_queue < 1) {
+        fprintf(stderr, "--http-queue must be >= 1\n");
+        return 1;
+      }
+    } else if (arg.rfind("--tenant-bytes-per-sec=", 0) == 0) {
+      long v = atol(arg.c_str() + strlen("--tenant-bytes-per-sec="));
+      if (v < 0) {
+        fprintf(stderr, "--tenant-bytes-per-sec must be >= 0\n");
+        return 1;
+      }
+      fdopt.default_quota.bytes_per_sec = uint64_t(v);
     } else {
       fprintf(stderr,
               "usage: stats_server [--port=P] [--iterations=N] "
               "[--delay-ms=D] [--slow-query-us=T] [--flight-capacity=N] "
               "[--statusz-sample-ms=D] [--cache=off|on|derive] [--rows=N] "
-              "[--default-deadline-ms=N] [--max-query-ms=N] [--quiet]\n");
+              "[--default-deadline-ms=N] [--max-query-ms=N] [--quiet] "
+              "[--no-workload] [--max-active=N] [--max-queue=N] "
+              "[--max-wait-ms=N] [--tenant-max-concurrent=N] "
+              "[--tenant-qps=Q] [--tenant-burst=B] "
+              "[--tenant-bytes-per-sec=N] [--http-workers=N] "
+              "[--http-queue=N]\n");
       return arg == "--help" || arg == "-h" ? 0 : 1;
     }
   }
@@ -200,14 +295,25 @@ int main(int argc, char** argv) {
   obs::StatsServerOptions sopt;
   sopt.port = uint16_t(port);
   sopt.sampler = &sampler;
+  sopt.num_workers = http_workers;
+  sopt.max_queued = http_queue;
   obs::StatsServer server(sopt);
+
+  // The query front door: POST /query with per-tenant admission control.
+  // Client deadlines default to the server-wide --default-deadline-ms and
+  // the demo cache mode, so curl without options behaves like the workload.
+  fdopt.default_cache = cache_mode;
+  fdopt.default_deadline_ms = uint64_t(default_deadline_ms);
+  serve::QueryFrontDoor front_door(data->object, fdopt);
+  front_door.Register(server);
+
   auto started = server.Start();
   if (!started.ok()) {
     fprintf(stderr, "%s\n", started.ToString().c_str());
     return 1;
   }
   printf("serving on http://localhost:%u  (/metrics /varz /profiles "
-         "/statusz /tracez /queryz /healthz); Ctrl-C stops\n",
+         "/statusz /tracez /queryz /healthz; POST /query); Ctrl-C stops\n",
          unsigned(server.port()));
   fflush(stdout);
 
@@ -216,7 +322,15 @@ int main(int argc, char** argv) {
 
   long round = 0;
   uint64_t queries = 0, errors = 0, stopped = 0;
-  while (!g_stop.load() && (iterations == 0 || round < iterations)) {
+  while (no_workload && !g_stop.load()) {
+    // Serve-only mode: the front door is the sole query source. Keep the
+    // process alive (and the sampler ticking) until a signal arrives, or
+    // until --iterations rounds' worth of delay in serve-only smoke tests.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (iterations > 0 && ++round >= iterations) break;
+  }
+  while (!no_workload && !g_stop.load() &&
+         (iterations == 0 || round < iterations)) {
     for (const WorkloadQuery& wq : kWorkload) {
       if (g_stop.load()) break;
       QueryOptions qopt;

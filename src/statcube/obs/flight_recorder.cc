@@ -79,12 +79,24 @@ uint64_t FlightRecorder::Record(const QueryProfile& profile,
   return rec.id;
 }
 
-std::vector<RecordedProfile> FlightRecorder::Snapshot(size_t limit) const {
+std::vector<RecordedProfile> FlightRecorder::Snapshot(
+    size_t limit, const std::string& tenant) const {
   MutexLock lock(mu_);
-  size_t n = ring_.size();
-  size_t take = (limit == 0 || limit > n) ? n : limit;
-  return std::vector<RecordedProfile>(ring_.end() - ptrdiff_t(take),
-                                      ring_.end());
+  if (tenant.empty()) {
+    size_t n = ring_.size();
+    size_t take = (limit == 0 || limit > n) ? n : limit;
+    return std::vector<RecordedProfile>(ring_.end() - ptrdiff_t(take),
+                                        ring_.end());
+  }
+  // Filter first, then apply the limit to the filtered sequence so the
+  // caller gets "the last N of this tenant's queries".
+  std::vector<RecordedProfile> matched;
+  for (const RecordedProfile& rec : ring_)
+    if (rec.profile.tenant == tenant) matched.push_back(rec);
+  if (limit != 0 && matched.size() > limit)
+    matched.erase(matched.begin(),
+                  matched.end() - ptrdiff_t(limit));
+  return matched;
 }
 
 std::optional<RecordedProfile> FlightRecorder::Get(uint64_t id) const {
@@ -94,8 +106,9 @@ std::optional<RecordedProfile> FlightRecorder::Get(uint64_t id) const {
   return std::nullopt;
 }
 
-std::string FlightRecorder::ToJson(size_t limit) const {
-  std::vector<RecordedProfile> entries = Snapshot(limit);
+std::string FlightRecorder::ToJson(size_t limit,
+                                   const std::string& tenant) const {
+  std::vector<RecordedProfile> entries = Snapshot(limit, tenant);
   uint64_t total, threshold;
   {
     MutexLock lock(mu_);

@@ -61,15 +61,20 @@ class FlightRecorder {
   /// "slow_query" log event.
   uint64_t Record(const QueryProfile& profile, const std::string& query = "");
 
-  /// Last `limit` entries, oldest first (0 = all retained).
-  std::vector<RecordedProfile> Snapshot(size_t limit = 0) const;
+  /// Last `limit` entries, oldest first (0 = all retained). A non-empty
+  /// `tenant` keeps only profiles recorded with that tenant stamp (the
+  /// limit applies after filtering — "the last N of this tenant's
+  /// queries", which is what a per-tenant debugging session wants).
+  std::vector<RecordedProfile> Snapshot(size_t limit = 0,
+                                        const std::string& tenant = "") const;
 
   /// The entry with the given id, if still retained.
   std::optional<RecordedProfile> Get(uint64_t id) const;
 
   /// JSON: {"capacity":N,"recorded":total,"slow_query_threshold_us":T,
-  /// "profiles":[...]} with entries oldest first.
-  std::string ToJson(size_t limit = 0) const;
+  /// "profiles":[...]} with entries oldest first, optionally filtered to
+  /// one tenant (see Snapshot).
+  std::string ToJson(size_t limit = 0, const std::string& tenant = "") const;
 
   /// Queries with latency >= `us` are flagged slow and logged; 0 disables
   /// (the default). Returns the previous threshold.

@@ -10,7 +10,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <sstream>
@@ -36,8 +38,12 @@ const char* StatusText(int code) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 499: return "Client Closed Request";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
   }
   return "Unknown";
 }
@@ -68,8 +74,10 @@ void WriteResponse(int fd, const HttpResponse& resp, bool head_only) {
   std::ostringstream os;
   os << "HTTP/1.1 " << resp.status << " " << StatusText(resp.status)
      << "\r\nContent-Type: " << resp.content_type
-     << "\r\nContent-Length: " << resp.body.size()
-     << "\r\nConnection: close\r\n\r\n";
+     << "\r\nContent-Length: " << resp.body.size();
+  for (const auto& [name, value] : resp.headers)
+    os << "\r\n" << name << ": " << value;
+  os << "\r\nConnection: close\r\n\r\n";
   std::string out = os.str();
   if (!head_only) out += resp.body;
   WriteAll(fd, out);
@@ -117,6 +125,39 @@ bool ParseSizeParam(const std::map<std::string, std::string>& params,
   unsigned long long n = strtoull(v.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') return false;
   *out = size_t(n);
+  return true;
+}
+
+// Case-insensitive Content-Length lookup in a raw header block. Returns
+// true with *out = 0 when absent; false when present but not a plain
+// decimal number (answered 400 — never guess at a body length).
+bool FindContentLength(const std::string& headers, size_t* out) {
+  *out = 0;
+  size_t pos = 0;
+  while (pos < headers.size()) {
+    size_t eol = headers.find('\n', pos);
+    if (eol == std::string::npos) eol = headers.size();
+    std::string line = headers.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    pos = eol + 1;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    std::transform(name.begin(), name.end(), name.begin(),
+                   [](unsigned char c) { return char(tolower(c)); });
+    if (name != "content-length") continue;
+    size_t v = colon + 1;
+    while (v < line.size() && (line[v] == ' ' || line[v] == '\t')) ++v;
+    std::string value = line.substr(v);
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\t'))
+      value.pop_back();
+    if (value.empty() || value[0] < '0' || value[0] > '9') return false;
+    char* end = nullptr;
+    unsigned long long n = strtoull(value.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return false;
+    *out = size_t(n);
+    return true;
+  }
   return true;
 }
 
@@ -206,9 +247,12 @@ StatsServer::StatsServer(StatsServerOptions options)
     if (!ParseSizeParam(params, "n", &limit) ||
         !ParseSizeParam(params, "limit", &limit))
       return SimpleResponse(400, "bad n= value\n");
+    std::string tenant;  // empty = every tenant
+    auto t = params.find("tenant");
+    if (t != params.end()) tenant = t->second;
     HttpResponse resp;
     resp.content_type = "application/json";
-    resp.body = FlightRecorder::Global().ToJson(limit);
+    resp.body = FlightRecorder::Global().ToJson(limit, tenant);
     return resp;
   });
   Handle("/profiles/", [](const HttpRequest& req) {
@@ -357,6 +401,9 @@ HttpResponse StatsServer::StatuszPage() const {
     }
     os << "</table>";
   }
+  for (const auto& [title, html_fn] : statusz_sections_)
+    os << "<h2>" << HtmlEscape(title) << "</h2>" << html_fn();
+
   os << "<p><a href=\"/tracez\">/tracez</a> <a href=\"/varz\">/varz</a> "
      << "<a href=\"/metrics\">/metrics</a> "
      << "<a href=\"/profiles\">/profiles</a> "
@@ -383,12 +430,16 @@ HttpResponse StatsServer::QueryzPage() {
   if (snaps.empty()) {
     os << "<p>none</p>";
   } else {
-    os << "<table><tr><th>id</th><th>engine</th><th>threads</th>"
+    os << "<table><tr><th>id</th><th>tenant</th><th>engine</th>"
+       << "<th>threads</th>"
        << "<th>elapsed_us</th><th>cpu_us</th><th>morsels</th>"
        << "<th>cache</th><th>deadline</th><th>cancelled</th>"
        << "<th>query</th></tr>";
     for (const ActiveQuerySnapshot& s : snaps) {
-      os << "<tr><td>" << s.id << "</td><td>" << HtmlEscape(s.engine)
+      os << "<tr><td>" << s.id << "</td><td>"
+         << HtmlEscape(s.tenant.empty() ? std::string("-") : s.tenant)
+         << "</td><td>"
+         << HtmlEscape(s.engine)
          << "</td><td>" << s.threads << "</td><td>" << s.elapsed_us
          << "</td><td>" << s.resources.cpu_us << "</td><td>"
          << s.resources.morsels << "</td><td>" << HtmlEscape(s.cache_mode)
@@ -471,6 +522,11 @@ void StatsServer::HandleMethod(const std::string& method,
   (prefix ? prefix_ : exact_).push_back({path, method, std::move(handler)});
 }
 
+void StatsServer::AddStatuszSection(const std::string& title,
+                                    std::function<std::string()> html_fn) {
+  statusz_sections_.emplace_back(title, std::move(html_fn));
+}
+
 Status StatsServer::Start() {
   if (running_.load()) return Status::Internal("stats server already running");
 
@@ -492,7 +548,10 @@ Status StatsServer::Start() {
     listen_fd_ = -1;
     return s;
   }
-  if (listen(listen_fd_, 64) < 0) {
+  // The front door is sized for ~1000 concurrent closed-loop sessions; a
+  // short backlog turns a connect burst into SYN retransmits (seconds of
+  // artificial tail latency). The kernel clamps to somaxconn.
+  if (listen(listen_fd_, 1024) < 0) {
     Status s = Status::Internal(std::string("listen: ") + strerror(errno));
     close(listen_fd_);
     listen_fd_ = -1;
@@ -627,7 +686,9 @@ void StatsServer::WorkerLoop() {
 void StatsServer::ServeConnection(int fd) {
   SetSocketTimeouts(fd, options_.read_timeout_ms, options_.write_timeout_ms);
 
-  // Read until the end of headers (we serve GET/HEAD only — no bodies).
+  // Read until the end of headers. The header section has its own fixed cap
+  // (kMaxRequestBytes); the body, read below only when Content-Length
+  // announces one, is bounded separately by options_.max_body_bytes.
   std::string raw;
   char buf[2048];
   bool complete = false, timed_out = false;
@@ -654,6 +715,54 @@ void StatsServer::ServeConnection(int fd) {
     return;
   }
 
+  // Locate the header/body boundary (whichever separator came first).
+  size_t hdr_end = raw.find("\r\n\r\n");
+  size_t sep_len = 4;
+  size_t lf_end = raw.find("\n\n");
+  if (hdr_end == std::string::npos ||
+      (lf_end != std::string::npos && lf_end < hdr_end)) {
+    hdr_end = lf_end;
+    sep_len = 2;
+  }
+  const size_t body_start = hdr_end + sep_len;
+
+  size_t content_length = 0;
+  if (!FindContentLength(raw.substr(0, hdr_end), &content_length)) {
+    WriteResponse(fd, SimpleResponse(400, "bad Content-Length\n"), false);
+    close(fd);
+    return;
+  }
+  if (content_length > options_.max_body_bytes) {
+    // Refuse without reading: the client said up front it would overflow
+    // the budget, so there is no reason to drain the bytes.
+    WriteResponse(fd, SimpleResponse(413, "request body too large\n"), false);
+    close(fd);
+    if (Enabled())
+      MetricsRegistry::Global()
+          .GetCounter("statcube.http.body_too_large")
+          .Add(1);
+    return;
+  }
+  timed_out = false;
+  while (raw.size() < body_start + content_length) {
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      timed_out = (errno == EAGAIN || errno == EWOULDBLOCK);
+      break;
+    }
+    if (n == 0) break;  // client closed mid-body
+    raw.append(buf, size_t(n));
+  }
+  if (raw.size() < body_start + content_length) {
+    WriteResponse(fd,
+                  SimpleResponse(timed_out ? 408 : 400,
+                                 timed_out ? "timeout\n" : "truncated body\n"),
+                  false);
+    close(fd);
+    return;
+  }
+
   // Request line: METHOD SP target SP version.
   size_t eol = raw.find_first_of("\r\n");
   std::string line = raw.substr(0, eol);
@@ -670,6 +779,7 @@ void StatsServer::ServeConnection(int fd) {
   size_t qmark = target.find('?');
   req.path = target.substr(0, qmark);
   if (qmark != std::string::npos) req.query = target.substr(qmark + 1);
+  req.body = raw.substr(body_start, content_length);
 
   HttpResponse resp;
   bool head_only = req.method == "HEAD";

@@ -30,9 +30,10 @@
 // /tracez. Query strings are parsed strictly — a malformed pair (missing
 // '=', empty key) or an unparsable numeric value is a 400, not a silent
 // default. Routes are (method, path) pairs: a known path hit with the wrong
-// method is a 405, an unknown path a 404; request bodies are ignored (the
-// only mutating endpoint, /queryz/cancel, takes its argument in the query
-// string).
+// method is a 405, an unknown path a 404. POST bodies are read when
+// Content-Length announces one, bounded by max_body_bytes (oversize = 413)
+// — the serve/ front door's /query endpoint consumes them; /queryz/cancel
+// still takes its argument in the query string.
 //
 // Additional handlers can be registered before Start(). Connections are
 // serviced one request each (Connection: close); a client that does not
@@ -64,6 +65,10 @@ struct HttpRequest {
   std::string method;  ///< "GET", "HEAD", ...
   std::string path;    ///< decoded path, no query string
   std::string query;   ///< raw query string after '?', may be empty
+  /// Request body, read when Content-Length says there is one. Bounded by
+  /// StatsServerOptions::max_body_bytes — an oversized body is answered 413
+  /// before the handler ever runs.
+  std::string body;
 };
 
 /// What a handler sends back. Default: 200 text/plain empty body.
@@ -71,6 +76,10 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Extra response headers as (name, value) pairs — e.g. Retry-After on a
+  /// 429. Content-Type/Content-Length/Connection are always emitted by the
+  /// server and must not be repeated here.
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
@@ -82,6 +91,10 @@ struct StatsServerOptions {
                             ///< beyond it, new connections are closed
   int read_timeout_ms = 5000;   ///< full request must arrive within this
   int write_timeout_ms = 5000;  ///< response write timeout
+  /// Largest accepted request body (Content-Length and actual bytes both
+  /// checked). Bigger bodies are answered 413 Payload Too Large without
+  /// reading them. Headers have their own independent 8 KB cap.
+  size_t max_body_bytes = 65536;
   bool register_default_endpoints = true;  ///< the endpoint table above
   /// Optional time-series source for /statusz sparklines and /tracez's
   /// sampler block. Not owned; must outlive the server. Without one,
@@ -109,6 +122,15 @@ class StatsServer {
   /// 404 — to the others.
   void HandleMethod(const std::string& method, const std::string& path,
                     HttpHandler handler, bool prefix = false);
+
+  /// Appends a custom section to the /statusz page: `html_fn` is called at
+  /// render time and must return an HTML fragment (it is embedded verbatim
+  /// under an <h2> with `title`, which is escaped). This is how higher
+  /// layers — the serve/ front door's per-tenant table, for example — put
+  /// their state on /statusz without obs/ depending on them. Must be called
+  /// before Start().
+  void AddStatuszSection(const std::string& title,
+                         std::function<std::string()> html_fn);
 
   /// Binds 0.0.0.0:<port>, spawns the acceptor and workers. Fails if the
   /// port is taken or the server already runs.
@@ -160,6 +182,9 @@ class StatsServer {
 
   std::vector<Route> exact_;
   std::vector<Route> prefix_;
+  /// Extra /statusz sections from higher layers, rendered in order.
+  std::vector<std::pair<std::string, std::function<std::string()>>>
+      statusz_sections_;
   std::chrono::steady_clock::time_point start_time_;
 };
 

@@ -150,7 +150,7 @@ std::string QueryProfile::ToJson() const {
      << ",\"cache\":" << JsonStr(cache.empty() ? std::string("off") : cache)
      << ",\"outcome\":"
      << JsonStr(outcome.empty() ? std::string("ok") : outcome)
-     << ",\"spans\":[";
+     << ",\"tenant\":" << JsonStr(tenant) << ",\"spans\":[";
   const auto& spans = trace.spans();
   for (size_t i = 0; i < spans.size(); ++i) {
     if (i) os << ",";

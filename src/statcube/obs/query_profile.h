@@ -53,6 +53,10 @@ struct QueryProfile {
   /// QueryProfiled; empty — treated as "ok" by the serializers — for
   /// profiles collected outside the query lifecycle).
   std::string outcome;
+  /// Tenant the query ran on behalf of (QueryOptions::tenant; empty for
+  /// untenanted callers like the CLI). Lets /profiles?tenant= and the
+  /// front door's accounting attribute retained profiles.
+  std::string tenant;
   Trace trace;          ///< span tree (phases and sub-phases)
   /// Everything the query consumed, attributed across workers: CPU time
   /// (total and per thread), bytes touched, morsels, steals, tasks, cache

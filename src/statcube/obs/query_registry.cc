@@ -44,6 +44,7 @@ std::string ActiveQuerySnapshot::ToJson() const {
   out += ",\"query\":" + JsonStr(query);
   out += ",\"engine\":" + JsonStr(engine);
   out += ",\"cache\":" + JsonStr(cache_mode);
+  out += ",\"tenant\":" + JsonStr(tenant);
   out += ",\"threads\":" + std::to_string(threads);
   out += ",\"elapsed_us\":" + std::to_string(elapsed_us);
   out += ",\"deadline_us\":" + std::to_string(deadline_us);
@@ -95,6 +96,7 @@ ActiveQuerySnapshot QueryRegistry::SnapshotEntry(uint64_t id, const Entry& e,
   snap.query = e.info.query;
   snap.engine = e.info.engine;
   snap.cache_mode = e.info.cache_mode;
+  snap.tenant = e.info.tenant;
   snap.threads = e.info.threads;
   snap.start_us = e.start_us;
   snap.deadline_us = e.info.deadline_us;

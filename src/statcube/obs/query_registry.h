@@ -55,6 +55,8 @@ struct ActiveQueryInfo {
   std::string engine;
   /// Result-cache mode name ("off", "on", "derive").
   std::string cache_mode;
+  /// Tenant the query runs on behalf of (empty = untenanted).
+  std::string tenant;
   /// Worker threads the query may use (QueryOptions::threads, resolved).
   int threads = 1;
   /// Absolute SteadyNowUs() deadline, 0 = none (for display and watchdog).
@@ -77,6 +79,8 @@ struct ActiveQuerySnapshot {
   std::string engine;
   /// Result-cache mode name.
   std::string cache_mode;
+  /// Tenant the query runs on behalf of (empty = untenanted).
+  std::string tenant;
   /// Worker threads.
   int threads = 1;
   /// SteadyNowUs() when the query registered.

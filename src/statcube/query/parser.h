@@ -120,6 +120,11 @@ struct QueryOptions {
   /// which registers its own copy — can cancel mid-flight from any thread;
   /// the query returns kCancelled with outcome "cancelled".
   const CancellationToken* cancel = nullptr;
+  /// Tenant the query runs on behalf of (set by the serve/ front door;
+  /// empty for untenanted callers like the CLI). Stamped into the profile,
+  /// the /queryz registry entry, and the flight-recorder record so every
+  /// observability surface can attribute the work.
+  std::string tenant;
 };
 
 /// A query result with its profile (and the table already rendered, so the

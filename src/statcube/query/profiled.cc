@@ -99,6 +99,7 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
   active_info.query = text;
   active_info.engine = QueryEngineName(options.engine);
   active_info.cache_mode = cache::ModeName(options.cache);
+  active_info.tenant = options.tenant;
   active_info.threads = options.threads;
   active_info.deadline_us = cctx.deadline_us;
   active_info.token = token;
@@ -113,6 +114,7 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
     obs::QueryProfile p = scope.Take();
     p.outcome = st.code() == StatusCode::kCancelled ? "cancelled"
                                                     : "deadline_exceeded";
+    p.tenant = options.tenant;
     if (p.backend.empty()) p.backend = "relational";
     if (options.record) obs::FlightRecorder::Global().Record(p, text);
     return st;
@@ -265,6 +267,7 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
   pq.profile = scope.Take();
   pq.profile.result_rows = pq.table.num_rows();
   pq.profile.outcome = "ok";
+  pq.profile.tenant = options.tenant;
   if (pq.profile.backend.empty()) pq.profile.backend = "relational";
   // Retain the completed profile in the flight recorder so /profiles (and
   // post-hoc debugging) can see it; queries over the slow threshold emit

@@ -1,0 +1,184 @@
+/// \file
+/// \brief Per-tenant admission control for the query front door: concurrent
+/// -query budgets, token-bucket rate limits, and byte budgets, with the
+/// counters /statusz needs to show who is being served and who is being
+/// told to back off.
+///
+/// The paper frames OLAP engines as shared analytical services queried
+/// concurrently by large user populations over the same cubes; a shared
+/// service needs an answer to "who may run right now?". `TenantRegistry`
+/// holds that answer: one entry per tenant (created on first request with a
+/// configurable default quota, or registered explicitly), each with three
+/// independent admission gates checked in order:
+///
+///  1. **Concurrency** — at most `max_concurrent` queries in flight.
+///  2. **Rate** — a token bucket holding up to `burst` request tokens,
+///     refilled continuously at `rate_qps`; each admission spends one.
+///  3. **Bytes** — a second bucket in response bytes, refilled at
+///     `bytes_per_sec` up to `byte_burst`. Because a query's cost is only
+///     known *after* it runs, admission requires the bucket to be positive
+///     and the actual bytes are charged at release — the bucket may go
+///     negative (debt), which simply pushes the next admission out. This is
+///     the classic post-paid byte budget: precise, work-conserving, and
+///     impossible to cheat by issuing one enormous query.
+///
+/// A rejection reports which gate refused and a `retry_after_ms` hint
+/// (served as the HTTP `Retry-After` header on 429 responses) computed from
+/// the bucket's refill rate — clients that honour it converge on the
+/// configured rate without coordination.
+///
+/// Time is passed in explicitly (`AdmitAt` / `ReleaseAt`) so quota edges —
+/// a budget exactly exhausted, a token arriving exactly on the refill
+/// boundary — are deterministic in tests; the `Admit`/`Release` wrappers
+/// use the shared steady clock (common/cancellation.h's SteadyNowUs).
+///
+/// Thread safety: one mutex guards the tenant map and every bucket; all
+/// methods may be called from any worker thread. Admission is a handful of
+/// arithmetic operations under the lock — bench_serve measures the cycle.
+
+#ifndef STATCUBE_SERVE_TENANT_REGISTRY_H_
+#define STATCUBE_SERVE_TENANT_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "statcube/common/mutex.h"
+#include "statcube/common/thread_annotations.h"
+
+namespace statcube::serve {
+
+/// Admission limits for one tenant. The default-constructed quota is
+/// permissive (no rate or byte limit, 16 concurrent queries) — the front
+/// door's flags tighten it for every tenant or per tenant.
+struct TenantQuota {
+  /// Maximum queries in flight at once; 0 = unlimited.
+  int max_concurrent = 16;
+  /// Request tokens added per second; 0 disables rate limiting.
+  double rate_qps = 0;
+  /// Token-bucket capacity; 0 = max(1, rate_qps) — one second of burst.
+  double burst = 0;
+  /// Response bytes credited per second; 0 disables the byte budget.
+  uint64_t bytes_per_sec = 0;
+  /// Byte-bucket capacity; 0 = bytes_per_sec — one second of burst.
+  uint64_t byte_burst = 0;
+};
+
+/// Which admission gate made the decision.
+enum class AdmitOutcome : uint8_t {
+  kAdmitted = 0,         ///< run it
+  kConcurrencyExceeded,  ///< too many queries already in flight
+  kRateLimited,          ///< request token bucket empty
+  kByteBudgetExhausted,  ///< byte budget spent (bucket not positive)
+};
+
+/// Short stable name for an outcome ("admitted", "concurrency", "rate",
+/// "bytes") — used in JSON and 429 bodies.
+const char* AdmitOutcomeName(AdmitOutcome outcome);
+
+/// Result of one admission attempt. On rejection `retry_after_ms` estimates
+/// when the refused gate would next admit (0 when the gate does not recover
+/// by waiting, e.g. concurrency — retry after a query finishes).
+struct Admission {
+  AdmitOutcome outcome = AdmitOutcome::kAdmitted;
+  /// Backoff hint for 429 Retry-After; milliseconds, rounded up.
+  uint64_t retry_after_ms = 0;
+
+  /// True when the query may run.
+  bool ok() const { return outcome == AdmitOutcome::kAdmitted; }
+};
+
+/// Point-in-time per-tenant accounting, as shown on /statusz.
+struct TenantStats {
+  std::string name;               ///< tenant id
+  int active = 0;                 ///< queries in flight now
+  uint64_t admitted = 0;          ///< total admissions
+  uint64_t rejected_concurrency = 0;  ///< 429s from the concurrency gate
+  uint64_t rejected_rate = 0;         ///< 429s from the rate gate
+  uint64_t rejected_bytes = 0;        ///< 429s from the byte gate
+  uint64_t shed = 0;              ///< admitted but shed at the global queue
+  uint64_t queries_ok = 0;        ///< completed successfully
+  uint64_t queries_error = 0;     ///< completed with an error/stop outcome
+  uint64_t bytes_served = 0;      ///< response bytes charged at release
+  double rate_tokens = 0;         ///< request tokens left in the bucket
+  double byte_tokens = 0;         ///< byte budget left (negative = in debt)
+
+  /// Total 429s across the three gates.
+  uint64_t rejected_total() const {
+    return rejected_concurrency + rejected_rate + rejected_bytes;
+  }
+};
+
+/// The tenant table. One per front door (tests build their own); not a
+/// process-wide singleton because two servers in one process — the unit
+/// tests do this — must not share budgets.
+class TenantRegistry {
+ public:
+  /// `default_quota` applies to tenants first seen at admission time.
+  explicit TenantRegistry(TenantQuota default_quota = {});
+
+  TenantRegistry(const TenantRegistry&) = delete;             ///< Not copyable.
+  TenantRegistry& operator=(const TenantRegistry&) = delete;  ///< Not copyable.
+
+  /// Creates or reconfigures `tenant` with an explicit quota. Live
+  /// admissions are unaffected; the new limits apply from the next Admit.
+  /// Buckets are re-clamped to the new capacities.
+  void Configure(const std::string& tenant, const TenantQuota& quota);
+
+  /// Admission gates at an explicit steady-clock time (microseconds).
+  /// Tenants are created on first use with the default quota. On success the
+  /// caller MUST pair this with ReleaseAt/Release exactly once.
+  Admission AdmitAt(const std::string& tenant, uint64_t now_us);
+
+  /// AdmitAt at the current steady-clock time.
+  Admission Admit(const std::string& tenant);
+
+  /// Completes an admitted query: decrements the in-flight count, charges
+  /// `bytes` against the byte budget, and counts the outcome (`ok` = the
+  /// query returned a result). Unknown tenants are ignored (a Release
+  /// without a paired Admit is a bug, but not one worth crashing a server
+  /// over — the active count is clamped at zero).
+  void ReleaseAt(const std::string& tenant, uint64_t now_us, uint64_t bytes,
+                 bool ok);
+
+  /// ReleaseAt at the current steady-clock time.
+  void Release(const std::string& tenant, uint64_t bytes, bool ok);
+
+  /// Counts a query that was admitted by this registry but shed by the
+  /// global admission queue (the 503 path). The caller still Releases.
+  void NoteShed(const std::string& tenant);
+
+  /// Per-tenant accounting, sorted by tenant name.
+  std::vector<TenantStats> Snapshot() const;
+
+  /// JSON document: {"tenants":[{...}, ...]} sorted by name, with the quota
+  /// and the live counters for each tenant.
+  std::string ToJson() const;
+
+  /// Number of tenants ever seen.
+  size_t TenantCount() const;
+
+ private:
+  // One tenant's quota, buckets, and counters.
+  struct Tenant {
+    TenantQuota quota;
+    // Bucket state. `last_us` is the refill timestamp both buckets share.
+    double rate_tokens = 0;
+    double byte_tokens = 0;
+    uint64_t last_us = 0;
+    bool buckets_primed = false;  // buckets start full on first admission
+    TenantStats stats;
+  };
+
+  Tenant& GetOrCreate(const std::string& tenant) STATCUBE_REQUIRES(mu_);
+  static void Refill(Tenant& t, uint64_t now_us);
+
+  const TenantQuota default_quota_;
+  mutable Mutex mu_;
+  std::map<std::string, Tenant> tenants_ STATCUBE_GUARDED_BY(mu_);
+};
+
+}  // namespace statcube::serve
+
+#endif  // STATCUBE_SERVE_TENANT_REGISTRY_H_

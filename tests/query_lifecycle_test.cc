@@ -356,6 +356,21 @@ TEST(QueryLifecycleTest, ExpiredDeadlineReturnsDeadlineExceeded) {
   EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
 }
 
+// deadline_us = 0 is "no deadline", not "instant deadline": the same CUBE
+// query that dies under a 1 us budget above must complete untouched. This is
+// the contract olap_cli --deadline-ms=0 and the /query endpoint's
+// "deadline_ms": 0 rely on.
+TEST(QueryLifecycleTest, ZeroDeadlineMeansNoDeadline) {
+  QueryOptions opt;
+  opt.deadline_us = 0;
+  opt.record = false;
+  auto r = QueryProfiled(Retail(), "SELECT sum(amount) BY CUBE(city, month)",
+                         opt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->profile.outcome, "ok");
+  EXPECT_GT(r->table.num_rows(), 0u);
+}
+
 TEST(QueryLifecycleTest, StoppedQueryProfileRecordsOutcome) {
   CancellationToken token;
   token.Cancel();

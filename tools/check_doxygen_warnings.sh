@@ -18,6 +18,7 @@ GATED=(
   "src/statcube/obs/query_registry.h"
   "src/statcube/obs/resource.h"
   "src/statcube/obs/timeseries_ring.h"
+  "src/statcube/serve/"
 )
 
 if ! command -v doxygen >/dev/null; then

@@ -1,0 +1,261 @@
+/// \file
+/// \brief Closed-loop load generator for the query front door: N concurrent
+/// sessions, each issuing `POST /query` requests back-to-back against a
+/// running stats_server, with per-class counters (200/429/503/other) and a
+/// latency histogram reported as p50/p95/p99.
+///
+/// Closed-loop means each session waits for its response before sending the
+/// next request, so offered concurrency — not offered rate — is the control
+/// variable; that is the right model for the admission-control experiment,
+/// where the question is "what happens when 1000 clients all lean on the
+/// door at once". Sessions honour Retry-After on 429/503 only when
+/// --honor-retry-after is set, so both the polite and the impolite client
+/// populations can be measured.
+///
+/// Usage:
+///   loadgen --port=8080 [--sessions=1000] [--requests=20] [--tenants=8]
+///           [--query='SELECT sum(amount) BY city'] [--honor-retry-after]
+///
+/// Output: one human-readable summary plus a single JSON line (machine
+/// scrapeable, used by EXPERIMENTS.md) on stdout. Exit code 0 when every
+/// session completed its request budget without an IO error, 1 otherwise.
+///
+/// This is a tool, not part of the library: it speaks plain sockets so a
+/// packaged statcube is not required to run it against any host/port.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct Options {
+  uint16_t port = 8080;
+  std::string host = "127.0.0.1";
+  int sessions = 1000;
+  int requests = 20;      // per session
+  int tenants = 8;        // requests spread across tenant0..tenantN-1
+  std::string query = "SELECT sum(amount) BY city";
+  bool honor_retry_after = false;
+  int max_retry_sleep_ms = 1000;  // cap on honored Retry-After sleeps
+};
+
+// One session's tally; summed after the threads join.
+struct SessionResult {
+  uint64_t ok = 0;        // 200
+  uint64_t rejected = 0;  // 429
+  uint64_t shed = 0;      // 503
+  uint64_t other = 0;     // any other HTTP status
+  uint64_t io_errors = 0; // connect/send/recv failures
+  std::vector<uint32_t> latencies_us;  // successful (200) requests only
+};
+
+// Blocking one-shot HTTP POST; returns the status code (0 on IO failure).
+int PostQuery(const Options& opt, const std::string& body,
+              std::string* retry_after) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt.port);
+  if (inet_pton(AF_INET, opt.host.c_str(), &addr.sin_addr) != 1 ||
+      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(fd);
+    return 0;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::string req =
+      "POST /query HTTP/1.1\r\nHost: localhost\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+  size_t off = 0;
+  while (off < req.size()) {
+    ssize_t n = send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      close(fd);
+      return 0;
+    }
+    off += size_t(n);
+  }
+  std::string resp;
+  char buf[8192];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) resp.append(buf, size_t(n));
+  close(fd);
+
+  // "HTTP/1.1 NNN ..."
+  if (resp.size() < 12 || resp.compare(0, 5, "HTTP/") != 0) return 0;
+  int status = atoi(resp.c_str() + 9);
+  if (retry_after != nullptr) {
+    retry_after->clear();
+    size_t pos = resp.find("Retry-After: ");
+    if (pos != std::string::npos) {
+      size_t end = resp.find('\r', pos);
+      *retry_after = resp.substr(pos + 13, end - pos - 13);
+    }
+  }
+  return status;
+}
+
+void RunSession(const Options& opt, int session_id, SessionResult* out) {
+  const std::string tenant =
+      "tenant" + std::to_string(opt.tenants > 0 ? session_id % opt.tenants : 0);
+  const std::string body = "{\"query\":\"" + opt.query +
+                           "\",\"tenant\":\"" + tenant + "\"}";
+  out->latencies_us.reserve(size_t(opt.requests));
+  for (int i = 0; i < opt.requests; ++i) {
+    std::string retry_after;
+    auto start = std::chrono::steady_clock::now();
+    int status = PostQuery(opt, body, &retry_after);
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+    switch (status) {
+      case 200:
+        ++out->ok;
+        out->latencies_us.push_back(uint32_t(std::min<int64_t>(
+            us, std::numeric_limits<uint32_t>::max())));
+        break;
+      case 429: ++out->rejected; break;
+      case 503: ++out->shed; break;
+      case 0: ++out->io_errors; break;
+      default: ++out->other; break;
+    }
+    if (opt.honor_retry_after && (status == 429 || status == 503) &&
+        !retry_after.empty()) {
+      int ms = std::min(atoi(retry_after.c_str()) * 1000,
+                        opt.max_retry_sleep_ms);
+      if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+  }
+}
+
+uint32_t Percentile(std::vector<uint32_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = size_t(p * double(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (arg.compare(0, prefix.size(), prefix) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+void Usage() {
+  std::cout <<
+      "loadgen: closed-loop load generator for statcube's POST /query\n"
+      "  --port=N            stats_server port (required)\n"
+      "  --host=ADDR         IPv4 address (default 127.0.0.1)\n"
+      "  --sessions=N        concurrent sessions (default 1000)\n"
+      "  --requests=N        requests per session (default 20)\n"
+      "  --tenants=N         spread sessions over N tenants (default 8)\n"
+      "  --query=SQL         query text (default 'SELECT sum(amount) BY "
+      "city')\n"
+      "  --honor-retry-after sleep as 429/503 responses suggest (capped)\n"
+      "  --max-retry-sleep-ms=N  cap for honored sleeps (default 1000)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i], v;
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg == "--honor-retry-after") {
+      opt.honor_retry_after = true;
+    } else if (ParseFlag(arg, "port", &v)) {
+      opt.port = uint16_t(atoi(v.c_str()));
+    } else if (ParseFlag(arg, "host", &v)) {
+      opt.host = v;
+    } else if (ParseFlag(arg, "sessions", &v)) {
+      opt.sessions = atoi(v.c_str());
+    } else if (ParseFlag(arg, "requests", &v)) {
+      opt.requests = atoi(v.c_str());
+    } else if (ParseFlag(arg, "tenants", &v)) {
+      opt.tenants = atoi(v.c_str());
+    } else if (ParseFlag(arg, "query", &v)) {
+      opt.query = v;
+    } else if (ParseFlag(arg, "max-retry-sleep-ms", &v)) {
+      opt.max_retry_sleep_ms = atoi(v.c_str());
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      Usage();
+      return 2;
+    }
+  }
+  if (opt.port == 0 || opt.sessions < 1 || opt.requests < 1) {
+    std::cerr << "need --port, --sessions >= 1, --requests >= 1\n";
+    return 2;
+  }
+
+  std::vector<SessionResult> results(size_t(opt.sessions));
+  std::vector<std::thread> threads;
+  threads.reserve(size_t(opt.sessions));
+  auto wall_start = std::chrono::steady_clock::now();
+  for (int s = 0; s < opt.sessions; ++s)
+    threads.emplace_back(RunSession, std::cref(opt), s, &results[size_t(s)]);
+  for (std::thread& t : threads) t.join();
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+
+  SessionResult total;
+  for (const SessionResult& r : results) {
+    total.ok += r.ok;
+    total.rejected += r.rejected;
+    total.shed += r.shed;
+    total.other += r.other;
+    total.io_errors += r.io_errors;
+    total.latencies_us.insert(total.latencies_us.end(),
+                              r.latencies_us.begin(), r.latencies_us.end());
+  }
+  std::sort(total.latencies_us.begin(), total.latencies_us.end());
+  uint64_t sent = total.ok + total.rejected + total.shed + total.other +
+                  total.io_errors;
+  uint32_t p50 = Percentile(total.latencies_us, 0.50);
+  uint32_t p95 = Percentile(total.latencies_us, 0.95);
+  uint32_t p99 = Percentile(total.latencies_us, 0.99);
+
+  std::cout << "loadgen: " << opt.sessions << " sessions x " << opt.requests
+            << " requests (" << sent << " sent) in " << wall_s << " s, "
+            << double(sent) / wall_s << " req/s\n"
+            << "  200 ok:       " << total.ok << "\n"
+            << "  429 rejected: " << total.rejected << "\n"
+            << "  503 shed:     " << total.shed << "\n"
+            << "  other:        " << total.other << "\n"
+            << "  io errors:    " << total.io_errors << "\n"
+            << "  latency (200s only): p50 " << p50 << " us, p95 " << p95
+            << " us, p99 " << p99 << " us\n";
+  std::cout << "{\"sessions\":" << opt.sessions
+            << ",\"requests_per_session\":" << opt.requests
+            << ",\"sent\":" << sent << ",\"ok\":" << total.ok
+            << ",\"rejected_429\":" << total.rejected
+            << ",\"shed_503\":" << total.shed << ",\"other\":" << total.other
+            << ",\"io_errors\":" << total.io_errors
+            << ",\"wall_s\":" << wall_s
+            << ",\"throughput_rps\":" << double(sent) / wall_s
+            << ",\"p50_us\":" << p50 << ",\"p95_us\":" << p95
+            << ",\"p99_us\":" << p99 << "}\n";
+  return total.io_errors == 0 ? 0 : 1;
+}

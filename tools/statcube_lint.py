@@ -76,6 +76,7 @@ DOXYGEN_GATED = [
     "src/statcube/obs/query_registry.h",
     "src/statcube/obs/resource.h",
     "src/statcube/obs/timeseries_ring.h",
+    "src/statcube/serve/",
 ]
 
 ALLOW_RE = re.compile(r"statcube-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")

@@ -249,6 +249,29 @@ class LintFixtureTest(unittest.TestCase):
         self.write("src/a.cc", 'const char* kHelp = "pipe to std::cout";\n')
         self.assertClean("src/a.cc")
 
+    # ----------------------------------------------- serve/ subsystem rules
+
+    def test_cout_in_serve_fires(self):
+        # The front door writes HTTP responses, never stdout: a stray debug
+        # print in serve/ is a lint error like anywhere else in src/.
+        self.write("src/statcube/serve/front_door.cc",
+                   'void Debug() { std::cout << "admitted"; }\n')
+        self.assertFires("src/statcube/serve/front_door.cc", "no-cout")
+
+    def test_dropped_admission_status_fires(self):
+        # An ignored Status-returning call in serve/ (e.g. a Start() whose
+        # failure would silently disable the endpoint) must be consumed.
+        self.write("src/statcube/serve/front_door.cc",
+                   "void Register() {\n  StartServer();\n}\n")
+        self.assertFires("src/statcube/serve/front_door.cc",
+                         "unconsumed-status",
+                         status_names={"StartServer"})
+
+    def test_serve_header_without_doc_fires(self):
+        self.write("src/statcube/serve/new_gate.h",
+                   "#ifndef X\n#define X\nclass Gate {};\n#endif\n")
+        self.assertFires("src/statcube/serve/new_gate.h", "doc-gated")
+
     # -------------------------------------------------------------- sleep
 
     def test_sleep_in_test_fires(self):
