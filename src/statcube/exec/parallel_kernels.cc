@@ -6,6 +6,9 @@
 
 #include "statcube/common/mutex.h"
 #include "statcube/common/str_util.h"
+#include "statcube/exec/vec_block.h"
+#include "statcube/exec/vec_kernels.h"
+#include "statcube/obs/metrics.h"
 #include "statcube/obs/query_profile.h"
 #include "statcube/obs/resource.h"
 #include "statcube/relational/cube_operator.h"
@@ -86,6 +89,20 @@ Table ParallelSelect(const Table& input, const RowPredicate& pred,
 Result<GroupedStates> ParallelGroupByStates(
     const Table& input, const std::vector<std::string>& group_cols,
     const std::vector<AggSpec>& aggs, const ExecOptions& options) {
+  // Vectorized route: the radix kernel either answers (bit-identical to the
+  // serial scan) or declines with Unimplemented when the input exceeds its
+  // 32-bit row indexes — then the scalar morsel path below serves as the
+  // fallback. Real errors (bad columns, stop) propagate unchanged.
+  if (options.vectorized) {
+    Result<GroupedStates> r =
+        VectorizedGroupByStates(input, group_cols, aggs, options);
+    if (r.ok() || r.status().code() != StatusCode::kUnimplemented) return r;
+    if (obs::Enabled())
+      obs::MetricsRegistry::Global()
+          .GetCounter("statcube.exec.vec.fallbacks")
+          .Add(1);
+  }
+
   // Resolve columns up front (exactly as GroupByStates) so every error
   // surfaces before any task is spawned.
   STATCUBE_ASSIGN_OR_RETURN(std::vector<size_t> gidx,
@@ -271,6 +288,11 @@ Result<double> ParallelSumRange(DenseArray& array,
   std::vector<double> parts(NumMorsels(nsegments, loop.morsel_size), 0.0);
   const std::vector<double>& cells = array.cells();
   BlockCounter& counter = array.counter();
+  // Same exactness gate as DenseArray::SumRange: when the whole region's
+  // sum is provably exact, segments may use the reassociated block kernel
+  // — bit-identical to the ordered walk, and to the serial SumRange.
+  bool fast = vec::ReorderIsExact(array.all_integral(), array.max_abs(),
+                                  nsegments * inner_width);
 
   ParallelFor(
       nsegments,
@@ -287,7 +309,11 @@ Result<double> ParallelSumRange(DenseArray& array,
           size_t base = 0;
           for (size_t i = 0; i < ndims; ++i) base += coord[i] * strides[i];
           counter.ChargeBytes(inner_width * sizeof(double));
-          for (size_t k = 0; k < inner_width; ++k) sum += cells[base + k];
+          if (fast) {
+            sum += vec::SumBlockFast(&cells[base], inner_width);
+          } else {
+            for (size_t k = 0; k < inner_width; ++k) sum += cells[base + k];
+          }
         }
         parts[m] = sum;
       },

@@ -29,6 +29,12 @@
 
 namespace statcube::exec {
 
+/// Process-wide default for ExecOptions::vectorized: true when the
+/// STATCUBE_VECTORIZED environment variable is set to anything but "0"
+/// (read once, like STATCUBE_THREADS). Lets CI force the vectorized kernels
+/// on for an entire test run without touching call sites.
+bool DefaultVectorized();
+
 /// Knobs shared by every parallel kernel.
 struct ExecOptions {
   /// Worker cap: 0 = DefaultThreads(); 1 = run inline on the caller (same
@@ -44,6 +50,22 @@ struct ExecOptions {
   /// claiming work once it fires and the kernel returns kCancelled /
   /// kDeadlineExceeded instead of a partial result. nullptr = never stops.
   const CancelContext* stop = nullptr;
+  /// Routes group-by (and everything built on it: CUBE, ROLLUP, the ROLAP
+  /// backend, cache derivation) through the vectorized radix kernels
+  /// (vec_kernels.h) instead of the scalar row-at-a-time morsel path.
+  /// Output is bit-identical to the serial operators at any thread count
+  /// (see vec_kernels.h for why this is exact, not last-ulp). Inputs past
+  /// the kernel's 32-bit row indexes fall back to the scalar kernel
+  /// transparently.
+  bool vectorized = DefaultVectorized();
+  /// The vectorized kernel's cheap phases (radix scatter, per-partition
+  /// aggregation — a few ns per row) fan out to the pool only when the rows
+  /// per worker amortize a dispatch+barrier: n >= this * EffectiveThreads().
+  /// Below that they run inline on the caller. 0 = always fan out (tests
+  /// use this to exercise the parallel phases at small row counts). Either
+  /// way the result is bit-identical — the phase decomposition, not the
+  /// execution layout, fixes the arithmetic.
+  size_t vec_fanout_rows = 65536;
 
   /// The thread cap with defaults resolved.
   int EffectiveThreads() const {

@@ -1,6 +1,12 @@
 #include "statcube/molap/dense_array.h"
 
+#include <cmath>
+
+#include "statcube/exec/vec_block.h"
+
 namespace statcube {
+
+bool DenseArray::IsIntegral(double v) { return std::trunc(v) == v; }
 
 DenseArray::DenseArray(std::vector<size_t> shape) : shape_(std::move(shape)) {
   strides_.assign(shape_.size(), 1);
@@ -38,6 +44,7 @@ std::vector<size_t> DenseArray::Delinearize(size_t pos) const {
 Status DenseArray::Set(const std::vector<size_t>& coord, double v) {
   STATCUBE_ASSIGN_OR_RETURN(size_t pos, Linearize(coord));
   cells_[pos] = v;
+  NoteWrite(v);
   return Status::OK();
 }
 
@@ -62,13 +69,26 @@ Result<double> DenseArray::SumRange(const std::vector<DimRange>& ranges) {
   for (size_t i = 0; i < ndims; ++i) coord[i] = ranges[i].lo;
   size_t inner_width = ranges[ndims - 1].width();
 
+  // Exactness gate for reassociated (SIMD) segment sums: when every cell
+  // ever written is integral and the whole selected region's sum stays
+  // within 2^53, any association is exact, so block-summing each segment
+  // and adding segment totals is bit-identical to the one running serial
+  // sum. Otherwise keep the strictly ordered accumulation.
+  size_t total_cells = 1;
+  for (const DimRange& r : ranges) total_cells *= r.width();
+  bool fast = exec::vec::ReorderIsExact(all_integral_, max_abs_, total_cells);
+
   double sum = 0.0;
   while (true) {
     size_t base = 0;
     for (size_t i = 0; i < ndims; ++i) base += coord[i] * strides_[i];
     // One contiguous segment (charged as a sequential read).
     counter_.ChargeBytes(inner_width * sizeof(double));
-    for (size_t k = 0; k < inner_width; ++k) sum += cells_[base + k];
+    if (fast) {
+      sum += exec::vec::SumBlockFast(&cells_[base], inner_width);
+    } else {
+      for (size_t k = 0; k < inner_width; ++k) sum += cells_[base + k];
+    }
 
     // Odometer over the leading dims.
     size_t d = ndims - 1;

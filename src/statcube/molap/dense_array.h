@@ -45,7 +45,10 @@ class DenseArray {
   Result<double> Get(const std::vector<size_t>& coord) const;
 
   double GetLinear(size_t pos) const { return cells_[pos]; }
-  void SetLinear(size_t pos, double v) { cells_[pos] = v; }
+  void SetLinear(size_t pos, double v) {
+    cells_[pos] = v;
+    NoteWrite(v);
+  }
 
   /// Sum over the hyper-rectangle `ranges` (one DimRange per dimension).
   /// Charges one sequential read per contiguous innermost segment.
@@ -59,10 +62,32 @@ class DenseArray {
   BlockCounter& counter() { return counter_; }
   const std::vector<double>& cells() const { return cells_; }
 
+  /// Conservative exactness evidence for reassociated (SIMD) summation
+  /// (exec/vec_block.h): true while every value ever written was an integer
+  /// (the initial cells are 0.0). Overwrites never clear history, so this
+  /// may under-claim but never over-claims.
+  bool all_integral() const { return all_integral_; }
+  /// Upper bound on |cell| across every value ever written (overwrites keep
+  /// the old bound — an over-estimate is still a sound gate input).
+  double max_abs() const { return max_abs_; }
+
  private:
+  // Maintains the exactness metadata on every write path. NaN is not
+  // integral and its magnitude comparison is always false, so it pins
+  // all_integral_ off; infinities blow the bound. Either disables the
+  // reassociated fast path.
+  void NoteWrite(double v) {
+    double a = v < 0 ? -v : v;
+    if (a > max_abs_) max_abs_ = a;
+    if (all_integral_ && !IsIntegral(v)) all_integral_ = false;
+  }
+  static bool IsIntegral(double v);
+
   std::vector<size_t> shape_;
   std::vector<size_t> strides_;  // row-major
   std::vector<double> cells_;
+  bool all_integral_ = true;
+  double max_abs_ = 0.0;
   BlockCounter counter_;
 };
 

@@ -15,10 +15,12 @@ namespace statcube {
 
 Result<Table> ExecuteQueryParallel(const StatisticalObject& obj,
                                    const ParsedQuery& query, int threads,
-                                   const CancelContext* stop) {
+                                   const CancelContext* stop,
+                                   bool vectorized) {
   exec::ExecOptions exec_options;
   exec_options.threads = threads;
   exec_options.stop = stop;
+  exec_options.vectorized = vectorized;
 
   // Hierarchy-level references derive extra columns, exactly as
   // ExecuteQuery does (same spans, same errors, same derived rows).

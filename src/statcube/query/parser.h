@@ -67,9 +67,12 @@ Result<Table> Query(const StatisticalObject& obj, const std::string& text);
 /// matches ExecuteQuery exactly. `stop` (optional) is the query's stop
 /// context — morsel loops check it between morsels and the call returns
 /// kCancelled / kDeadlineExceeded instead of a partial table once it fires.
+/// `vectorized` routes the grouping through the radix kernels
+/// (exec/vec_kernels.h) — same results, bit for bit.
 Result<Table> ExecuteQueryParallel(const StatisticalObject& obj,
                                    const ParsedQuery& query, int threads,
-                                   const CancelContext* stop = nullptr);
+                                   const CancelContext* stop = nullptr,
+                                   bool vectorized = exec::DefaultVectorized());
 
 /// Executes a parsed query through a CubeBackend (§6.6: the same textual
 /// query served by either physical organization). Only backend-expressible
@@ -77,10 +80,12 @@ Result<Table> ExecuteQueryParallel(const StatisticalObject& obj,
 /// measure, BY plain dimensions (no CUBE), WHERE equalities on dimensions;
 /// anything else returns Unimplemented so callers can fall back to
 /// ExecuteQuery. `threads` != 1 routes the backend's scan/grouping through
-/// the parallel kernels (CubeQuery::threads).
+/// the parallel kernels (CubeQuery::threads); `vectorized` is forwarded to
+/// CubeQuery::vectorized.
 Result<Table> ExecuteQueryOnBackend(const StatisticalObject& obj,
                                     const ParsedQuery& query,
-                                    CubeBackend& backend, int threads = 1);
+                                    CubeBackend& backend, int threads = 1,
+                                    bool vectorized = exec::DefaultVectorized());
 
 /// Which execution engine QueryProfiled routes through.
 enum class QueryEngine { kRelational, kMolap, kRolap, kRolapBitmap };
@@ -125,6 +130,12 @@ struct QueryOptions {
   /// the /queryz registry entry, and the flight-recorder record so every
   /// observability surface can attribute the work.
   std::string tenant;
+  /// Routes groupings (parallel path, backends, cache derivation) through
+  /// the vectorized radix kernels (exec/vec_kernels.h). Any setting returns
+  /// bit-identical tables; defaults to the STATCUBE_VECTORIZED environment
+  /// gate. Exposed as `--vectorized` in the CLI and `"vectorized"` in the
+  /// /query JSON body.
+  bool vectorized = exec::DefaultVectorized();
 };
 
 /// A query result with its profile (and the table already rendered, so the

@@ -30,7 +30,8 @@ std::string Lower(std::string s) {
 
 Result<Table> ExecuteQueryOnBackend(const StatisticalObject& obj,
                                     const ParsedQuery& query,
-                                    CubeBackend& backend, int threads) {
+                                    CubeBackend& backend, int threads,
+                                    bool vectorized) {
   if (query.cube)
     return Status::Unimplemented("BY CUBE is not backend-expressible");
   if (query.aggs.size() != 1 || query.aggs[0].fn != AggFn::kSum)
@@ -41,6 +42,7 @@ Result<Table> ExecuteQueryOnBackend(const StatisticalObject& obj,
       return Status::Unimplemented("BY '" + b + "' is not a plain dimension");
   CubeQuery cq;
   cq.threads = threads;
+  cq.vectorized = vectorized;
   cq.group_dims = query.by;
   for (const auto& [attr, v] : query.where) {
     if (!obj.DimensionNamed(attr).ok())
@@ -151,8 +153,8 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
                 rc.FindDerivationSource(*key)) {
           obs::Span derive_span("cache.derive");
           const auto derive_start = std::chrono::steady_clock::now();
-          Result<Table> derived =
-              cache::RollupDerived(*src, *key, options.threads);
+          Result<Table> derived = cache::RollupDerived(
+              *src, *key, options.threads, options.vectorized);
           if (derived.ok()) {
             out = *std::move(derived);
             executed = true;
@@ -206,8 +208,9 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
       }
     }
     if (backend.ok()) {
-      Result<Table> res =
-          ExecuteQueryOnBackend(obj, q, **backend, options.threads);
+      Result<Table> res = ExecuteQueryOnBackend(obj, q, **backend,
+                                                options.threads,
+                                                options.vectorized);
       if (res.ok()) {
         out = std::move(res).value();
         executed = true;
@@ -227,7 +230,8 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
     {
       obs::Span exec_span("execute");
       res = options.threads != 1
-                ? ExecuteQueryParallel(obj, q, options.threads, &cctx)
+                ? ExecuteQueryParallel(obj, q, options.threads, &cctx,
+                                       options.vectorized)
                 : ExecuteQuery(obj, q);
     }
     if (!res.ok()) {

@@ -23,7 +23,7 @@ import json
 import os
 import sys
 
-DEFAULT_BASELINE = "BENCH_PR8.json"
+DEFAULT_BASELINE = "BENCH_PR9.json"
 DEFAULT_DIR = "bench_json"
 
 
