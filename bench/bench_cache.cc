@@ -16,7 +16,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "statcube/cache/query_key.h"
+#include "statcube/query/cache_key.h"
 #include "statcube/cache/result_cache.h"
 #include "statcube/query/parser.h"
 #include "statcube/workload/retail.h"
@@ -65,7 +65,7 @@ void BM_KeyBuild(benchmark::State& state) {
   auto parsed = ParseQuery(kQuery);
   for (auto _ : state) {
     auto key =
-        cache::BuildQueryKey(obj, *parsed, QueryEngine::kRelational);
+        query::BuildQueryKey(obj, *parsed, QueryEngine::kRelational);
     benchmark::DoNotOptimize(key->exact.size());
   }
 }

@@ -6,7 +6,7 @@
 ///
 ///  - **Dataset version**: a fingerprint of the object (name, row count,
 ///    dimension/measure names, first/last row) combined with the object's
-///    mutation epoch (cache/epoch.h). Any load or append changes the epoch,
+///    mutation epoch (common/epoch.h). Any load or append changes the epoch,
 ///    so stale entries can never be served.
 ///  - **Predicate fingerprint**: WHERE equalities sorted by attribute then
 ///    value (with a value-type tag, so the string '1' never collides with
@@ -23,6 +23,9 @@
 /// `exact` (family plus the ordered BY list — the unit of bit-identical
 /// reuse). `BY b, a` therefore misses exactly but derives from a cached
 /// `BY a, b` via a (free) roll-up.
+///
+/// The *builder* lives in query/cache_key.h: it needs query/parser.h, which
+/// sits above cache/ in the layer DAG.
 
 #ifndef STATCUBE_CACHE_QUERY_KEY_H_
 #define STATCUBE_CACHE_QUERY_KEY_H_
@@ -30,14 +33,7 @@
 #include <string>
 #include <vector>
 
-#include "statcube/common/status.h"
-#include "statcube/core/statistical_object.h"
 #include "statcube/relational/aggregate.h"
-
-namespace statcube {
-struct ParsedQuery;  // query/parser.h; not included to avoid a cycle
-enum class QueryEngine;
-}  // namespace statcube
 
 namespace statcube::cache {
 
@@ -65,11 +61,6 @@ struct QueryKey {
   /// dimensions only). Derivation never crosses shapes.
   bool backend_shaped = false;
 };
-
-/// Builds the canonical key. Cheap (touches two rows of data); fails only
-/// when the query has no aggregates.
-Result<QueryKey> BuildQueryKey(const StatisticalObject& obj,
-                               const ParsedQuery& query, QueryEngine engine);
 
 }  // namespace statcube::cache
 

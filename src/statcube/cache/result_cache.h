@@ -23,7 +23,7 @@
 /// budget (`Table::ByteSize` of each entry); eviction is per shard. A
 /// side index per family maps group-by sets to bitmasks for the derivation
 /// search. Invalidation is by construction: keys embed the dataset epoch
-/// (cache/epoch.h), so entries for mutated objects stop matching and age
+/// (common/epoch.h), so entries for mutated objects stop matching and age
 /// out via LRU.
 ///
 /// Observability: statcube.cache.{hits,misses,derived_hits,inserts,

@@ -1,6 +1,6 @@
-#include "statcube/cache/epoch.h"
+#include "statcube/common/epoch.h"
 
-namespace statcube::cache {
+namespace statcube {
 
 DataEpochs& DataEpochs::Global() {
   static DataEpochs* instance = new DataEpochs();
@@ -23,4 +23,4 @@ void DataEpochs::Reset() {
   epochs_.clear();
 }
 
-}  // namespace statcube::cache
+}  // namespace statcube

@@ -10,12 +10,15 @@
 /// result cache (see cache/result_cache.h); the paper's §6.3 derivability
 /// argument only holds while the base micro-data is unchanged.
 ///
-/// This header is dependency-free on purpose (like statcube/obs it is a
-/// shared surface): src/statcube/core includes it to publish mutations, and
-/// src/statcube/cache includes it to observe them, without a layering cycle.
+/// This registry lives in common/ (not cache/) because it sits *below* both
+/// of its clients in the layer DAG: src/statcube/core includes it to publish
+/// mutations and src/statcube/cache (via query/cache_key.cc) includes it to
+/// observe them. Hosting it in either client module would create a layering
+/// cycle — statcube-analyze enforces the acyclic layer map in
+/// tools/statcube_analyze/layers.json.
 
-#ifndef STATCUBE_CACHE_EPOCH_H_
-#define STATCUBE_CACHE_EPOCH_H_
+#ifndef STATCUBE_COMMON_EPOCH_H_
+#define STATCUBE_COMMON_EPOCH_H_
 
 #include <cstdint>
 #include <string>
@@ -24,7 +27,7 @@
 #include "statcube/common/mutex.h"
 #include "statcube/common/thread_annotations.h"
 
-namespace statcube::cache {
+namespace statcube {
 
 /// Thread-safe name → epoch map. Epochs start at 0 for never-mutated names
 /// and only move forward.
@@ -50,6 +53,6 @@ class DataEpochs {
   std::unordered_map<std::string, uint64_t> epochs_ STATCUBE_GUARDED_BY(mu_);
 };
 
-}  // namespace statcube::cache
+}  // namespace statcube
 
-#endif  // STATCUBE_CACHE_EPOCH_H_
+#endif  // STATCUBE_COMMON_EPOCH_H_

@@ -1,0 +1,151 @@
+#include "statcube/common/vec_block.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace statcube::vec {
+
+namespace {
+
+double SumBlockFastGeneric(const double* v, size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += v[i];
+    l1 += v[i + 1];
+    l2 += v[i + 2];
+    l3 += v[i + 3];
+  }
+  double s = (l0 + l1) + (l2 + l3);
+  for (; i < n; ++i) s += v[i];
+  return s;
+}
+
+double SumSqBlockFastGeneric(const double* v, size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += v[i] * v[i];
+    l1 += v[i + 1] * v[i + 1];
+    l2 += v[i + 2] * v[i + 2];
+    l3 += v[i + 3] * v[i + 3];
+  }
+  double s = (l0 + l1) + (l2 + l3);
+  for (; i < n; ++i) s += v[i] * v[i];
+  return s;
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+// Structurally identical to the generic 4-lane loops (same lane assignment,
+// same (l0+l1)+(l2+l3) combine, same in-order tail), so both dispatch
+// targets produce the same bits even outside the exactness gate.
+__attribute__((target("avx2"))) double SumBlockFastAvx2(const double* v,
+                                                        size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(v + i));
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) s += v[i];
+  return s;
+}
+
+__attribute__((target("avx2"))) double SumSqBlockFastAvx2(const double* v,
+                                                          size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d x = _mm256_loadu_pd(v + i);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(x, x));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) s += v[i] * v[i];
+  return s;
+}
+
+bool CpuHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#else
+
+bool CpuHasAvx2() { return false; }
+
+#endif  // x86_64
+
+using BlockSumFn = double (*)(const double*, size_t);
+
+// One-time dispatch: resolved at first use, never changes afterwards.
+struct Dispatch {
+  BlockSumFn sum;
+  BlockSumFn sum_sq;
+  const char* level;
+};
+
+const Dispatch& GetDispatch() {
+  static const Dispatch d = [] {
+#if defined(__x86_64__) || defined(_M_X64)
+    if (CpuHasAvx2()) return Dispatch{SumBlockFastAvx2, SumSqBlockFastAvx2,
+                                      "avx2"};
+#endif
+    return Dispatch{SumBlockFastGeneric, SumSqBlockFastGeneric, "generic"};
+  }();
+  return d;
+}
+
+}  // namespace
+
+double SumBlockOrdered(const double* v, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += v[i];
+  return s;
+}
+
+double SumBlockFast(const double* v, size_t n) {
+  return GetDispatch().sum(v, n);
+}
+
+double SumSqBlockOrdered(const double* v, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += v[i] * v[i];
+  return s;
+}
+
+double SumSqBlockFast(const double* v, size_t n) {
+  return GetDispatch().sum_sq(v, n);
+}
+
+double MinBlock(const double* v, size_t n) {
+  double m = v[0];
+  for (size_t i = 1; i < n; ++i) m = v[i] < m ? v[i] : m;
+  return m;
+}
+
+double MaxBlock(const double* v, size_t n) {
+  double m = v[0];
+  for (size_t i = 1; i < n; ++i) m = v[i] > m ? v[i] : m;
+  return m;
+}
+
+size_t CountFlagBits(const uint8_t* flags, size_t n, uint8_t bit) {
+  size_t c = 0;
+  for (size_t i = 0; i < n; ++i) c += (flags[i] & bit) != 0 ? 1 : 0;
+  return c;
+}
+
+bool ReorderIsExact(bool all_integral, double max_abs, size_t n) {
+  if (!all_integral) return false;
+  if (n == 0) return true;
+  // Every partial sum in any grouping is bounded by n * max_abs; keeping
+  // that at or below 2^53 makes every partial an exactly representable
+  // integer, so association cannot change a bit. Division avoids overflow.
+  return max_abs <= kMaxExactDouble / static_cast<double>(n);
+}
+
+const char* SimdLevelName() { return GetDispatch().level; }
+
+}  // namespace statcube::vec

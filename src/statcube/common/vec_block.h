@@ -27,18 +27,20 @@
 ///  * `CountFlagBits` counts set low bits in a flag byte array — integer
 ///    arithmetic, any order.
 ///
-/// Layering: this header depends only on the C++ standard library so that
-/// storage layers (molap/dense_array) can call into it without pulling the
+/// Layering: these primitives live in common/ (namespace statcube::vec) and
+/// depend only on the C++ standard library, so storage layers
+/// (molap/dense_array) and exec can both call into them without pulling the
 /// scheduler or the relational engine into their translation units. The
-/// definitions live in vec_kernels.cc.
+/// definitions live in common/vec_block.cc; the metrics-instrumented
+/// SumBlockAuto wrapper lives one layer up, in exec/vec_kernels.h.
 
-#ifndef STATCUBE_EXEC_VEC_BLOCK_H_
-#define STATCUBE_EXEC_VEC_BLOCK_H_
+#ifndef STATCUBE_COMMON_VEC_BLOCK_H_
+#define STATCUBE_COMMON_VEC_BLOCK_H_
 
 #include <cstddef>
 #include <cstdint>
 
-namespace statcube::exec::vec {
+namespace statcube::vec {
 
 /// The largest integer magnitude a double represents exactly (2^53). Sums
 /// whose every partial stays at or below this bound are reorderable without
@@ -77,16 +79,10 @@ size_t CountFlagBits(const uint8_t* flags, size_t n, uint8_t bit);
 /// evidence (tracked incrementally by columnarization and DenseArray).
 bool ReorderIsExact(bool all_integral, double max_abs, size_t n);
 
-/// Picks the fast path when `ReorderIsExact(all_integral, max_abs, n)`
-/// holds and the ordered loop otherwise; always bit-identical to
-/// SumBlockOrdered.
-double SumBlockAuto(const double* v, size_t n, bool all_integral,
-                    double max_abs);
-
 /// The instruction set the reassociating kernels dispatched to at startup:
 /// "avx2" or "generic".
 const char* SimdLevelName();
 
-}  // namespace statcube::exec::vec
+}  // namespace statcube::vec
 
-#endif  // STATCUBE_EXEC_VEC_BLOCK_H_
+#endif  // STATCUBE_COMMON_VEC_BLOCK_H_

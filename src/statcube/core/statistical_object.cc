@@ -49,7 +49,7 @@ Result<Dimension*> StatisticalObject::MutableDimensionNamed(
   for (auto& d : dims_)
     if (d.name() == name) {
       // Handing out a mutable hierarchy invalidates cached roll-ups.
-      cache::DataEpochs::Global().Bump(name_);
+      DataEpochs::Global().Bump(name_);
       return &d;
     }
   return Status::NotFound("object '" + name_ + "' has no dimension '" + name +
@@ -91,8 +91,8 @@ Status StatisticalObject::AddCell(const Row& dim_values,
   for (const Value& v : measure_values) row.push_back(v);
   STATCUBE_RETURN_NOT_OK(data_.AppendRow(std::move(row)));
   // Publish the mutation so cached query results against the old contents
-  // stop matching (cache/epoch.h).
-  cache::DataEpochs::Global().Bump(name_);
+  // stop matching (common/epoch.h).
+  DataEpochs::Global().Bump(name_);
   return Status::OK();
 }
 

@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "statcube/cache/epoch.h"
+#include "statcube/common/epoch.h"
 #include "statcube/common/status.h"
 #include "statcube/common/value.h"
 #include "statcube/core/dimension.h"
@@ -45,7 +45,7 @@ class StatisticalObject {
   /// Mutable handle; conservatively bumps the cache epoch (hierarchy edits
   /// change roll-up results, so cached answers must stop matching).
   std::vector<Dimension>& mutable_dimensions() {
-    cache::DataEpochs::Global().Bump(name_);
+    DataEpochs::Global().Bump(name_);
     return dims_;
   }
   const std::vector<SummaryMeasure>& measures() const { return measures_; }
@@ -70,7 +70,7 @@ class StatisticalObject {
   /// Mutable handle; conservatively bumps the cache epoch (any direct edit
   /// of the macro-data invalidates cached query results).
   Table& mutable_data() {
-    cache::DataEpochs::Global().Bump(name_);
+    DataEpochs::Global().Bump(name_);
     return data_;
   }
 

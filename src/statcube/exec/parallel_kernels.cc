@@ -6,7 +6,7 @@
 
 #include "statcube/common/mutex.h"
 #include "statcube/common/str_util.h"
-#include "statcube/exec/vec_block.h"
+#include "statcube/common/vec_block.h"
 #include "statcube/exec/vec_kernels.h"
 #include "statcube/obs/metrics.h"
 #include "statcube/obs/query_profile.h"
@@ -14,6 +14,8 @@
 #include "statcube/relational/cube_operator.h"
 
 namespace statcube::exec {
+
+namespace vec = ::statcube::vec;
 
 namespace {
 

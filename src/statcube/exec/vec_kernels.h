@@ -80,6 +80,15 @@ namespace statcube::exec {
 /// keep per-partition state cache-resident while out-scaling kMaxThreads.
 inline constexpr size_t kRadixPartitions = 64;
 
+/// Picks the reassociated block sum when
+/// `vec::ReorderIsExact(all_integral, max_abs, n)` holds and the ordered
+/// loop otherwise; always bit-identical to `vec::SumBlockOrdered`. Lives in
+/// exec (not common/vec_block.h with the primitives it wraps) because it
+/// bumps the `statcube.exec.vec.block_sum_*` counters, and obs sits above
+/// common in the layer DAG.
+double SumBlockAuto(const double* v, size_t n, bool all_integral,
+                    double max_abs);
+
 /// Accumulator states per group over the vectorized pipeline above. Output
 /// is bit-identical to the serial GroupByStates (and therefore to itself at
 /// every thread count). Honors `options.stop` between phases like every

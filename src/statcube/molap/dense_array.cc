@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "statcube/exec/vec_block.h"
+#include "statcube/common/vec_block.h"
 
 namespace statcube {
 
@@ -76,7 +76,7 @@ Result<double> DenseArray::SumRange(const std::vector<DimRange>& ranges) {
   // sum. Otherwise keep the strictly ordered accumulation.
   size_t total_cells = 1;
   for (const DimRange& r : ranges) total_cells *= r.width();
-  bool fast = exec::vec::ReorderIsExact(all_integral_, max_abs_, total_cells);
+  bool fast = vec::ReorderIsExact(all_integral_, max_abs_, total_cells);
 
   double sum = 0.0;
   while (true) {
@@ -85,7 +85,7 @@ Result<double> DenseArray::SumRange(const std::vector<DimRange>& ranges) {
     // One contiguous segment (charged as a sequential read).
     counter_.ChargeBytes(inner_width * sizeof(double));
     if (fast) {
-      sum += exec::vec::SumBlockFast(&cells_[base], inner_width);
+      sum += vec::SumBlockFast(&cells_[base], inner_width);
     } else {
       for (size_t k = 0; k < inner_width; ++k) sum += cells_[base + k];
     }

@@ -63,7 +63,7 @@ class DenseArray {
   const std::vector<double>& cells() const { return cells_; }
 
   /// Conservative exactness evidence for reassociated (SIMD) summation
-  /// (exec/vec_block.h): true while every value ever written was an integer
+  /// (common/vec_block.h): true while every value ever written was an integer
   /// (the initial cells are 0.0). Overwrites never clear history, so this
   /// may under-claim but never over-claims.
   bool all_integral() const { return all_integral_; }

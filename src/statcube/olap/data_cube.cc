@@ -1,7 +1,5 @@
 #include "statcube/olap/data_cube.h"
 
-#include "statcube/query/parser.h"
-
 namespace statcube {
 
 Result<DataCube> DataCube::Wrap(Result<StatisticalObject> r) const {
@@ -56,10 +54,6 @@ Result<double> DataCube::Sum(const std::string& measure,
                              const std::vector<EqFilter>& filters) {
   STATCUBE_RETURN_NOT_OK(EnsureBackend(measure));
   return backend_->Sum(filters);
-}
-
-Result<Table> DataCube::Query(const std::string& text) const {
-  return statcube::Query(object_, text);
 }
 
 Result<AutoResult> DataCube::Ask(const AutoQuery& query) const {

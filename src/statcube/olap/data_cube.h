@@ -66,8 +66,9 @@ class DataCube {
   Result<double> Sum(const std::string& measure,
                      const std::vector<EqFilter>& filters = {});
 
-  /// The text query language of §5.1 ("SELECT sum(x) BY d WHERE ...").
-  Result<Table> Query(const std::string& text) const;
+  // The §5.1 text query language lives one layer up: parse-and-run a cube
+  // with statcube::Query(cube.object(), text) (query/parser.h). A member
+  // forwarding to it would point olap/ at query/, inverting the layer DAG.
 
   /// Automatic aggregation (Figure 13).
   Result<AutoResult> Ask(const AutoQuery& query) const;

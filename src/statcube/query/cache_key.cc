@@ -1,12 +1,12 @@
-#include "statcube/cache/query_key.h"
+#include "statcube/query/cache_key.h"
 
 #include <algorithm>
 #include <cstdio>
 
-#include "statcube/cache/epoch.h"
+#include "statcube/common/epoch.h"
 #include "statcube/query/parser.h"
 
-namespace statcube::cache {
+namespace statcube::query {
 
 namespace {
 
@@ -87,12 +87,12 @@ bool PredictBackendShape(const StatisticalObject& obj, const ParsedQuery& q,
 
 }  // namespace
 
-Result<QueryKey> BuildQueryKey(const StatisticalObject& obj,
+Result<cache::QueryKey> BuildQueryKey(const StatisticalObject& obj,
                                const ParsedQuery& query, QueryEngine engine) {
   if (query.aggs.empty())
     return Status::InvalidArgument("query has no aggregates to cache");
 
-  QueryKey key;
+  cache::QueryKey key;
   key.by = query.by;
   key.cube = query.cube;
   key.derivable = !query.cube;
@@ -144,4 +144,4 @@ Result<QueryKey> BuildQueryKey(const StatisticalObject& obj,
   return key;
 }
 
-}  // namespace statcube::cache
+}  // namespace statcube::query

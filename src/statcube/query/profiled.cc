@@ -9,7 +9,7 @@
 #include <chrono>
 
 #include "statcube/cache/derive.h"
-#include "statcube/cache/query_key.h"
+#include "statcube/query/cache_key.h"
 #include "statcube/cache/result_cache.h"
 #include "statcube/common/cancellation.h"
 #include "statcube/obs/flight_recorder.h"
@@ -142,7 +142,7 @@ Result<ProfiledQuery> QueryProfiled(const StatisticalObject& obj,
   Result<cache::QueryKey> key = Status::Unimplemented("cache off");
   if (options.cache != cache::Mode::kOff) {
     obs::Span lookup_span("cache.lookup");
-    key = cache::BuildQueryKey(obj, q, options.engine);
+    key = query::BuildQueryKey(obj, q, options.engine);
     if (key.ok()) {
       if (std::optional<Table> hit = rc.Lookup(*key)) {
         out = *std::move(hit);

@@ -18,10 +18,14 @@ Result<Table> HashJoinImpl(const Table& left, const std::string& left_key,
   STATCUBE_ASSIGN_OR_RETURN(size_t rkey, right.schema().IndexOf(right_key));
 
   // Build side: right table (dimension tables are small in a star schema).
-  std::unordered_multimap<Value, size_t> build;
+  // Matches are stored per key in build-row order — an unordered_multimap's
+  // equal_range walks duplicates in implementation-defined order, which
+  // would leak the stdlib's bucket layout into duplicate-match emission
+  // order and break the bit-identical determinism contract.
+  std::unordered_map<Value, std::vector<size_t>> build;
   build.reserve(right.num_rows());
   for (size_t i = 0; i < right.num_rows(); ++i)
-    build.emplace(right.row(i)[rkey], i);
+    build[right.row(i)[rkey]].push_back(i);
 
   Schema out_schema;
   for (const auto& c : left.schema().columns())
@@ -37,15 +41,17 @@ Result<Table> HashJoinImpl(const Table& left, const std::string& left_key,
 
   Table out(left.name() + "_join_" + right.name(), out_schema);
   for (const Row& lrow : left.rows()) {
-    auto [lo, hi] = build.equal_range(lrow[lkey]);
-    if (lo == hi && keep_unmatched_left) {
-      Row r = lrow;
-      r.resize(out_schema.num_columns(), Value::Null());
-      out.AppendRowUnchecked(std::move(r));
+    auto it = build.find(lrow[lkey]);
+    if (it == build.end()) {
+      if (keep_unmatched_left) {
+        Row r = lrow;
+        r.resize(out_schema.num_columns(), Value::Null());
+        out.AppendRowUnchecked(std::move(r));
+      }
       continue;
     }
-    for (auto it = lo; it != hi; ++it) {
-      const Row& rrow = right.row(it->second);
+    for (size_t match : it->second) {
+      const Row& rrow = right.row(match);
       Row r = lrow;
       r.reserve(out_schema.num_columns());
       for (size_t c : right_cols) r.push_back(rrow[c]);

@@ -1,5 +1,6 @@
 #include "statcube/relational/star_schema.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "statcube/relational/join.h"
@@ -48,8 +49,13 @@ Result<Table> StarSchema::Denormalize(
     STATCUBE_ASSIGN_OR_RETURN(int owner, OwnerOf(attr));
     if (owner >= 0) needed.insert(owner);
   }
+  // Join in ascending dimension-index order: iterating the unordered_set
+  // directly would let the stdlib's bucket layout pick the join order, and
+  // with it the output column order — nondeterministic across platforms.
+  std::vector<int> join_order(needed.begin(), needed.end());
+  std::sort(join_order.begin(), join_order.end());
   Table joined = fact_;
-  for (int d : std::vector<int>(needed.begin(), needed.end())) {
+  for (int d : join_order) {
     const StarDimension& dim = dims_[static_cast<size_t>(d)];
     STATCUBE_ASSIGN_OR_RETURN(
         joined, HashJoin(joined, dim.fact_fk, dim.table, dim.key_column));

@@ -12,8 +12,8 @@
 #include <vector>
 
 #include "statcube/cache/derive.h"
-#include "statcube/cache/epoch.h"
-#include "statcube/cache/query_key.h"
+#include "statcube/common/epoch.h"
+#include "statcube/query/cache_key.h"
 #include "statcube/obs/metrics.h"
 #include "statcube/query/parser.h"
 #include "statcube/workload/retail.h"
@@ -21,8 +21,7 @@
 namespace statcube {
 namespace {
 
-using cache::BuildQueryKey;
-using cache::DataEpochs;
+using query::BuildQueryKey;
 using cache::Mode;
 using cache::QueryKey;
 using cache::ResultCache;

@@ -23,6 +23,7 @@
 #include "statcube/common/cancellation.h"
 #include "statcube/obs/flight_recorder.h"
 #include "statcube/obs/query_registry.h"
+#include "statcube/query/cache_key.h"
 #include "statcube/query/parser.h"
 #include "statcube/workload/retail.h"
 
@@ -100,7 +101,7 @@ bool AttemptCancel(int threads) {
   // so a leaked partial table would have been admitted)...
   EXPECT_EQ(rc.entries(), 0u) << "partial result cached at threads="
                               << threads;
-  EXPECT_FALSE(rc.Lookup(*cache::BuildQueryKey(
+  EXPECT_FALSE(rc.Lookup(*query::BuildQueryKey(
                    Retail(), *ParseQuery(kQuery),
                    QueryEngine::kRelational))
                    .has_value());

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "statcube/query/parser.h"
 #include "statcube/workload/retail.h"
 
 namespace statcube {
@@ -57,7 +58,7 @@ TEST(DataCubeTest, ChainedPipeline) {
   EXPECT_EQ(no_days->object().dimensions().size(), 2u);
   // Grand total of the pipeline equals a filtered Sum on the original.
   DataCube fresh = MakeCube();
-  auto total = no_days->Query("SELECT sum(qty)");
+  auto total = Query(no_days->object(), "SELECT sum(qty)");
   ASSERT_TRUE(total.ok());
   auto per_city = fresh.object();
   double expect = 0;
@@ -88,7 +89,7 @@ TEST(DataCubeTest, EnforcementFlowsThroughOptions) {
 
 TEST(DataCubeTest, QueryAskRender) {
   DataCube cube = MakeCube();
-  auto q = cube.Query("SELECT sum(amount) BY city");
+  auto q = Query(cube.object(), "SELECT sum(amount) BY city");
   ASSERT_TRUE(q.ok()) << q.status().ToString();
   EXPECT_EQ(q->num_rows(), 2u);
 

@@ -1,4 +1,4 @@
-// Unit tests for the block-at-a-time kernels (exec/vec_block.h) and the
+// Unit tests for the block-at-a-time kernels (common/vec_block.h) and the
 // radix-partitioned group-by (exec/vec_kernels.h): block primitive
 // semantics, the exactness gate that licenses reassociation, the packed-key
 // overflow fallback, and the null/non-numeric/NaN edges of the flag-encoded
@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "statcube/exec/vec_block.h"
+#include "statcube/common/vec_block.h"
 #include "statcube/relational/aggregate.h"
 
 namespace statcube {
@@ -34,11 +34,11 @@ TEST(VecBlock, OrderedSumMatchesNaiveLoop) {
   for (int i = 0; i < 1000; ++i) v.push_back(0.1 * double(i) + 0.003);
   double naive = 0.0;
   for (double d : v) naive += d;
-  EXPECT_EQ(Bits(naive), Bits(exec::vec::SumBlockOrdered(v.data(), v.size())));
+  EXPECT_EQ(Bits(naive), Bits(vec::SumBlockOrdered(v.data(), v.size())));
   double naive_sq = 0.0;
   for (double d : v) naive_sq += d * d;
   EXPECT_EQ(Bits(naive_sq),
-            Bits(exec::vec::SumSqBlockOrdered(v.data(), v.size())));
+            Bits(vec::SumSqBlockOrdered(v.data(), v.size())));
 }
 
 TEST(VecBlock, FastSumIsExactOnIntegers) {
@@ -49,41 +49,41 @@ TEST(VecBlock, FastSumIsExactOnIntegers) {
   for (int i = 0; i < 403; ++i) v.push_back(double((i * 7919) % 10007));
   for (size_t n : {size_t(0), size_t(1), size_t(3), size_t(4), size_t(7),
                    size_t(64), size_t(403)}) {
-    EXPECT_EQ(Bits(exec::vec::SumBlockOrdered(v.data(), n)),
-              Bits(exec::vec::SumBlockFast(v.data(), n)))
+    EXPECT_EQ(Bits(vec::SumBlockOrdered(v.data(), n)),
+              Bits(vec::SumBlockFast(v.data(), n)))
         << "n=" << n;
-    EXPECT_EQ(Bits(exec::vec::SumSqBlockOrdered(v.data(), n)),
-              Bits(exec::vec::SumSqBlockFast(v.data(), n)))
+    EXPECT_EQ(Bits(vec::SumSqBlockOrdered(v.data(), n)),
+              Bits(vec::SumSqBlockFast(v.data(), n)))
         << "n=" << n;
   }
 }
 
 TEST(VecBlock, MinMaxBlock) {
   std::vector<double> v = {3.5, -2.0, 9.25, 9.25, -2.0, 0.0};
-  EXPECT_EQ(-2.0, exec::vec::MinBlock(v.data(), v.size()));
-  EXPECT_EQ(9.25, exec::vec::MaxBlock(v.data(), v.size()));
-  EXPECT_EQ(3.5, exec::vec::MinBlock(v.data(), 1));
-  EXPECT_EQ(3.5, exec::vec::MaxBlock(v.data(), 1));
+  EXPECT_EQ(-2.0, vec::MinBlock(v.data(), v.size()));
+  EXPECT_EQ(9.25, vec::MaxBlock(v.data(), v.size()));
+  EXPECT_EQ(3.5, vec::MinBlock(v.data(), 1));
+  EXPECT_EQ(3.5, vec::MaxBlock(v.data(), 1));
 }
 
 TEST(VecBlock, CountFlagBits) {
   std::vector<uint8_t> flags = {3, 1, 0, 3, 2, 1, 3};
-  EXPECT_EQ(5u, exec::vec::CountFlagBits(flags.data(), flags.size(), 1));
-  EXPECT_EQ(4u, exec::vec::CountFlagBits(flags.data(), flags.size(), 2));
-  EXPECT_EQ(0u, exec::vec::CountFlagBits(flags.data(), 0, 1));
+  EXPECT_EQ(5u, vec::CountFlagBits(flags.data(), flags.size(), 1));
+  EXPECT_EQ(4u, vec::CountFlagBits(flags.data(), flags.size(), 2));
+  EXPECT_EQ(0u, vec::CountFlagBits(flags.data(), 0, 1));
 }
 
 TEST(VecBlock, ReorderIsExactGate) {
-  const double kMax = exec::vec::kMaxExactDouble;  // 2^53
+  const double kMax = vec::kMaxExactDouble;  // 2^53
   // Non-integral values never qualify, no matter how small.
-  EXPECT_FALSE(exec::vec::ReorderIsExact(false, 1.0, 10));
+  EXPECT_FALSE(vec::ReorderIsExact(false, 1.0, 10));
   // Integral and comfortably small: exact.
-  EXPECT_TRUE(exec::vec::ReorderIsExact(true, 1000.0, 1000));
+  EXPECT_TRUE(vec::ReorderIsExact(true, 1000.0, 1000));
   // n * max_abs crossing 2^53 disqualifies: a partial sum could round.
-  EXPECT_TRUE(exec::vec::ReorderIsExact(true, kMax / 4.0, 4));
-  EXPECT_FALSE(exec::vec::ReorderIsExact(true, kMax / 4.0, 5));
+  EXPECT_TRUE(vec::ReorderIsExact(true, kMax / 4.0, 4));
+  EXPECT_FALSE(vec::ReorderIsExact(true, kMax / 4.0, 5));
   // Empty blocks are trivially exact.
-  EXPECT_TRUE(exec::vec::ReorderIsExact(true, 0.0, 0));
+  EXPECT_TRUE(vec::ReorderIsExact(true, 0.0, 0));
 }
 
 TEST(VecBlock, SumBlockAutoRoutesByExactness) {
@@ -91,18 +91,18 @@ TEST(VecBlock, SumBlockAutoRoutesByExactness) {
   // kernel would not use and check SumBlockAuto reproduces the ordered bits.
   std::vector<double> v;
   for (int i = 0; i < 100; ++i) v.push_back(0.1 * double(i));
-  EXPECT_EQ(Bits(exec::vec::SumBlockOrdered(v.data(), v.size())),
-            Bits(exec::vec::SumBlockAuto(v.data(), v.size(), false, 10.0)));
+  EXPECT_EQ(Bits(vec::SumBlockOrdered(v.data(), v.size())),
+            Bits(exec::SumBlockAuto(v.data(), v.size(), false, 10.0)));
   // Exact inputs may reassociate — and the result is still the ordered sum
   // (the whole point of the gate).
   std::vector<double> w;
   for (int i = 0; i < 100; ++i) w.push_back(double(i * 13));
-  EXPECT_EQ(Bits(exec::vec::SumBlockOrdered(w.data(), w.size())),
-            Bits(exec::vec::SumBlockAuto(w.data(), w.size(), true, 99. * 13)));
+  EXPECT_EQ(Bits(vec::SumBlockOrdered(w.data(), w.size())),
+            Bits(exec::SumBlockAuto(w.data(), w.size(), true, 99. * 13)));
 }
 
 TEST(VecBlock, SimdLevelNameIsKnown) {
-  std::string level = exec::vec::SimdLevelName();
+  std::string level = vec::SimdLevelName();
   EXPECT_TRUE(level == "avx2" || level == "generic") << level;
 }
 

@@ -139,7 +139,9 @@ def compare(args):
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
                         help=f"baseline file (default {DEFAULT_BASELINE})")
     parser.add_argument("--dir", default=DEFAULT_DIR,

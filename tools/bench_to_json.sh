@@ -12,6 +12,22 @@
 
 set -euo pipefail
 
+usage() {
+  sed -n '2,11p' "$0" | sed 's/^# \{0,1\}//'
+}
+
+case "${1:-}" in
+  -h|--help)
+    usage
+    exit 0
+    ;;
+  -*)
+    echo "error: unknown flag '$1' (the only positional is a name filter)" >&2
+    usage >&2
+    exit 2
+    ;;
+esac
+
 BUILD_DIR=${BUILD_DIR:-build}
 OUT_DIR=${OUT_DIR:-bench_json}
 FILTER=${1:-}

@@ -2,7 +2,9 @@
 # The one command that runs every gate CI runs, in dependency order:
 #
 #   build  ->  ctest (includes statcube-lint + its self-test and the
-#              thread-safety negative-compile test)  ->  clang-format
+#              thread-safety negative-compile test)  ->  statcube-analyze
+#              (whole-program layering/locks/determinism/hot-path, with
+#              the compiler -MM cross-check)  ->  clang-format
 #              ->  clang-tidy  ->  doxygen warning gate
 #
 # Steps whose tool is missing locally report SKIP and do not fail the run —
@@ -31,6 +33,15 @@ cmake -B "$BUILD_DIR" -S . >/dev/null && \
 
 note "ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j || failures+=(ctest)
+
+note "statcube-analyze (whole-program invariants)"
+if command -v python3 >/dev/null; then
+  python3 tools/statcube_analyze/analyze.py \
+      --compdb "$BUILD_DIR/compile_commands.json" --mm-check \
+      || failures+=(statcube-analyze)
+else
+  echo "SKIP: no python3"
+fi
 
 note "clang-format"
 if [ "$HARD" -eq 1 ]; then

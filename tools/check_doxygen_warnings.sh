@@ -12,7 +12,7 @@ set -uo pipefail
 # must carry a doc comment and parse cleanly.
 GATED=(
   "src/statcube/exec/task_scheduler.h"
-  "src/statcube/exec/vec_block.h"
+  "src/statcube/common/vec_block.h"
   "src/statcube/exec/vec_kernels.h"
   "src/statcube/materialize/view_store.h"
   "src/statcube/olap/backend.h"

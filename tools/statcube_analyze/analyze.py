@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""statcube-analyze: whole-program invariant analysis for statcube.
+
+Four passes over src/statcube (see each pass module for the full story):
+
+  layers       module dependency edges must match the allowed DAG in
+               tools/statcube_analyze/layers.json; no cycles.
+  locks        the global lock-acquisition graph must be acyclic
+               (a cycle is a potential deadlock).
+  determinism  no emitting iteration over unordered containers in
+               result-producing modules.
+  hotpath      no blocking operations (locks, IO, sleeps, registry
+               lookups, unwhitelisted allocation) in morsel/kernel
+               bodies.
+
+Where statcube-lint checks single lines in single files, this tool sees
+the whole program: the include graph (cross-checked against the real
+preprocessor via `cc -MM` when compile_commands.json and a compiler are
+available), cross-function lock nesting, and loop-body reachability.
+
+Findings are suppressed only via tools/statcube_analyze/suppressions.txt
+(`<pass> <key>  # justification` — the justification is mandatory, and
+stale entries fail the run so the file always describes exactly the
+accepted findings).
+
+Usage:
+  tools/statcube_analyze/analyze.py                 # all passes
+  tools/statcube_analyze/analyze.py --passes layers,locks
+  tools/statcube_analyze/analyze.py --mm-check      # + -MM cross-check
+  tools/statcube_analyze/analyze.py --print-layers  # ARCHITECTURE diagram
+
+Exit status: 0 clean, 1 unsuppressed findings (or stale suppressions),
+2 usage/configuration error. Stdlib only; Python >= 3.8.
+"""
+
+import argparse
+import os
+import sys
+
+_THIS_DIR = os.path.dirname(os.path.abspath(__file__))
+if _THIS_DIR not in sys.path:
+    sys.path.insert(0, _THIS_DIR)
+
+import core                # noqa: E402
+import include_graph       # noqa: E402
+import pass_determinism    # noqa: E402
+import pass_hotpath        # noqa: E402
+import pass_layers         # noqa: E402
+import pass_locks          # noqa: E402
+
+PASSES = {
+    "layers": pass_layers.run,
+    "locks": pass_locks.run,
+    "determinism": pass_determinism.run,
+    "hotpath": pass_hotpath.run,
+}
+
+DEFAULT_REPO_ROOT = os.path.dirname(os.path.dirname(_THIS_DIR))
+
+
+def print_layers(ctx):
+    """Render the allowed DAG as the text diagram ARCHITECTURE.md embeds."""
+    allowed = pass_layers.validate_layer_map(ctx)
+    # Topological ranks: a module's rank is 1 + max rank of its deps.
+    rank = {}
+
+    def rank_of(m):
+        if m not in rank:
+            rank[m] = 1 + max((rank_of(d) for d in allowed[m]), default=-1)
+        return rank[m]
+
+    for m in allowed:
+        rank_of(m)
+    by_rank = {}
+    for m, r in rank.items():
+        by_rank.setdefault(r, []).append(m)
+    for r in sorted(by_rank, reverse=True):
+        mods = sorted(by_rank[r])
+        print(f"  [{r}] " + "  ".join(
+            f"{m} -> ({', '.join(sorted(allowed[m])) or '-'})"
+            for m in mods))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--repo-root", default=DEFAULT_REPO_ROOT,
+                        help="repository root (default: auto-detected)")
+    parser.add_argument("--passes", default=",".join(PASSES),
+                        help="comma-separated subset of: "
+                             + ", ".join(PASSES))
+    parser.add_argument("--suppressions",
+                        default=os.path.join(_THIS_DIR, "suppressions.txt"),
+                        help="suppression file (default: the checked-in one)")
+    parser.add_argument("--layers",
+                        default=None,
+                        help="layer map (default: the checked-in "
+                             "layers.json)")
+    parser.add_argument("--compdb", default=None,
+                        help="compile_commands.json path (default: "
+                             "build/compile_commands.json under the root)")
+    parser.add_argument("--mm-check", action="store_true",
+                        help="cross-check the include scanner against the "
+                             "compiler's -MM output for every TU in the "
+                             "compilation database")
+    parser.add_argument("--print-layers", action="store_true",
+                        help="print the rendered layer diagram and exit")
+    parser.add_argument("--no-suppressions", action="store_true",
+                        help="report every finding, ignoring the "
+                             "suppression file")
+    args = parser.parse_args(argv)
+
+    ctx = core.AnalyzeContext(args.repo_root, layers_path=args.layers)
+    if args.print_layers:
+        return print_layers(ctx)
+
+    wanted = [p.strip() for p in args.passes.split(",") if p.strip()]
+    unknown = [p for p in wanted if p not in PASSES]
+    if unknown:
+        print(f"error: unknown pass(es) {unknown}; available: "
+              f"{sorted(PASSES)}", file=sys.stderr)
+        return 2
+
+    try:
+        supp = (core.Suppressions({}) if args.no_suppressions
+                else core.Suppressions.load(args.suppressions))
+    except core.SuppressionError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    all_findings = []
+    suppressed = 0
+    for name in wanted:
+        try:
+            findings = PASSES[name](ctx)
+        except ValueError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        for f in findings:
+            if supp.matches(f):
+                suppressed += 1
+            else:
+                all_findings.append(f)
+
+    if args.mm_check:
+        compdb = include_graph.load_compdb(ctx, args.compdb)
+        if not compdb:
+            print("note: --mm-check requested but no compile_commands.json "
+                  "found; skipping (build with "
+                  "CMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+        else:
+            checked, problems = include_graph.cross_check(ctx, compdb)
+            print(f"include scanner cross-checked against -MM for "
+                  f"{checked}/{len(compdb)} TUs")
+            for p in problems:
+                print(f"error: {p}", file=sys.stderr)
+            if problems:
+                return 1
+
+    for f in sorted(all_findings, key=lambda f: (f.path, f.line)):
+        print(f)
+    stale = supp.unused() if not args.no_suppressions else []
+    for pass_id, key in stale:
+        print(f"{args.suppressions}: stale suppression `{pass_id} {key}` "
+              "matches nothing — remove it", file=sys.stderr)
+
+    npass = len(wanted)
+    print(f"statcube-analyze: {npass} pass(es), {len(all_findings)} "
+          f"finding(s), {suppressed} suppressed"
+          + (f", {len(stale)} stale suppression(s)" if stale else ""))
+    return 1 if (all_findings or stale) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Shared infrastructure for statcube-analyze passes.
+
+A pass is a function `run(ctx) -> list[Finding]`. The AnalyzeContext owns
+the file inventory and the comment/string-stripped "code view" of every
+C++ file (reusing statcube_lint.strip_code_view so both tools agree on
+what counts as code), plus the suppression table.
+
+Suppression file format (one finding class per line):
+
+    <pass-id> <key>  # <mandatory justification>
+
+`key` is the stable, line-number-free identity every Finding carries
+(e.g. `cache->query` for a layer edge, `src/.../foo.cc:states` for a
+determinism finding). A suppression with no justification text, or one
+that matches nothing on the current tree, is itself an error: the file
+must describe exactly the set of accepted findings, no more.
+"""
+
+import os
+import sys
+
+_THIS_DIR = os.path.dirname(os.path.abspath(__file__))
+_TOOLS_DIR = os.path.dirname(_THIS_DIR)
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+from statcube_lint import strip_code_view  # noqa: E402
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+
+class Finding:
+    """One analyzer finding with a stable suppression key."""
+
+    def __init__(self, pass_id, key, path, line, message):
+        self.pass_id = pass_id
+        self.key = key
+        self.path = path  # repo-relative
+        self.line = line  # 1-based, 0 when the finding has no single site
+        self.message = message
+
+    def __str__(self):
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{loc}: [{self.pass_id}/{self.key}] {self.message}"
+
+
+class SuppressionError(Exception):
+    """Malformed suppression file (missing justification, bad syntax)."""
+
+
+class Suppressions:
+    def __init__(self, entries):
+        # {(pass_id, key): justification}
+        self.entries = entries
+        self.used = set()
+
+    @classmethod
+    def load(cls, path):
+        entries = {}
+        if not os.path.exists(path):
+            return cls(entries)
+        with open(path) as f:
+            for lineno, raw in enumerate(f, 1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                body, sep, justification = line.partition("#")
+                if not sep or not justification.strip():
+                    raise SuppressionError(
+                        f"{path}:{lineno}: suppression without a "
+                        "justification comment (`<pass> <key>  # why`)")
+                parts = body.split()
+                if len(parts) != 2:
+                    raise SuppressionError(
+                        f"{path}:{lineno}: expected `<pass> <key>`, got "
+                        f"{body.strip()!r}")
+                entries[(parts[0], parts[1])] = justification.strip()
+        return cls(entries)
+
+    def matches(self, finding):
+        k = (finding.pass_id, finding.key)
+        if k in self.entries:
+            self.used.add(k)
+            return True
+        return False
+
+    def unused(self):
+        return sorted(set(self.entries) - self.used)
+
+
+class AnalyzeContext:
+    """File inventory + code views for one analysis run.
+
+    `repo_root` may point at a fixture tree in self-tests; everything the
+    passes read goes through this object so tests can target temp dirs.
+    """
+
+    def __init__(self, repo_root, layers_path=None):
+        self.repo_root = os.path.abspath(repo_root)
+        self.layers_path = layers_path or os.path.join(
+            _THIS_DIR, "layers.json")
+        self._code_views = {}
+        self._raw = {}
+
+    # ---- file inventory --------------------------------------------------
+
+    def src_files(self):
+        """All C++ files under src/statcube, repo-relative, sorted."""
+        out = []
+        root = os.path.join(self.repo_root, "src", "statcube")
+        for dirpath, _, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    full = os.path.join(dirpath, name)
+                    out.append(os.path.relpath(full, self.repo_root))
+        return sorted(out)
+
+    def module_of(self, relpath):
+        """Module name of a src/statcube file: the path component after
+        src/statcube/, or None for files outside it."""
+        parts = relpath.replace(os.sep, "/").split("/")
+        if len(parts) >= 4 and parts[0] == "src" and parts[1] == "statcube":
+            return parts[2]
+        return None
+
+    # ---- file contents ---------------------------------------------------
+
+    def raw(self, relpath):
+        if relpath not in self._raw:
+            with open(os.path.join(self.repo_root, relpath)) as f:
+                self._raw[relpath] = f.read()
+        return self._raw[relpath]
+
+    def code_view(self, relpath):
+        """Comment/string-stripped text with identical line structure."""
+        if relpath not in self._code_views:
+            self._code_views[relpath] = strip_code_view(self.raw(relpath))
+        return self._code_views[relpath]
+
+    def code_lines(self, relpath):
+        return self.code_view(relpath).split("\n")
+
+
+def find_matching_brace(lines, line_idx, col):
+    """Given `lines[line_idx][col] == '{'`, return (line_idx, col) of the
+    matching '}' or None if the file ends first. Operates on a code view,
+    so braces in strings/comments are already blanked."""
+    depth = 0
+    i, j = line_idx, col
+    while i < len(lines):
+        line = lines[i]
+        while j < len(line):
+            c = line[j]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 0:
+                    return (i, j)
+            j += 1
+        i += 1
+        j = 0
+    return None

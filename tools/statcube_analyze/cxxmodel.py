@@ -1,0 +1,221 @@
+"""A lightweight structural model of one C++ file for statcube-analyze.
+
+This is not a parser — it is a brace-matching scanner over the
+comment/string-stripped code view that recovers just enough structure for
+the whole-program passes:
+
+ * class/struct bodies, and the `Mutex` members declared in them;
+ * function and lambda bodies, as flat event streams of
+   `open` / `close` (block scopes), `acquire` (MutexLock/.Lock sites),
+   `stmt` (raw statement text, for pass-specific matching) and `call`
+   (identifier followed by `(`);
+ * namespace nesting (ignored for scoping, tracked so depth stays right).
+
+Lambda bodies are modeled as *separate* functions (named
+`<enclosing>::lambda@<line>`), not as nested scopes of their enclosing
+function: almost every lambda in this codebase is deferred work (thread
+entry, scheduler task, morsel body), so treating its acquisitions as
+nested under locks held at the definition site would fabricate
+lock-order edges that never happen at runtime.
+"""
+
+import re
+
+KEYWORDS_NOT_CALLS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "do",
+    "alignas", "alignof", "decltype", "static_assert", "defined", "assert",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast", "new",
+    "delete", "throw", "else", "case", "co_await", "co_return", "noexcept",
+    "operator", "typeid", "until",
+}
+
+_MACRO_TRAILER_RE = re.compile(r"STATCUBE_\w+\s*\([^)]*\)")
+_NAMESPACE_RE = re.compile(r"(^|[;{}\s])namespace(\s+[\w:]+)?\s*$")
+_CLASS_RE = re.compile(r"(^|[;{}\s])(class|struct|union)\s+")
+_ENUM_RE = re.compile(r"(^|[;{}\s])enum\b")
+_LAMBDA_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(\([^()]*(\([^()]*\))*[^()]*\))?\s*"
+    r"(mutable|noexcept|constexpr|\s)*(->\s*[^{]+)?$")
+_FUNC_NAME_RE = re.compile(r"([A-Za-z_~][\w~]*)\s*\(")
+_QUALIFIED_RE = re.compile(r"([A-Za-z_]\w*)\s*::\s*([A-Za-z_~][\w~]*)\s*\($")
+_MUTEX_MEMBER_RE = re.compile(r"(^|\s)(?:mutable\s+)?Mutex\s+(\w+)\s*$")
+_ACQUIRE_RE = re.compile(r"\bMutexLock\s+\w+\s*\(\s*([^,)]+)")
+_MANUAL_LOCK_RE = re.compile(r"([\w\]\[.>_-]+?)\s*(?:\.|->)\s*Lock\s*\(\s*\)")
+_MANUAL_UNLOCK_RE = re.compile(
+    r"([\w\]\[.>_-]+?)\s*(?:\.|->)\s*Unlock\s*\(\s*\)")
+_CALL_RE = re.compile(r"(?<![\w.>:])([A-Za-z_]\w*)\s*\(")
+_LOCAL_MUTEX_RE = re.compile(r"^\s*Mutex\s+(\w+)\s*;?\s*$")
+
+
+class Function:
+    def __init__(self, name, cls, line):
+        self.name = name      # unqualified (lambdas: enclosing::lambda@N)
+        self.cls = cls        # Class for `Ret Class::Name(...)`, else None
+        self.line = line
+        self.events = []      # ('open',) ('close',)
+                              # ('acquire', expr, line) ('release', expr, line)
+                              # ('call', name, line) ('stmt', text, line)
+        self.local_mutexes = set()
+
+    @property
+    def qualified(self):
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+
+class FileModel:
+    def __init__(self, relpath):
+        self.relpath = relpath
+        self.classes = {}     # class name -> set(Mutex member names)
+        self.functions = []   # Function, in file order (lambdas included)
+
+
+def _classify_open(head):
+    """What kind of scope does this `{` start? -> (kind, name, cls)."""
+    head = head.strip()
+    if _NAMESPACE_RE.search(head):
+        return ("namespace", None, None)
+    if _ENUM_RE.search(head) and "(" not in _MACRO_TRAILER_RE.sub("", head):
+        return ("block", None, None)
+    cleaned = _MACRO_TRAILER_RE.sub(" ", head)
+    cm = _CLASS_RE.search(cleaned)
+    if cm:
+        tail = cleaned[cm.end():]
+        # `struct TaskGroup::State` defines State; keep the last component.
+        nm = re.match(r"\s*((?:[A-Za-z_]\w*\s*::\s*)*)([A-Za-z_]\w*)", tail)
+        # A '(' before the class keyword means this is a function returning
+        # or taking a class type, not a definition.
+        if nm and nm.group(2) and "(" not in cleaned[:cm.start()]:
+            return ("class", nm.group(2), None)
+    if _LAMBDA_RE.search(head):
+        return ("lambda", None, None)
+    # Function definition: `...Name(args...) [qualifiers] {`
+    sig = cleaned
+    if sig.endswith("try"):
+        sig = sig[:-3].rstrip()
+    for qual in ("const", "noexcept", "override", "final", "mutable"):
+        while sig.endswith(qual):
+            sig = sig[: -len(qual)].rstrip()
+    if sig.endswith(")"):
+        # Walk back to the matching '(' of the argument list.
+        depth = 0
+        for i in range(len(sig) - 1, -1, -1):
+            if sig[i] == ")":
+                depth += 1
+            elif sig[i] == "(":
+                depth -= 1
+                if depth == 0:
+                    prefix = sig[:i].rstrip() + "("
+                    qm = _QUALIFIED_RE.search(prefix)
+                    if qm:
+                        name, cls = qm.group(2), qm.group(1)
+                    else:
+                        fm = re.search(r"([A-Za-z_~][\w~]*)\s*\($", prefix)
+                        name, cls = (fm.group(1), None) if fm else (None,
+                                                                    None)
+                    if name and name not in ("if", "for", "while", "switch",
+                                             "catch") and "=" not in prefix:
+                        return ("function", name, cls)
+                    break
+    return ("block", None, None)
+
+
+def _statement_events(func, stmt, line):
+    """Record the lock/call events of one statement into `func`."""
+    lm = _LOCAL_MUTEX_RE.match(stmt)
+    if lm:
+        func.local_mutexes.add(lm.group(1))
+        return
+    for m in _ACQUIRE_RE.finditer(stmt):
+        func.events.append(("acquire", m.group(1).strip().lstrip("&"),
+                            line))
+    for m in _MANUAL_LOCK_RE.finditer(stmt):
+        func.events.append(("acquire", m.group(1).strip(), line))
+    for m in _MANUAL_UNLOCK_RE.finditer(stmt):
+        func.events.append(("release", m.group(1).strip(), line))
+    for m in _CALL_RE.finditer(stmt):
+        name = m.group(1)
+        if name not in KEYWORDS_NOT_CALLS and name != "MutexLock":
+            func.events.append(("call", name, line))
+    func.events.append(("stmt", stmt, line))
+
+
+def scan_file(ctx, relpath):
+    """Build the FileModel for one file from its code view."""
+    text = ctx.code_view(relpath)
+    model = FileModel(relpath)
+    stack = []        # (kind, name) per open brace
+    func_stack = []   # Function objects for enclosing function/lambda scopes
+    buf = []
+    line = 1
+    lambda_count = 0
+
+    def flush_statement():
+        stmt = "".join(buf).strip()
+        buf.clear()
+        if stmt and func_stack:
+            _statement_events(func_stack[-1], stmt, line)
+        return stmt
+
+    in_class = lambda: any(k == "class" for k, _ in stack)
+
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            buf.append(" ")
+            line += 1
+            i += 1
+            continue
+        if c == ";":
+            stmt = "".join(buf).strip()
+            if stmt and in_class() and not func_stack:
+                mm = _MUTEX_MEMBER_RE.search(
+                    _MACRO_TRAILER_RE.sub("", stmt).rstrip())
+                if mm:
+                    for k, nm in reversed(stack):
+                        if k == "class":
+                            model.classes.setdefault(nm, set()).add(
+                                mm.group(2))
+                            break
+            flush_statement()
+            i += 1
+            continue
+        if c == "{":
+            head = "".join(buf)
+            kind, name, cls = _classify_open(head)
+            if kind == "lambda" and not func_stack:
+                kind = "block"  # class-member initializer lambdas etc.
+            if kind == "function":
+                f = Function(name, cls, line)
+                model.functions.append(f)
+                func_stack.append(f)
+            elif kind == "lambda":
+                lambda_count += 1
+                enclosing = func_stack[-1].qualified
+                f = Function(f"{enclosing}::lambda@{line}", None, line)
+                model.functions.append(f)
+                func_stack.append(f)
+            elif kind == "block" and func_stack:
+                # The statement head (for/if/plain brace) still carries
+                # calls and acquisitions — record before opening the scope.
+                if head.strip():
+                    _statement_events(func_stack[-1], head.strip(), line)
+                func_stack[-1].events.append(("open",))
+            buf.clear()
+            stack.append((kind, name))
+            i += 1
+            continue
+        if c == "}":
+            flush_statement()
+            if stack:
+                kind, _ = stack.pop()
+                if kind in ("function", "lambda"):
+                    if func_stack:
+                        func_stack.pop()
+                elif kind == "block" and func_stack:
+                    func_stack[-1].events.append(("close",))
+            i += 1
+            continue
+        buf.append(c)
+        i += 1
+    return model

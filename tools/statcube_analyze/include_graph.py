@@ -1,0 +1,154 @@
+"""Include-graph extraction for statcube-analyze.
+
+Two sources of truth, cross-checked against each other:
+
+ * **Header-scanning resolver** (always available): extract every direct
+   `#include "statcube/..."` from the comment-stripped code view of each
+   file and resolve it against src/. Direct edges are what the layering
+   pass wants — a module depends on exactly what its files name.
+ * **Compiler `-MM`** (when a compiler and compile_commands.json are
+   present): ask the real preprocessor for each TU's transitive header
+   closure and verify the resolver's closure covers the same statcube
+   headers. This catches includes the textual scan would miss (macro
+   includes, generated headers) without making analysis depend on having
+   a compiler — g++-only and compiler-less boxes still get the full
+   analysis from the resolver alone.
+"""
+
+import json
+import os
+import re
+import shlex
+import subprocess
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"(statcube/[^"]+)"')
+
+
+def direct_includes(ctx, relpath):
+    """[(line_no, "statcube/<mod>/<file>")] — direct statcube includes.
+
+    Matched against the *raw* lines (the code view blanks string-literal
+    bodies, include paths among them), with the code view consulted only
+    to reject directives living inside comments.
+    """
+    out = []
+    code = ctx.code_lines(relpath)
+    for idx, line in enumerate(ctx.raw(relpath).split("\n")):
+        m = INCLUDE_RE.match(line)
+        if m and idx < len(code) and code[idx].lstrip().startswith("#"):
+            out.append((idx + 1, m.group(1)))
+    return out
+
+
+def resolve_include(ctx, inc):
+    """'statcube/x/y.h' -> 'src/statcube/x/y.h' if it exists, else None."""
+    rel = os.path.join("src", inc)
+    if os.path.exists(os.path.join(ctx.repo_root, rel)):
+        return rel
+    return None
+
+
+def tu_closure_scan(ctx, relpath):
+    """Transitive statcube-header closure of one file via the resolver."""
+    seen = set()
+    stack = [relpath]
+    while stack:
+        cur = stack.pop()
+        for _, inc in direct_includes(ctx, cur):
+            dep = resolve_include(ctx, inc)
+            if dep and dep not in seen:
+                seen.add(dep)
+                stack.append(dep)
+    return seen
+
+
+# ---------------------------------------------------------------------------
+# compile_commands.json + compiler -MM cross-check
+# ---------------------------------------------------------------------------
+
+def load_compdb(ctx, compdb_path=None):
+    """compile_commands.json entries for src/statcube TUs, or []."""
+    path = compdb_path or os.path.join(
+        ctx.repo_root, "build", "compile_commands.json")
+    if not os.path.exists(path):
+        return []
+    with open(path) as f:
+        db = json.load(f)
+    out = []
+    for entry in db:
+        rel = os.path.relpath(entry["file"], ctx.repo_root)
+        if rel.startswith(os.path.join("src", "statcube")):
+            out.append(entry)
+    return out
+
+
+def _mm_command(entry):
+    """Rewrite one compdb entry into a -MM dependency-listing command."""
+    if "arguments" in entry:
+        args = list(entry["arguments"])
+    else:
+        args = shlex.split(entry["command"])
+    out = []
+    skip_next = False
+    for a in args:
+        if skip_next:
+            skip_next = False
+            continue
+        if a in ("-o", "-MF", "-MT", "-MQ"):
+            skip_next = True
+            continue
+        if a in ("-c", "-MD", "-MMD"):
+            continue
+        out.append(a)
+    out += ["-MM", "-MG"]
+    return out
+
+
+def mm_closure(entry, repo_root):
+    """statcube headers the preprocessor reports for one TU, or None when
+    the compiler is unavailable/fails (callers treat None as 'no check')."""
+    try:
+        proc = subprocess.run(
+            _mm_command(entry), cwd=entry.get("directory", repo_root),
+            capture_output=True, text=True, timeout=60)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    deps = set()
+    text = proc.stdout.replace("\\\n", " ")
+    for tok in text.split():
+        if tok.endswith(":"):
+            continue
+        full = os.path.normpath(
+            os.path.join(entry.get("directory", repo_root), tok))
+        rel = os.path.relpath(full, repo_root)
+        if rel.startswith(os.path.join("src", "statcube")) and \
+                rel.endswith(".h"):
+            deps.add(rel)
+    return deps
+
+
+def cross_check(ctx, compdb, max_tus=None):
+    """Compare the resolver's closure against -MM for every compdb TU.
+
+    Returns (checked, discrepancies): headers -MM saw that the resolver
+    missed (the dangerous direction — a module edge the layering pass
+    would silently not see). Resolver-only extras are fine: the scan
+    resolves includes inside `#if 0`/platform blocks the preprocessor
+    skipped, which can only make the layer check stricter.
+    """
+    checked = 0
+    discrepancies = []
+    for entry in compdb[:max_tus] if max_tus else compdb:
+        rel = os.path.relpath(entry["file"], ctx.repo_root)
+        mm = mm_closure(entry, ctx.repo_root)
+        if mm is None:
+            continue
+        checked += 1
+        scan = tu_closure_scan(ctx, rel)
+        missed = mm - scan - {rel}
+        for h in sorted(missed):
+            discrepancies.append(
+                f"{rel}: -MM reaches {h} but the include scanner does not")
+    return checked, discrepancies

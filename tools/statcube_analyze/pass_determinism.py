@@ -1,0 +1,169 @@
+"""Pass 3: determinism audit.
+
+The engine's tested contract is bit-identical results at any thread
+count — and, implicitly, across standard libraries. Iterating an
+`unordered_map`/`unordered_set` visits elements in an order the stdlib's
+bucket layout picks, so a range-for over an unordered container whose
+body *emits* (appends rows, builds output, serializes) leaks that order
+into results.
+
+The pass, over the result-producing modules (exec, cache, molap,
+relational, olap, query, serve):
+
+ 1. harvests unordered type aliases repo-wide
+    (`using GroupedStates = std::unordered_map<...>;`), so loops over
+    aliased types are seen too;
+ 2. finds every range-for whose range expression is (a) declared
+    unordered in the same file, (b) of an unordered alias type, or
+    (c) a direct member/local the file declares as `unordered_*`;
+ 3. flags the loop when its body contains an emit-like call
+    (AppendRow/push_back/ToJson/ToString/...) — unless a sort follows
+    within a few lines of the loop (sort-after-iteration makes the
+    visit order immaterial, the pattern StatesToTable uses).
+
+Suppression key: `<path>:<range-expr-identifier>` — stable across line
+churn; one justified entry covers the idiom in that file.
+"""
+
+import re
+
+PASS_ID = "determinism"
+
+RESULT_MODULES = {"exec", "cache", "molap", "relational", "olap", "query",
+                  "serve"}
+
+_ALIAS_RE = re.compile(
+    r"using\s+(\w+)\s*=\s*(?:std\s*::\s*)?unordered_(?:map|set|multimap|"
+    r"multiset)\s*<")
+_UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<")
+_RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+EMIT_RE = re.compile(
+    r"\b(AppendRow(?:Unchecked)?|push_back|emplace_back|ToJson|ToString|"
+    r"AppendJson|AddRow|Render\w*|Emit\w*)\s*\(|\bout\s*<<|\bos\s*<<")
+SORT_AFTER_RE = re.compile(r"\b(?:std\s*::\s*)?(?:stable_)?sort\s*\(|"
+                           r"\bSort\w*\s*\(")
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def harvest_aliases(ctx, files):
+    """Names aliased to unordered containers anywhere in the repo."""
+    aliases = set()
+    for relpath in files:
+        for m in _ALIAS_RE.finditer(ctx.code_view(relpath)):
+            aliases.add(m.group(1))
+    return aliases
+
+
+def _unordered_names_in_file(ctx, relpath, aliases):
+    """Identifiers this file declares with an unordered (or aliased) type.
+
+    Catches members (`GroupedStates groups_;`), locals
+    (`std::unordered_map<K, V> build;`) and parameters
+    (`const GroupedStates& states`).
+    """
+    names = set()
+    text = ctx.code_view(relpath)
+    for m in _UNORDERED_DECL_RE.finditer(text):
+        # Skip the template argument list, then take the next identifier.
+        i = text.find("<", m.start())
+        depth = 0
+        while i < len(text):
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        tail = text[i + 1: i + 200]
+        nm = re.match(r"[&*\s]*([A-Za-z_]\w*)", tail)
+        if nm and nm.group(1) not in ("const",):
+            names.add(nm.group(1))
+    for alias in aliases:
+        for m in re.finditer(
+                r"\b" + re.escape(alias) + r"\b\s*[&*]*\s*([A-Za-z_]\w*)",
+                text):
+            if m.group(1) not in ("const",):
+                names.add(m.group(1))
+    return names
+
+
+def _find_range_fors(lines):
+    """[(line_idx, range_expr, body_start, body_end)] over a code view."""
+    from core import find_matching_brace
+    out = []
+    for idx, line in enumerate(lines):
+        for m in _RANGE_FOR_RE.finditer(line):
+            # Join continuation lines to see the full for-header.
+            header = line[m.end():]
+            j = idx
+            while header.count("(") + 1 > header.count(")") and \
+                    j + 1 < len(lines) and j - idx < 5:
+                j += 1
+                header += " " + lines[j]
+            close = 0
+            depth = 1
+            for k, c in enumerate(header):
+                if c == "(":
+                    depth += 1
+                elif c == ")":
+                    depth -= 1
+                    if depth == 0:
+                        close = k
+                        break
+            header_body = header[:close]
+            if ":" not in header_body:
+                continue  # classic for, not range-for
+            range_expr = header_body.rsplit(":", 1)[1].strip()
+            # Body extent: next '{' after the header close.
+            bi, bj = j, line.find("{", m.end()) if j == idx else -1
+            if bj < 0:
+                # search forward for the opening brace
+                found = False
+                for bi in range(j, min(j + 3, len(lines))):
+                    bj = lines[bi].find("{")
+                    if bj >= 0:
+                        found = True
+                        break
+                if not found:
+                    continue  # single-statement body; ignore
+            end = find_matching_brace(lines, bi, bj)
+            if end is None:
+                continue
+            out.append((idx, range_expr, bi, end[0]))
+    return out
+
+
+def run(ctx, files=None):
+    from core import Finding
+    files = files if files is not None else ctx.src_files()
+    aliases = harvest_aliases(ctx, files)
+    findings = []
+    for relpath in files:
+        mod = ctx.module_of(relpath)
+        if mod is not None and mod not in RESULT_MODULES:
+            continue
+        names = _unordered_names_in_file(ctx, relpath, aliases)
+        if not names:
+            continue
+        lines = ctx.code_lines(relpath)
+        for idx, range_expr, body_start, body_end in _find_range_fors(lines):
+            ids = _IDENT_RE.findall(range_expr)
+            target = next((i for i in ids if i in names), None)
+            if target is None:
+                continue
+            body = "\n".join(lines[body_start:body_end + 1])
+            em = EMIT_RE.search(body)
+            if not em:
+                continue
+            after = "\n".join(lines[body_end + 1: body_end + 16])
+            if SORT_AFTER_RE.search(after):
+                continue  # sorted afterwards; visit order immaterial
+            findings.append(Finding(
+                PASS_ID, f"{relpath}:{target}", relpath, idx + 1,
+                f"iteration over unordered container '{target}' emits "
+                "output (stdlib bucket order would leak into results); "
+                "sort before emitting, iterate a deterministic index, or "
+                "suppress with a justification"))
+    return findings

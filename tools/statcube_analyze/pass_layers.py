@@ -1,0 +1,133 @@
+"""Pass 1: layer conformance.
+
+Extracts every direct `#include "statcube/<module>/..."` edge between
+modules and checks it against the allowed-dependency DAG in layers.json.
+Findings:
+
+ * `edge:<from>-><to>` — an include edge not in the allowed map (one
+   finding per including file, at the include's line).
+ * `unknown-module:<m>` — a src/statcube subdirectory layers.json does
+   not know about (forces the map to stay complete).
+ * `cycle:<m1>,<m2>,...` — a dependency cycle among the *actual* edges.
+   (Allowed edges are validated to be acyclic up front — a cyclic map is
+   a configuration error, not a suppressible finding.)
+"""
+
+import json
+
+import include_graph
+
+PASS_ID = "layers"
+
+
+def load_layer_map(ctx):
+    with open(ctx.layers_path) as f:
+        data = json.load(f)
+    return {m: set(spec.get("deps", []))
+            for m, spec in data["modules"].items()}
+
+
+def _find_cycles(edges):
+    """Strongly connected components with more than one node (or a
+    self-loop) in a {node: set(node)} graph — iterative Tarjan."""
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+
+    for root in sorted(edges):
+        if root in index:
+            continue
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(edges.get(nxt, ())))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1 or node in edges.get(node, ()):
+                    sccs.append(sorted(scc))
+    return sccs
+
+
+def validate_layer_map(ctx):
+    """Raises ValueError when layers.json itself is cyclic or references
+    an undeclared module — the map must be a DAG over known modules."""
+    allowed = load_layer_map(ctx)
+    for mod, deps in allowed.items():
+        unknown = deps - set(allowed)
+        if unknown:
+            raise ValueError(
+                f"layers.json: module {mod!r} depends on undeclared "
+                f"module(s) {sorted(unknown)}")
+    cycles = _find_cycles(allowed)
+    if cycles:
+        raise ValueError(f"layers.json: allowed deps contain cycles "
+                         f"{cycles} — the map must be a DAG")
+    return allowed
+
+
+def run(ctx):
+    from core import Finding
+    allowed = validate_layer_map(ctx)
+    findings = []
+
+    actual = {}  # module -> set(module)
+    for relpath in ctx.src_files():
+        mod = ctx.module_of(relpath)
+        if mod is None:
+            continue
+        if mod not in allowed:
+            findings.append(Finding(
+                PASS_ID, f"unknown-module:{mod}", relpath, 0,
+                f"module '{mod}' is not declared in layers.json — add it "
+                "with its allowed deps"))
+            continue
+        for line_no, inc in include_graph.direct_includes(ctx, relpath):
+            parts = inc.split("/")
+            if len(parts) < 2:
+                continue
+            dep = parts[1]
+            if dep == mod:
+                continue
+            actual.setdefault(mod, set()).add(dep)
+            if dep not in allowed[mod]:
+                findings.append(Finding(
+                    PASS_ID, f"edge:{mod}->{dep}", relpath, line_no,
+                    f"module '{mod}' may not include '{dep}' "
+                    f"(allowed: {sorted(allowed[mod]) or 'none'}) — fix the "
+                    "dependency or extend layers.json with a justification"))
+
+    for scc in _find_cycles(actual):
+        findings.append(Finding(
+            PASS_ID, "cycle:" + ",".join(scc), "src/statcube", 0,
+            f"dependency cycle between modules {scc}"))
+    return findings

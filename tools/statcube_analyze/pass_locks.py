@@ -1,0 +1,210 @@
+"""Pass 2: global lock-order analysis.
+
+Harvests every Mutex declaration (class members via cxxmodel, locals via
+function scans) and every acquisition site (`MutexLock l(mu);`,
+`mu.Lock()`), then builds the global lock-acquisition graph: an edge
+A -> B means some code path acquires B while holding A — directly, or
+through a call to a function (same TU) that acquires B. A cycle in that
+graph is a potential deadlock: two threads entering the cycle from
+different points can each hold the lock the other wants.
+
+Lock identity is `Class::member` where resolvable:
+
+ * a plain identifier resolves against the enclosing method's class,
+   then against the unique class declaring that member anywhere;
+ * `expr->member` / `expr.member` resolves via the unique declaring
+   class, falling back to matching the base variable's name against
+   declaring class names (`state_->mu` -> `State::mu`);
+ * function-local `Mutex` variables are scoped to their function;
+ * anything else degrades to `?<file-stem>::member` — a conservative
+   merged identity. Merged identities can over-report; cycles touching
+   them deserve a look anyway, and a justified suppression if benign.
+
+Known limitation (by design, see cxxmodel): lambdas are independent
+functions, so edges into deferred work (thread bodies, scheduler tasks)
+are not fabricated from their definition site.
+"""
+
+import os
+import re
+
+import cxxmodel
+
+PASS_ID = "locks"
+
+_MEMBER_TAIL_RE = re.compile(r"(?:\.|->)\s*([A-Za-z_]\w*)\s*$")
+
+
+def _base_variable(expr):
+    """`queues_[i]->mu` -> `queues_`; `state_->mu` -> `state_`."""
+    m = _MEMBER_TAIL_RE.search(expr)
+    if not m:
+        return None
+    base = expr[: m.start()]
+    base = re.sub(r"\[[^\]]*\]", "", base)
+    base = base.split(".")[-1].split("->")[-1].strip(" *&()")
+    return base or None
+
+
+class LockResolver:
+    def __init__(self, classes):
+        self.classes = classes  # {class: set(members)} across the repo
+        self.by_member = {}
+        for cls, members in classes.items():
+            for mem in members:
+                self.by_member.setdefault(mem, set()).add(cls)
+
+    def resolve(self, expr, func, file_stem):
+        expr = expr.strip()
+        member_m = _MEMBER_TAIL_RE.search(expr)
+        member = member_m.group(1) if member_m else expr
+        if not re.fullmatch(r"[A-Za-z_]\w*", member):
+            return f"?{file_stem}::<expr>"
+        if member_m is None:
+            if member in func.local_mutexes:
+                return f"{file_stem}:{func.qualified}::{member}"
+            if func.cls and member in self.classes.get(func.cls, ()):
+                return f"{func.cls}::{member}"
+        owners = self.by_member.get(member, set())
+        if len(owners) == 1:
+            return f"{next(iter(owners))}::{member}"
+        if member_m is not None:
+            base = _base_variable(expr)
+            if base:
+                norm = base.strip("_").lower()
+                exact = [c for c in owners if c.lower() == norm]
+                if len(exact) == 1:
+                    return f"{exact[0]}::{member}"
+                matches = [c for c in owners
+                           if norm and (norm in c.lower() or
+                                        c.lower() in norm)]
+                if len(matches) == 1:
+                    return f"{matches[0]}::{member}"
+        return f"?{file_stem}::{member}"
+
+
+def _transitive_acquires(funcs_by_name, direct):
+    """Fixpoint of `locks a function may acquire` across same-TU calls."""
+    trans = {name: set(locks) for name, locks in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name, func in funcs_by_name.items():
+            for ev in func.events:
+                if ev[0] == "call" and ev[1] in trans:
+                    add = trans[ev[1]] - trans[name]
+                    if add:
+                        trans[name] |= add
+                        changed = True
+    return trans
+
+
+def build_lock_graph(ctx, files=None):
+    """-> (edges {A: {B: (path, line, note)}}, classes registry)."""
+    files = files if files is not None else ctx.src_files()
+    models = []
+    classes = {}
+    for relpath in files:
+        if relpath.endswith(os.path.join("common", "mutex.h")):
+            continue  # the Mutex wrapper itself, not a lock user
+        model = cxxmodel.scan_file(ctx, relpath)
+        models.append(model)
+        for cls, members in model.classes.items():
+            classes.setdefault(cls, set()).update(members)
+
+    resolver = LockResolver(classes)
+    edges = {}
+
+    # Group models per TU stem so .h declarations and .cc bodies share a
+    # call-graph (WorkerQueue methods in the header, users in the .cc).
+    by_stem = {}
+    for model in models:
+        stem = os.path.splitext(os.path.basename(model.relpath))[0]
+        by_stem.setdefault(stem, []).append(model)
+
+    for stem, group in sorted(by_stem.items()):
+        funcs = [f for m in group for f in m.functions]
+        func_paths = {}
+        funcs_by_name = {}
+        for m in group:
+            for f in m.functions:
+                # Last definition wins on collisions; good enough for a
+                # may-acquire set.
+                funcs_by_name[f.name] = f
+                func_paths[id(f)] = m.relpath
+        direct = {}
+        for name, f in funcs_by_name.items():
+            direct[name] = {
+                resolver.resolve(ev[1], f, stem)
+                for ev in f.events if ev[0] == "acquire"
+            }
+        trans = _transitive_acquires(funcs_by_name, direct)
+
+        for f in funcs:
+            path = func_paths[id(f)]
+            held = []            # (lock, depth)
+            depth = 0
+            for ev in f.events:
+                if ev[0] == "open":
+                    depth += 1
+                elif ev[0] == "close":
+                    depth -= 1
+                    held = [(l, d) for (l, d) in held if d <= depth]
+                elif ev[0] == "acquire":
+                    lock = resolver.resolve(ev[1], f, stem)
+                    for other, _ in held:
+                        if other != lock:
+                            edges.setdefault(other, {}).setdefault(
+                                lock, (path, ev[2], f.qualified))
+                    held.append((lock, depth))
+                elif ev[0] == "release":
+                    lock = resolver.resolve(ev[1], f, stem)
+                    held = [(l, d) for (l, d) in held if l != lock]
+                elif ev[0] == "call":
+                    if not held or ev[1] == f.name:
+                        continue
+                    for callee_lock in sorted(trans.get(ev[1], ())):
+                        for other, _ in held:
+                            if other != callee_lock:
+                                edges.setdefault(other, {}).setdefault(
+                                    callee_lock,
+                                    (path, ev[2],
+                                     f"{f.qualified} via call to {ev[1]}"))
+    return edges, classes
+
+
+def _cycles(edges):
+    """All strongly connected components of size > 1 (or self-loops)."""
+    import pass_layers
+    graph = {a: set(bs) for a, bs in edges.items()}
+    for bs in edges.values():
+        for b in bs:
+            graph.setdefault(b, set())
+    return pass_layers._find_cycles(graph)
+
+
+def run(ctx, files=None):
+    from core import Finding
+    edges, _ = build_lock_graph(ctx, files)
+    findings = []
+    for scc in _cycles(edges):
+        in_cycle = set(scc)
+        sites = []
+        for a in scc:
+            for b, (path, line, where) in sorted(edges.get(a, {}).items()):
+                if b in in_cycle:
+                    sites.append(f"{a} -> {b} at {path}:{line} ({where})")
+        first = None
+        for a in scc:
+            for b, site in sorted(edges.get(a, {}).items()):
+                if b in in_cycle:
+                    first = site
+                    break
+            if first:
+                break
+        path, line = (first[0], first[1]) if first else ("src/statcube", 0)
+        findings.append(Finding(
+            PASS_ID, "cycle:" + ",".join(scc), path, line,
+            "potential deadlock: lock-acquisition cycle between "
+            f"{scc}; " + "; ".join(sites)))
+    return findings
